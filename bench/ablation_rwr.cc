@@ -1,0 +1,105 @@
+// Ablation (DESIGN.md Section 5): how the RWR hop bound h and reset
+// probability c trade off the three signature properties. Also verifies
+// the paper's two analytic notes numerically:
+//   * h = 1, c = 0 coincides with TT;
+//   * growing c collapses RWR towards TT;
+//   * h beyond ~the graph diameter adds no new information.
+
+#include "bench/bench_common.h"
+#include "core/distance.h"
+#include "eval/properties.h"
+#include "graph/graph_stats.h"
+
+namespace commsig::bench {
+namespace {
+
+void Main() {
+  std::printf("Ablation: RWR hop bound and reset probability\n");
+  FlowDataset flows = MakeSmallFlowDataset();
+  auto windows = flows.Windows();
+  std::printf("window-0 diameter estimate: %zu\n",
+              EstimateDiameter(windows[0]));
+  SchemeOptions opts{.k = 10, .restrict_to_opposite_partition = true};
+  SignatureDistance dist(DistanceKind::kScaledHellinger);
+
+  PrintHeader("hop sweep (c = 0.1)");
+  PrintRow({"h", "mean_pers", "mean_uniq", "self_auc"});
+  for (size_t h : {1u, 2u, 3u, 5u, 7u, 9u}) {
+    auto scheme = MustCreateScheme(
+        "rwr(c=0.1,h=" + std::to_string(h) + ")", opts);
+    auto s0 = scheme->ComputeAll(windows[0], flows.local_hosts);
+    auto s1 = scheme->ComputeAll(windows[1], flows.local_hosts);
+    PropertyEllipse e = SummarizeProperties(s0, s1, dist, 20000, 1);
+    double auc = MeanAuc(SelfMatchRoc(s0, s1, dist));
+    PrintRow({std::to_string(h), Fmt(e.mean_persistence),
+              Fmt(e.mean_uniqueness), Fmt(auc)});
+  }
+
+  PrintHeader("reset sweep (h = 3)");
+  PrintRow({"c", "mean_pers", "mean_uniq", "self_auc", "jac_dist_to_tt"});
+  auto tt = MustCreateScheme("tt", opts);
+  auto tt0 = tt->ComputeAll(windows[0], flows.local_hosts);
+  for (double c : {0.05, 0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto scheme =
+        MustCreateScheme("rwr(c=" + Fmt(c, "%.2f") + ",h=3)", opts);
+    auto s0 = scheme->ComputeAll(windows[0], flows.local_hosts);
+    auto s1 = scheme->ComputeAll(windows[1], flows.local_hosts);
+    PropertyEllipse e = SummarizeProperties(s0, s1, dist, 20000, 1);
+    double auc = MeanAuc(SelfMatchRoc(s0, s1, dist));
+    // Similarity of the RWR signature set to TT's: as c grows, the reset
+    // keeps the walk near home and RWR converges towards TT.
+    double to_tt = 0.0;
+    for (size_t i = 0; i < s0.size(); ++i) {
+      to_tt += Distance(DistanceKind::kJaccard, s0[i], tt0[i]);
+    }
+    PrintRow({Fmt(c, "%.2f"), Fmt(e.mean_persistence),
+              Fmt(e.mean_uniqueness), Fmt(auc),
+              Fmt(to_tt / static_cast<double>(s0.size()))});
+  }
+
+  // The paper (Definition 4 discussion): "we did not see much variation in
+  // results for different scaling functions" — compare UT's inverse-in-
+  // degree weighting against the TF-IDF analogue.
+  PrintHeader("UT scaling-function comparison (Dist_SHel)");
+  PrintRow({"weighting", "mean_pers", "mean_uniq", "self_auc",
+            "jac_dist_between"});
+  {
+    auto ut = MustCreateScheme("ut", opts);
+    auto tfidf = MustCreateScheme("ut-tfidf", opts);
+    auto u0 = ut->ComputeAll(windows[0], flows.local_hosts);
+    auto u1 = ut->ComputeAll(windows[1], flows.local_hosts);
+    auto t0 = tfidf->ComputeAll(windows[0], flows.local_hosts);
+    auto t1 = tfidf->ComputeAll(windows[1], flows.local_hosts);
+    double between = 0.0;
+    for (size_t i = 0; i < u0.size(); ++i) {
+      between += Distance(DistanceKind::kJaccard, u0[i], t0[i]);
+    }
+    between /= static_cast<double>(u0.size());
+    PropertyEllipse eu = SummarizeProperties(u0, u1, dist, 20000, 1);
+    PropertyEllipse et = SummarizeProperties(t0, t1, dist, 20000, 1);
+    PrintRow({"ut", Fmt(eu.mean_persistence), Fmt(eu.mean_uniqueness),
+              Fmt(MeanAuc(SelfMatchRoc(u0, u1, dist))), Fmt(between)});
+    PrintRow({"ut-tfidf", Fmt(et.mean_persistence), Fmt(et.mean_uniqueness),
+              Fmt(MeanAuc(SelfMatchRoc(t0, t1, dist))), "-"});
+  }
+
+  PrintHeader("signature length sweep (tt, Dist_SHel)");
+  PrintRow({"k", "mean_pers", "mean_uniq", "self_auc"});
+  for (size_t k : {3u, 5u, 10u, 20u, 40u}) {
+    SchemeOptions ko{.k = k, .restrict_to_opposite_partition = true};
+    auto scheme = MustCreateScheme("tt", ko);
+    auto s0 = scheme->ComputeAll(windows[0], flows.local_hosts);
+    auto s1 = scheme->ComputeAll(windows[1], flows.local_hosts);
+    PropertyEllipse e = SummarizeProperties(s0, s1, dist, 20000, 1);
+    PrintRow({std::to_string(k), Fmt(e.mean_persistence),
+              Fmt(e.mean_uniqueness), Fmt(MeanAuc(SelfMatchRoc(s0, s1, dist)))});
+  }
+}
+
+}  // namespace
+}  // namespace commsig::bench
+
+int main() {
+  commsig::bench::Main();
+  return 0;
+}

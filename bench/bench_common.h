@@ -1,0 +1,90 @@
+#ifndef COMMSIG_BENCH_BENCH_COMMON_H_
+#define COMMSIG_BENCH_BENCH_COMMON_H_
+
+// Shared workload construction and table printing for the figure-
+// reproduction benches. Every bench binary regenerates one table or figure
+// of the paper (see DESIGN.md experiment index); the workloads below mirror
+// the paper's two data sets at bench-friendly scale.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+#include "data/flow_generator.h"
+#include "data/query_log_generator.h"
+
+namespace commsig::bench {
+
+/// The enterprise-flow workload (stand-in for the paper's AT&T data set):
+/// 300 monitored local hosts, heavy-tailed external population, six 5-day
+/// windows, k = 10 (half the mean focal out-degree).
+inline FlowDataset MakeFlowDataset(uint64_t seed = 42) {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 300;
+  cfg.num_external_hosts = 20000;
+  cfg.num_windows = 6;
+  cfg.seed = seed;
+  return FlowTraceGenerator(cfg).Generate();
+}
+
+/// A reduced flow workload for the heavier sweeps (fig. 6 runs many
+/// detector configurations).
+inline FlowDataset MakeSmallFlowDataset(uint64_t seed = 42) {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 150;
+  cfg.num_external_hosts = 8000;
+  cfg.num_windows = 3;
+  cfg.seed = seed;
+  return FlowTraceGenerator(cfg).Generate();
+}
+
+/// The query-log workload at the paper's scale: 851 users, 979 tables,
+/// 5 windows, k = 3.
+inline QueryLogDataset MakeQueryLogDataset(uint64_t seed = 7) {
+  QueryLogConfig cfg;  // defaults are the paper's scale
+  cfg.seed = seed;
+  return QueryLogGenerator(cfg).Generate();
+}
+
+/// The scheme lineup evaluated throughout the paper's Section IV.
+inline std::vector<std::string> PaperSchemeSpecs() {
+  return {"tt", "ut", "rwr(c=0.1,h=3)", "rwr(c=0.1,h=5)", "rwr(c=0.1,h=7)"};
+}
+
+/// Creates a scheme from a spec, aborting the bench on bad specs (these
+/// are programmer-controlled constants).
+inline std::unique_ptr<SignatureScheme> MustCreateScheme(
+    const std::string& spec, SchemeOptions options) {
+  auto scheme = CreateScheme(spec, options);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "bad scheme spec %s: %s\n", spec.c_str(),
+                 scheme.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*scheme);
+}
+
+/// Prints a row of fixed-width cells.
+inline void PrintRow(const std::vector<std::string>& cells,
+                     int width = 16) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double value, const char* format = "%.4f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace commsig::bench
+
+#endif  // COMMSIG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Reproduces Figure 4: signature robustness on the network data. The
+// window graph is perturbed per the paper's model (α|E| degree-proportional
+// insertions with weights drawn from the empirical distribution; β|E|
+// weight-proportional unit deletions), and each node's original signature
+// is ranked against all perturbed signatures.
+//
+// Expected shape: TT most robust, RWR close behind, UT last — with small
+// absolute differences (all AUCs high).
+
+#include "bench/bench_common.h"
+#include "core/distance.h"
+#include "eval/perturb.h"
+#include "eval/properties.h"
+
+namespace commsig::bench {
+namespace {
+
+void Main() {
+  std::printf("Figure 4: robustness AUC under graph perturbation\n");
+  FlowDataset flows = MakeFlowDataset();
+  auto windows = flows.Windows();
+  const CommGraph& g = windows[0];
+  SchemeOptions opts{.k = 10, .restrict_to_opposite_partition = true};
+
+  std::vector<std::string> specs = {"tt", "ut", "rwr(c=0.1,h=3)"};
+  for (double alpha : {0.1, 0.4}) {
+    CommGraph perturbed = Perturb(
+        g, {.insert_fraction = alpha, .delete_fraction = alpha, .seed = 17});
+    PrintHeader("alpha = beta = " + Fmt(alpha, "%.1f") +
+                " — matching AUC (paper Fig. 4)");
+    std::vector<std::string> header = {"AUC"};
+    for (const auto& spec : specs) header.push_back(spec);
+    PrintRow(header);
+    std::vector<std::vector<Signature>> original(specs.size()),
+        shaken(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      auto scheme = MustCreateScheme(specs[i], opts);
+      original[i] = scheme->ComputeAll(g, flows.local_hosts);
+      shaken[i] = scheme->ComputeAll(perturbed, flows.local_hosts);
+    }
+    for (DistanceKind kind : AllDistanceKinds()) {
+      std::vector<std::string> row = {"Dist_" +
+                                      std::string(DistanceName(kind))};
+      for (size_t i = 0; i < specs.size(); ++i) {
+        row.push_back(Fmt(MeanAuc(
+            MatchRoc(original[i], shaken[i], SignatureDistance(kind)))));
+      }
+      PrintRow(row);
+    }
+
+    // The Definition-2 robustness value 1 − Dist(σ, σ̂) itself: the AUC
+    // saturates near 1 (as the paper notes, "the relative difference
+    // between all methods is very small"), while the raw statistic
+    // separates the schemes clearly.
+    PrintHeader("alpha = beta = " + Fmt(alpha, "%.1f") +
+                " — mean robustness 1 - Dist(sig, perturbed sig)");
+    PrintRow(header);
+    for (DistanceKind kind : AllDistanceKinds()) {
+      std::vector<std::string> row = {"Dist_" +
+                                      std::string(DistanceName(kind))};
+      SignatureDistance dist(kind);
+      for (size_t i = 0; i < specs.size(); ++i) {
+        double sum = 0.0;
+        for (size_t v = 0; v < original[i].size(); ++v) {
+          sum += 1.0 - dist(original[i][v], shaken[i][v]);
+        }
+        row.push_back(Fmt(sum / static_cast<double>(original[i].size())));
+      }
+      PrintRow(row);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace commsig::bench
+
+int main() {
+  commsig::bench::Main();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Figure 5: multiusage-detection ROC curves on the network
+// data. Queries are the hosts whose (hidden) user owns multiple IPs; each
+// query ranks all focal hosts by signature distance within one window, and
+// the other IPs of the same user are the relevant set.
+//
+// Expected shape: TT consistently dominates UT and RWR across all four
+// distance functions (multiusage calls for uniqueness + robustness).
+
+#include "bench/bench_common.h"
+#include "core/distance.h"
+#include "eval/properties.h"
+
+namespace commsig::bench {
+namespace {
+
+void Main() {
+  std::printf("Figure 5: multiusage detection ROC, enterprise flows\n");
+  FlowDataset flows = MakeFlowDataset();
+  auto windows = flows.Windows();
+  SchemeOptions opts{.k = 10, .restrict_to_opposite_partition = true};
+
+  // Ground truth: hosts of multi-IP users.
+  std::vector<size_t> query_indices;
+  std::vector<std::vector<size_t>> relevant_sets;
+  for (size_t i = 0; i < flows.local_hosts.size(); ++i) {
+    NodeId host = flows.local_hosts[i];
+    const auto& siblings =
+        flows.hosts_of_user.at(flows.user_of_host[host]);
+    if (siblings.size() < 2) continue;
+    std::vector<size_t> rel;
+    for (NodeId s : siblings) {
+      if (s != host) rel.push_back(s);
+    }
+    query_indices.push_back(i);
+    relevant_sets.push_back(std::move(rel));
+  }
+  std::printf("multi-IP query hosts: %zu of %zu\n", query_indices.size(),
+              flows.local_hosts.size());
+
+  std::vector<std::string> specs = {"tt", "ut", "rwr(c=0.1,h=3)"};
+  for (DistanceKind kind : AllDistanceKinds()) {
+    PrintHeader("Dist_" + std::string(DistanceName(kind)));
+    std::vector<std::string> header = {"fpr"};
+    std::vector<std::vector<RocPoint>> curves;
+    std::vector<double> aucs;
+    for (const auto& spec : specs) {
+      auto scheme = MustCreateScheme(spec, opts);
+      auto sigs = scheme->ComputeAll(windows[0], flows.local_hosts);
+      std::vector<Signature> queries;
+      for (size_t qi : query_indices) queries.push_back(sigs[qi]);
+      auto rocs = SetMatchRoc(queries, query_indices, sigs, relevant_sets,
+                              SignatureDistance(kind));
+      curves.push_back(AverageRocCurves(rocs, 11));
+      aucs.push_back(MeanAuc(rocs));
+      header.push_back(spec);
+    }
+    PrintRow(header);
+    for (size_t g = 0; g < 11; ++g) {
+      std::vector<std::string> row = {Fmt(curves[0][g].fpr, "%.1f")};
+      for (const auto& curve : curves) row.push_back(Fmt(curve[g].tpr));
+      PrintRow(row);
+    }
+    std::vector<std::string> auc_row = {"AUC"};
+    for (double a : aucs) auc_row.push_back(Fmt(a));
+    PrintRow(auc_row);
+  }
+}
+
+}  // namespace
+}  // namespace commsig::bench
+
+int main() {
+  commsig::bench::Main();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Microbenchmarks: distance-function evaluation cost per kind and
+// signature length — the inner loop of every application (uniqueness
+// scans are O(n^2) distance evaluations).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/distance.h"
+
+namespace commsig {
+namespace {
+
+std::pair<Signature, Signature> MakePair(size_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Signature::Entry> ea, eb;
+  for (size_t i = 0; i < k; ++i) {
+    NodeId shared = static_cast<NodeId>(rng.UniformInt(1000));
+    ea.push_back({shared, rng.UniformDouble() + 0.01});
+    // ~half the nodes shared between the two signatures.
+    if (rng.Bernoulli(0.5)) {
+      eb.push_back({shared, rng.UniformDouble() + 0.01});
+    } else {
+      eb.push_back({static_cast<NodeId>(1000 + rng.UniformInt(1000)),
+                    rng.UniformDouble() + 0.01});
+    }
+  }
+  return {Signature::FromTopK(std::move(ea), k),
+          Signature::FromTopK(std::move(eb), k)};
+}
+
+void BM_Distance(benchmark::State& state) {
+  DistanceKind kind = static_cast<DistanceKind>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  auto [a, b] = MakePair(k, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Distance(kind, a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(DistanceName(kind)));
+}
+BENCHMARK(BM_Distance)
+    ->ArgsProduct({{0, 1, 2, 3}, {3, 10, 50, 200}})
+    ->ArgNames({"kind", "k"});
+
+void BM_PairwiseUniquenessScan(benchmark::State& state) {
+  // n signatures, full O(n^2) scan — the multiusage hot path.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Signature> sigs;
+  for (size_t i = 0; i < n; ++i) {
+    sigs.push_back(MakePair(10, i).first);
+  }
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        sum += Distance(DistanceKind::kScaledHellinger, sigs[i], sigs[j]);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_PairwiseUniquenessScan)->Arg(100)->Arg(300)->ArgNames({"n"});
+
+}  // namespace
+}  // namespace commsig
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Microbenchmarks: signature computation cost per scheme, swept over graph
+// size and signature length. Uses google-benchmark; run with --benchmark_*
+// flags as usual.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/rwr.h"
+#include "core/rwr_push.h"
+#include "core/top_talkers.h"
+#include "core/unexpected_talkers.h"
+
+namespace commsig::bench {
+namespace {
+
+// Cache one dataset per external-population size.
+const FlowDataset& DatasetFor(size_t externals) {
+  static auto* cache =
+      new std::unordered_map<size_t, FlowDataset>();
+  auto it = cache->find(externals);
+  if (it == cache->end()) {
+    FlowGeneratorConfig cfg;
+    cfg.num_local_hosts = 200;
+    cfg.num_external_hosts = externals;
+    cfg.num_windows = 2;
+    cfg.seed = 5;
+    it = cache->emplace(externals, FlowTraceGenerator(cfg).Generate()).first;
+  }
+  return it->second;
+}
+
+void BM_TopTalkers(benchmark::State& state) {
+  const FlowDataset& ds = DatasetFor(state.range(0));
+  auto windows = ds.Windows();
+  TopTalkersScheme tt({.k = static_cast<size_t>(state.range(1))});
+  size_t host = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tt.Compute(windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
+    ++host;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopTalkers)
+    ->ArgsProduct({{5000, 20000}, {5, 10, 20}})
+    ->ArgNames({"externals", "k"});
+
+void BM_UnexpectedTalkers(benchmark::State& state) {
+  const FlowDataset& ds = DatasetFor(state.range(0));
+  auto windows = ds.Windows();
+  UnexpectedTalkersScheme ut({.k = 10}, UtWeighting::kInverseInDegree);
+  size_t host = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ut.Compute(windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
+    ++host;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnexpectedTalkers)
+    ->Args({5000})
+    ->Args({20000})
+    ->ArgNames({"externals"});
+
+void BM_RwrTruncated(benchmark::State& state) {
+  const FlowDataset& ds = DatasetFor(20000);
+  auto windows = ds.Windows();
+  RwrScheme rwr({.k = 10},
+                {.reset = 0.1,
+                 .max_hops = static_cast<size_t>(state.range(0))});
+  size_t host = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rwr.Compute(
+        windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
+    ++host;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RwrTruncated)->Arg(1)->Arg(3)->Arg(5)->Arg(7)->ArgNames({"h"});
+
+void BM_RwrPush(benchmark::State& state) {
+  // Local forward-push vs whole-graph power iteration (BM_RwrUnbounded):
+  // work scales with 1/(c·eps), not with |V|+|E|.
+  const FlowDataset& ds = DatasetFor(20000);
+  auto windows = ds.Windows();
+  double eps = 1.0;
+  for (int i = 0; i < state.range(0); ++i) eps /= 10.0;
+  RwrPushScheme push({.k = 10}, {.reset = 0.1, .epsilon = eps});
+  size_t host = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(push.Compute(
+        windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
+    ++host;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("eps=1e-" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_RwrPush)->Arg(3)->Arg(5)->Arg(7)->ArgNames({"neg_log_eps"});
+
+void BM_RwrUnbounded(benchmark::State& state) {
+  const FlowDataset& ds = DatasetFor(5000);
+  auto windows = ds.Windows();
+  RwrScheme rwr({.k = 10}, {.reset = 0.1, .max_hops = 0});
+  size_t host = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rwr.Compute(
+        windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
+    ++host;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RwrUnbounded);
+
+}  // namespace
+}  // namespace commsig::bench
+
+BENCHMARK_MAIN();

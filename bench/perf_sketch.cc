@@ -1,0 +1,75 @@
+// Microbenchmarks: update/query throughput of the Section-VI streaming
+// substrates (Count-Min, FM, SpaceSaving, MinHash/LSH).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "lsh/minhash.h"
+#include "sketch/count_min.h"
+#include "sketch/fm_sketch.h"
+#include "sketch/space_saving.h"
+
+namespace commsig {
+namespace {
+
+void BM_CountMinAdd(benchmark::State& state) {
+  CountMinSketch cm(static_cast<size_t>(state.range(0)), 4);
+  Rng rng(1);
+  for (auto _ : state) {
+    cm.Add(rng.Next() % 100000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd)->Arg(1024)->Arg(65536)->ArgNames({"width"});
+
+void BM_CountMinEstimate(benchmark::State& state) {
+  CountMinSketch cm(4096, 4);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) cm.Add(rng.Next() % 100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.Estimate(rng.Next() % 100000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinEstimate);
+
+void BM_FmSketchAdd(benchmark::State& state) {
+  FmSketch fm(static_cast<size_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    fm.Add(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FmSketchAdd)->Arg(16)->Arg(64)->Arg(256)->ArgNames({"bitmaps"});
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  SpaceSaving ss(static_cast<size_t>(state.range(0)));
+  Rng rng(4);
+  for (auto _ : state) {
+    // Zipf-ish keys exercise both the hit and the eviction paths.
+    ss.Add(rng.UniformInt(rng.UniformInt(9999) + 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd)->Arg(16)->Arg(64)->Arg(256)->ArgNames({"cap"});
+
+void BM_MinHashSketch(benchmark::State& state) {
+  MinHasher hasher(static_cast<size_t>(state.range(0)));
+  std::vector<Signature::Entry> entries;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    entries.push_back({static_cast<NodeId>(rng.UniformInt(100000)), 1.0});
+  }
+  Signature sig = Signature::FromTopK(std::move(entries), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Sketch(sig));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinHashSketch)->Arg(64)->Arg(128)->Arg(256)->ArgNames({"m"});
+
+}  // namespace
+}  // namespace commsig
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Reproduces Table IV: the qualitative scheme-by-property summary derived
+// from the Figure 1/4 measurements. For each property the three schemes are
+// ranked on the measured mean value and labelled high / medium / low.
+//
+// Expected shape (paper Table IV):
+//               TT       UT     RWR
+//   persistence medium   low    high
+//   uniqueness  medium   high   low
+//   robustness  high     low    medium
+
+#include <algorithm>
+#include <array>
+
+#include "bench/bench_common.h"
+#include "core/distance.h"
+#include "eval/perturb.h"
+#include "eval/properties.h"
+
+namespace commsig::bench {
+namespace {
+
+std::array<std::string, 3> RankLabels(const std::array<double, 3>& values) {
+  std::array<size_t, 3> order = {0, 1, 2};
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] > values[b]; });
+  std::array<std::string, 3> labels;
+  labels[order[0]] = "high";
+  labels[order[1]] = "medium";
+  labels[order[2]] = "low";
+  return labels;
+}
+
+void Main() {
+  std::printf("Table IV: relative behaviour of the signature schemes\n");
+  FlowDataset flows = MakeFlowDataset();
+  auto windows = flows.Windows();
+  SchemeOptions opts{.k = 10, .restrict_to_opposite_partition = true};
+  SignatureDistance dist(DistanceKind::kScaledHellinger);
+
+  const std::vector<std::string> specs = {"tt", "ut", "rwr(c=0.1,h=3)"};
+  std::array<double, 3> persistence{}, uniqueness{}, robustness{};
+
+  CommGraph perturbed =
+      Perturb(windows[0],
+              {.insert_fraction = 0.4, .delete_fraction = 0.4, .seed = 17});
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto scheme = MustCreateScheme(specs[i], opts);
+    auto s0 = scheme->ComputeAll(windows[0], flows.local_hosts);
+    auto s1 = scheme->ComputeAll(windows[1], flows.local_hosts);
+    PropertyEllipse e =
+        SummarizeProperties(s0, s1, dist, /*max_pairs=*/20000, /*seed=*/1);
+    persistence[i] = e.mean_persistence;
+    uniqueness[i] = e.mean_uniqueness;
+    auto shaken = scheme->ComputeAll(perturbed, flows.local_hosts);
+    robustness[i] = MeanAuc(MatchRoc(s0, shaken, dist));
+  }
+
+  PrintHeader("measured means");
+  PrintRow({"property", "tt", "ut", "rwr"});
+  PrintRow({"persistence", Fmt(persistence[0]), Fmt(persistence[1]),
+            Fmt(persistence[2])});
+  PrintRow({"uniqueness", Fmt(uniqueness[0]), Fmt(uniqueness[1]),
+            Fmt(uniqueness[2])});
+  PrintRow({"robustness", Fmt(robustness[0]), Fmt(robustness[1]),
+            Fmt(robustness[2])});
+
+  PrintHeader("derived Table IV");
+  auto p = RankLabels(persistence);
+  auto u = RankLabels(uniqueness);
+  auto r = RankLabels(robustness);
+  PrintRow({"property", "tt", "ut", "rwr"});
+  PrintRow({"persistence", p[0], p[1], p[2]});
+  PrintRow({"uniqueness", u[0], u[1], u[2]});
+  PrintRow({"robustness", r[0], r[1], r[2]});
+}
+
+}  // namespace
+}  // namespace commsig::bench
+
+int main() {
+  commsig::bench::Main();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Anomaly watch: run the stateful AnomalyMonitor over a stream of weekly
+// windows in which one host's behaviour is hijacked mid-stream (e.g. a
+// compromised machine that suddenly talks to a new set of destinations).
+//
+//   $ ./build/examples/anomaly_watch
+
+#include <cstdio>
+
+#include "apps/anomaly.h"
+#include "core/scheme.h"
+#include "data/flow_generator.h"
+#include "graph/graph_builder.h"
+
+using namespace commsig;
+
+namespace {
+
+// Redirects all of `host`'s window traffic to a fresh set of destinations,
+// simulating a takeover.
+CommGraph HijackHost(const CommGraph& g, NodeId host, NodeId dest_base) {
+  GraphBuilder builder(g.NumNodes());
+  builder.SetBipartiteLeftSize(g.bipartite().left_size);
+  for (const auto& e : g.Edges()) {
+    if (e.src == host) {
+      builder.AddEdge(e.src, dest_base + (e.dst % 20), e.weight);
+    } else {
+      builder.AddEdge(e.src, e.dst, e.weight);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+int main() {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 120;
+  cfg.num_external_hosts = 6000;
+  cfg.num_windows = 6;
+  cfg.seed = 99;
+  FlowDataset flows = FlowTraceGenerator(cfg).Generate();
+  auto windows = flows.Windows();
+
+  const NodeId victim = flows.local_hosts[17];
+  const size_t hijack_window = 4;
+  windows[hijack_window] = HijackHost(
+      windows[hijack_window], victim,
+      static_cast<NodeId>(cfg.num_local_hosts + 5000));
+  std::printf("victim host: %s (hijacked from window %zu on)\n",
+              flows.interner.LabelOf(victim).c_str(), hijack_window);
+
+  // RWR favours persistence + robustness — the anomaly-detection profile
+  // of the paper's Table I.
+  auto rwr = *CreateScheme(
+      "rwr(c=0.1,h=3)", {.k = 10, .restrict_to_opposite_partition = true});
+  AnomalyMonitor monitor(flows.local_hosts,
+                         SignatureDistance(DistanceKind::kScaledHellinger),
+                         {.deviation_threshold = 4.0, .min_history = 2});
+
+  for (size_t w = 0; w < windows.size(); ++w) {
+    auto sigs = rwr->ComputeAll(windows[w], flows.local_hosts);
+    auto alerts = monitor.Observe(std::move(sigs));
+    std::printf("window %zu: %zu alert(s)\n", w, alerts.size());
+    for (const Anomaly& a : alerts) {
+      std::printf("  ALERT %-12s persistence %.3f (%.1f sigma below its "
+                  "norm)%s\n",
+                  flows.interner.LabelOf(a.node).c_str(), a.persistence,
+                  a.deviations_below_mean,
+                  a.node == victim ? "  <-- the hijacked host" : "");
+    }
+  }
+  return 0;
+}

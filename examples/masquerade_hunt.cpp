@@ -1,0 +1,64 @@
+// Label-masquerading hunt: simulate identity swaps between two observation
+// windows (a fraction of hosts hand their label to another host, as when
+// accounts are abandoned and re-registered), then run the paper's
+// Algorithm 1 with RWR signatures to recover who became whom.
+//
+//   $ ./build/examples/masquerade_hunt
+
+#include <cstdio>
+
+#include "apps/masquerade_detector.h"
+#include "core/scheme.h"
+#include "data/flow_generator.h"
+#include "eval/masquerade_sim.h"
+
+using namespace commsig;
+
+int main() {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 150;
+  cfg.num_external_hosts = 8000;
+  cfg.num_windows = 2;
+  cfg.seed = 77;
+  FlowDataset flows = FlowTraceGenerator(cfg).Generate();
+  auto windows = flows.Windows();
+
+  // 10% of hosts masquerade between window 0 and window 1.
+  MasqueradePlan plan = PlanMasquerade(flows.local_hosts, 0.10, /*seed=*/5);
+  CommGraph masked = ApplyMasquerade(windows[1], plan);
+  std::printf("simulated masquerades: %zu of %zu hosts\n",
+              plan.mapping.size(), flows.local_hosts.size());
+
+  // RWR^3 is the paper's recommendation for this task (persistence +
+  // uniqueness, Section V).
+  auto rwr = *CreateScheme(
+      "rwr(c=0.1,h=3)", {.k = 10, .restrict_to_opposite_partition = true});
+  auto before = rwr->ComputeAll(windows[0], flows.local_hosts);
+  auto after = rwr->ComputeAll(masked, flows.local_hosts);
+
+  MasqueradeDetector detector(
+      SignatureDistance(DistanceKind::kScaledHellinger),
+      {.top_ell = 3, .delta_divisor = 5.0});
+  MasqueradeDetection detection =
+      detector.Detect(flows.local_hosts, before, after);
+
+  std::printf("persistence threshold delta = %.4f\n", detection.delta);
+  std::printf("cleared hosts: %zu, suspected masquerade pairs: %zu\n",
+              detection.non_suspects.size(), detection.detected.size());
+
+  size_t correct = 0;
+  for (const auto& [v, u] : detection.detected) {
+    bool right = plan.Contains(v, u);
+    correct += right ? 1 : 0;
+    std::printf("  %s -> now appears as %s %s\n",
+                flows.interner.LabelOf(v).c_str(),
+                flows.interner.LabelOf(u).c_str(),
+                right ? "[correct]" : "[wrong]");
+  }
+  std::printf("\npair precision: %.2f, overall accuracy: %.2f\n",
+              detection.detected.empty()
+                  ? 0.0
+                  : double(correct) / detection.detected.size(),
+              MasqueradeAccuracy(detection, plan, flows.local_hosts));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Multiusage ("anti-aliasing") hunt on a synthetic enterprise network:
+// generate flow traffic where some users own several IPs, detect aliased
+// IP pairs from TT-signature similarity, and score against the hidden
+// ground truth. Also shows the LSH-accelerated candidate path.
+//
+//   $ ./build/examples/multiusage_hunt
+
+#include <cstdio>
+#include <set>
+
+#include "apps/multiusage.h"
+#include "core/scheme.h"
+#include "data/flow_generator.h"
+#include "lsh/lsh_index.h"
+
+using namespace commsig;
+
+int main() {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 200;
+  cfg.num_external_hosts = 10000;
+  cfg.num_windows = 2;
+  cfg.multi_ip_user_fraction = 0.15;
+  cfg.seed = 1234;
+  FlowDataset flows = FlowTraceGenerator(cfg).Generate();
+  auto windows = flows.Windows();
+
+  // True aliased pairs (hidden from the detector).
+  std::set<std::pair<NodeId, NodeId>> truth;
+  for (const auto& [user, hosts] : flows.hosts_of_user) {
+    for (size_t i = 0; i < hosts.size(); ++i) {
+      for (size_t j = i + 1; j < hosts.size(); ++j) {
+        truth.emplace(std::min(hosts[i], hosts[j]),
+                      std::max(hosts[i], hosts[j]));
+      }
+    }
+  }
+  std::printf("hosts: %zu, true aliased pairs: %zu\n",
+              flows.local_hosts.size(), truth.size());
+
+  // TT is the paper's scheme of choice for multiusage (Table I + Fig. 5).
+  auto tt = *CreateScheme(
+      "tt", {.k = 10, .restrict_to_opposite_partition = true});
+  auto sigs = tt->ComputeAll(windows[0], flows.local_hosts);
+
+  MultiusageDetector detector(
+      SignatureDistance(DistanceKind::kScaledHellinger),
+      {.threshold = 0.5});
+  auto pairs = detector.Detect(flows.local_hosts, sigs);
+
+  size_t hits = 0;
+  for (const auto& p : pairs) {
+    if (truth.contains({std::min(p.a, p.b), std::max(p.a, p.b)})) ++hits;
+  }
+  std::printf("\nbrute-force detector: %zu pairs reported, %zu correct "
+              "(precision %.2f, recall %.2f)\n",
+              pairs.size(), hits,
+              pairs.empty() ? 0.0 : double(hits) / pairs.size(),
+              truth.empty() ? 1.0 : double(hits) / truth.size());
+  for (size_t i = 0; i < std::min<size_t>(pairs.size(), 5); ++i) {
+    const auto& p = pairs[i];
+    std::printf("  %s ~ %s  (dist %.3f)%s\n",
+                flows.interner.LabelOf(p.a).c_str(),
+                flows.interner.LabelOf(p.b).c_str(), p.distance,
+                truth.contains({std::min(p.a, p.b), std::max(p.a, p.b)})
+                    ? "  [true alias]"
+                    : "");
+  }
+
+  // The LSH path: near-linear candidate generation instead of O(n^2).
+  LshIndex index;
+  for (size_t i = 0; i < sigs.size(); ++i) {
+    index.Insert(flows.local_hosts[i], sigs[i]);
+  }
+  auto candidates = index.SimilarPairs(/*min_similarity=*/0.3);
+  size_t lsh_hits = 0;
+  for (const auto& c : candidates) {
+    if (truth.contains({c.a, c.b})) ++lsh_hits;
+  }
+  std::printf("\nLSH candidate pairs: %zu (vs %zu brute-force "
+              "comparisons), true aliases among them: %zu\n",
+              candidates.size(),
+              sigs.size() * (sigs.size() - 1) / 2, lsh_hits);
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "apps/anomaly.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace commsig {
+
+std::vector<Anomaly> DetectAnomalies(std::span<const NodeId> nodes,
+                                     std::span<const Signature> sigs_t,
+                                     std::span<const Signature> sigs_t1,
+                                     SignatureDistance dist,
+                                     double deviation_threshold) {
+  assert(nodes.size() == sigs_t.size());
+  assert(nodes.size() == sigs_t1.size());
+  const size_t n = nodes.size();
+
+  std::vector<double> persistence(n);
+  RunningStats stats;
+  for (size_t v = 0; v < n; ++v) {
+    persistence[v] = 1.0 - dist(sigs_t[v], sigs_t1[v]);
+    stats.Add(persistence[v]);
+  }
+  const double mean = stats.Mean();
+  const double sd = std::max(stats.StdDev(), 1e-12);
+
+  std::vector<Anomaly> anomalies;
+  for (size_t v = 0; v < n; ++v) {
+    const double below = (mean - persistence[v]) / sd;
+    if (below >= deviation_threshold) {
+      anomalies.push_back({nodes[v], persistence[v], below});
+    }
+  }
+  std::sort(anomalies.begin(), anomalies.end(),
+            [](const Anomaly& a, const Anomaly& b) {
+              if (a.deviations_below_mean != b.deviations_below_mean) {
+                return a.deviations_below_mean > b.deviations_below_mean;
+              }
+              return a.node < b.node;
+            });
+  return anomalies;
+}
+
+AnomalyMonitor::AnomalyMonitor(std::span<const NodeId> nodes,
+                               SignatureDistance dist, Options options)
+    : nodes_(nodes.begin(), nodes.end()),
+      dist_(dist),
+      options_(options),
+      history_(nodes.size()) {}
+
+std::vector<Anomaly> AnomalyMonitor::Observe(std::vector<Signature> sigs) {
+  assert(sigs.size() == nodes_.size());
+  std::vector<Anomaly> anomalies;
+  ++windows_seen_;
+  if (windows_seen_ == 1) {
+    previous_ = std::move(sigs);
+    return anomalies;
+  }
+
+  const size_t n = nodes_.size();
+  std::vector<double> persistence(n);
+  RunningStats population;
+  for (size_t v = 0; v < n; ++v) {
+    persistence[v] = 1.0 - dist_(previous_[v], sigs[v]);
+    population.Add(persistence[v]);
+  }
+
+  for (size_t v = 0; v < n; ++v) {
+    // Use the node's own history once it is deep enough; otherwise fall
+    // back to this transition's population statistics.
+    double mean, sd;
+    if (history_[v].count() >= options_.min_history) {
+      mean = history_[v].Mean();
+      sd = history_[v].StdDev();
+    } else {
+      mean = population.Mean();
+      sd = population.StdDev();
+    }
+    sd = std::max(sd, options_.min_stddev);
+    const double below = (mean - persistence[v]) / sd;
+    if (below >= options_.deviation_threshold) {
+      anomalies.push_back({nodes_[v], persistence[v], below});
+    }
+  }
+  // Anomalous transitions are *not* folded into a node's history: a real
+  // behaviour change should keep standing out until behaviour re-stabilizes
+  // under the new regime (history only absorbs values that looked normal).
+  for (size_t v = 0; v < n; ++v) {
+    bool flagged = std::any_of(
+        anomalies.begin(), anomalies.end(),
+        [&](const Anomaly& a) { return a.node == nodes_[v]; });
+    if (!flagged) history_[v].Add(persistence[v]);
+  }
+
+  std::sort(anomalies.begin(), anomalies.end(),
+            [](const Anomaly& a, const Anomaly& b) {
+              if (a.deviations_below_mean != b.deviations_below_mean) {
+                return a.deviations_below_mean > b.deviations_below_mean;
+              }
+              return a.node < b.node;
+            });
+  previous_ = std::move(sigs);
+  return anomalies;
+}
+
+}  // namespace commsig

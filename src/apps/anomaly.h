@@ -1,0 +1,80 @@
+#ifndef COMMSIG_APPS_ANOMALY_H_
+#define COMMSIG_APPS_ANOMALY_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/stats.h"
+#include "core/distance.h"
+#include "core/signature.h"
+
+namespace commsig {
+
+/// One flagged behaviour change.
+struct Anomaly {
+  NodeId node = kInvalidNode;
+  /// Self-persistence 1 − Dist(σ_t(v), σ_{t+1}(v)) at the flagged
+  /// transition.
+  double persistence = 0.0;
+  /// How many population standard deviations below the mean persistence
+  /// this transition sits (positive = below mean).
+  double deviations_below_mean = 0.0;
+};
+
+/// Anomaly detection (Section II-D): report nodes whose behaviour changed
+/// abruptly between consecutive windows, i.e. whose self-persistence is
+/// unusually small. Per Table I the task needs persistence + robustness,
+/// which is why RWR-family schemes suit it best.
+///
+/// One-shot form: compare one window transition against the population of
+/// focal persistences.
+std::vector<Anomaly> DetectAnomalies(std::span<const NodeId> nodes,
+                                     std::span<const Signature> sigs_t,
+                                     std::span<const Signature> sigs_t1,
+                                     SignatureDistance dist,
+                                     double deviation_threshold = 2.0);
+
+/// Stateful monitor for streams of windows: feed each window's focal
+/// signatures in order; after the second window every Observe call reports
+/// the nodes whose latest transition persistence falls far below that
+/// node's own historical mean (population statistics are used until a node
+/// has enough history).
+class AnomalyMonitor {
+ public:
+  struct Options {
+    /// Flag when persistence < node-mean − threshold·node-stddev.
+    double deviation_threshold = 2.0;
+    /// Transitions required before a node's own history is trusted.
+    size_t min_history = 3;
+    /// Floor on the stddev used in the test, so long-stable nodes do not
+    /// alert on microscopic wobbles.
+    double min_stddev = 0.02;
+  };
+
+  AnomalyMonitor(std::span<const NodeId> nodes, SignatureDistance dist)
+      : AnomalyMonitor(nodes, dist, Options()) {}
+  AnomalyMonitor(std::span<const NodeId> nodes, SignatureDistance dist,
+                 Options options);
+
+  /// Consumes the next window's signatures (index-aligned with the node
+  /// list given at construction). Returns anomalies for the transition
+  /// from the previous window; empty on the first call.
+  std::vector<Anomaly> Observe(std::vector<Signature> sigs);
+
+  /// Number of windows consumed.
+  size_t windows_seen() const { return windows_seen_; }
+
+ private:
+  std::vector<NodeId> nodes_;
+  SignatureDistance dist_;
+  Options options_;
+  std::vector<Signature> previous_;
+  std::vector<RunningStats> history_;
+  size_t windows_seen_ = 0;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_APPS_ANOMALY_H_

@@ -1,0 +1,80 @@
+#include "apps/masquerade_detector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace commsig {
+
+MasqueradeDetection MasqueradeDetector::Detect(
+    std::span<const NodeId> nodes, std::span<const Signature> sigs_t,
+    std::span<const Signature> sigs_t1) const {
+  assert(nodes.size() == sigs_t.size());
+  assert(nodes.size() == sigs_t1.size());
+  const size_t n = nodes.size();
+  MasqueradeDetection out;
+
+  // Self-persistence A[v,v] for every focal node, and δ.
+  std::vector<double> self_persistence(n);
+  double sum = 0.0;
+  for (size_t v = 0; v < n; ++v) {
+    self_persistence[v] = 1.0 - dist_(sigs_t[v], sigs_t1[v]);
+    sum += self_persistence[v];
+  }
+  out.delta = options_.fixed_delta >= 0.0
+                  ? options_.fixed_delta
+                  : sum / (options_.delta_divisor * static_cast<double>(n));
+
+  for (size_t v = 0; v < n; ++v) {
+    if (self_persistence[v] > out.delta) {
+      out.non_suspects.push_back(nodes[v]);  // Step 3-4
+      continue;
+    }
+    // Step 6: cross persistences A[v,u] = 1 − Dist(σ_t(v), σ_{t+1}(u)).
+    std::vector<std::pair<double, size_t>> ranked;  // (A[v,u], u index)
+    ranked.reserve(n - 1);
+    for (size_t u = 0; u < n; ++u) {
+      if (u == v) continue;
+      ranked.emplace_back(1.0 - dist_(sigs_t[v], sigs_t1[u]), u);
+    }
+    const size_t ell = std::min(options_.top_ell, ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + ell, ranked.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    // Step 7: the best-ranked u within the top-ℓ that is itself
+    // non-persistent (its label changed hands too).
+    bool found = false;
+    for (size_t r = 0; r < ell; ++r) {
+      size_t u = ranked[r].second;
+      if (self_persistence[u] <= out.delta) {
+        out.detected.emplace_back(nodes[v], nodes[u]);
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.non_suspects.push_back(nodes[v]);  // Step 9
+  }
+  return out;
+}
+
+double MasqueradeAccuracy(const MasqueradeDetection& detection,
+                          const MasqueradePlan& plan,
+                          std::span<const NodeId> focal_nodes) {
+  if (focal_nodes.empty()) return 0.0;
+  std::unordered_set<NodeId> perturbed;
+  for (const auto& [v, u] : plan.mapping) perturbed.insert(v);
+
+  size_t correct = 0;
+  for (NodeId v : detection.non_suspects) {
+    if (!perturbed.contains(v)) ++correct;  // |M ∩ (V − P)|
+  }
+  for (const auto& [v, u] : detection.detected) {
+    if (plan.Contains(v, u)) ++correct;  // |O_P ∩ E_P|
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(focal_nodes.size());
+}
+
+}  // namespace commsig

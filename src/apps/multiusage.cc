@@ -1,0 +1,32 @@
+#include "apps/multiusage.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace commsig {
+
+std::vector<MultiusagePair> MultiusageDetector::Detect(
+    std::span<const NodeId> nodes, std::span<const Signature> sigs) const {
+  assert(nodes.size() == sigs.size());
+  std::vector<MultiusagePair> pairs;
+  for (size_t i = 0; i < sigs.size(); ++i) {
+    for (size_t j = i + 1; j < sigs.size(); ++j) {
+      double d = dist_(sigs[i], sigs[j]);
+      if (d <= options_.threshold) {
+        pairs.push_back({nodes[i], nodes[j], d});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const MultiusagePair& x, const MultiusagePair& y) {
+              if (x.distance != y.distance) return x.distance < y.distance;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  if (options_.max_pairs > 0 && pairs.size() > options_.max_pairs) {
+    pairs.resize(options_.max_pairs);
+  }
+  return pairs;
+}
+
+}  // namespace commsig

@@ -1,0 +1,45 @@
+#include "apps/scalable_multiusage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace commsig {
+
+ScalableMultiusageDetector::Detection ScalableMultiusageDetector::Detect(
+    std::span<const NodeId> nodes, std::span<const Signature> sigs) const {
+  assert(nodes.size() == sigs.size());
+  Detection out;
+
+  LshIndex index(options_.lsh);
+  std::unordered_map<NodeId, size_t> position;
+  position.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    index.Insert(nodes[i], sigs[i]);
+    position.emplace(nodes[i], i);
+  }
+
+  for (const LshIndex::Pair& candidate :
+       index.SimilarPairs(options_.min_candidate_similarity)) {
+    size_t i = position.at(candidate.a);
+    size_t j = position.at(candidate.b);
+    ++out.exact_evaluations;
+    double d = dist_(sigs[i], sigs[j]);
+    if (d <= options_.threshold) {
+      out.pairs.push_back({candidate.a, candidate.b, d});
+    }
+  }
+
+  std::sort(out.pairs.begin(), out.pairs.end(),
+            [](const MultiusagePair& x, const MultiusagePair& y) {
+              if (x.distance != y.distance) return x.distance < y.distance;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  if (options_.max_pairs > 0 && out.pairs.size() > options_.max_pairs) {
+    out.pairs.resize(options_.max_pairs);
+  }
+  return out;
+}
+
+}  // namespace commsig

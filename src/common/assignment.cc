@@ -1,0 +1,73 @@
+#include "common/assignment.h"
+
+#include <cassert>
+#include <limits>
+
+namespace commsig {
+
+std::vector<size_t> SolveAssignment(const std::vector<double>& costs,
+                                    size_t rows, size_t cols,
+                                    double* total_cost) {
+  assert(rows <= cols);
+  assert(costs.size() == rows * cols);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Classic JV shortest augmenting path with 1-based sentinel column 0.
+  // u/v are the dual potentials; way[j] is the alternating-path parent.
+  std::vector<double> u(rows + 1, 0.0), v(cols + 1, 0.0);
+  std::vector<size_t> match(cols + 1, 0);  // column -> row (1-based, 0=free)
+  std::vector<size_t> way(cols + 1, 0);
+
+  for (size_t i = 1; i <= rows; ++i) {
+    match[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(cols + 1, kInf);
+    std::vector<bool> used(cols + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = match[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        double cur = costs[(i0 - 1) * cols + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<size_t> assignment(rows, 0);
+  double cost = 0.0;
+  for (size_t j = 1; j <= cols; ++j) {
+    if (match[j] != 0) {
+      assignment[match[j] - 1] = j - 1;
+      cost += costs[(match[j] - 1) * cols + (j - 1)];
+    }
+  }
+  if (total_cost != nullptr) *total_cost = cost;
+  return assignment;
+}
+
+}  // namespace commsig

@@ -1,0 +1,28 @@
+#ifndef COMMSIG_COMMON_ASSIGNMENT_H_
+#define COMMSIG_COMMON_ASSIGNMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace commsig {
+
+/// Solves the rectangular linear assignment problem: given an n x m cost
+/// matrix (row-major), find a one-to-one assignment of rows to columns
+/// minimizing total cost. Requires n <= m (pad costs to transpose
+/// otherwise). Implementation: the O(n²·m) shortest-augmenting-path
+/// Hungarian algorithm (Jonker-Volgenant style with potentials).
+///
+/// Used by the de-anonymization attack, where greedy margin-ordered
+/// matching is fast but suboptimal; the Hungarian assignment is the
+/// strongest (distance-sum-minimizing) adversary.
+///
+/// Returns `assignment` with assignment[row] = column (always a valid
+/// complete assignment), and the minimal total cost via `total_cost` if
+/// non-null.
+std::vector<size_t> SolveAssignment(const std::vector<double>& costs,
+                                    size_t rows, size_t cols,
+                                    double* total_cost = nullptr);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_ASSIGNMENT_H_

@@ -1,0 +1,88 @@
+#include "common/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace commsig {
+
+std::vector<std::string> SplitCsvLine(std::string_view line, char delim) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t pos = line.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+CsvReader::CsvReader(const std::string& path, char delim)
+    : in_(path), delim_(delim) {
+  if (!in_.is_open()) {
+    status_ = Status::IOError("cannot open " + path);
+  }
+}
+
+bool CsvReader::Next(std::vector<std::string>& fields) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    ++line_number_;
+    fields = SplitCsvLine(line, delim_);
+    return true;
+  }
+  return false;
+}
+
+CsvWriter::CsvWriter(const std::string& path, char delim)
+    : out_(path), delim_(delim) {
+  if (!out_.is_open()) {
+    status_ = Status::IOError("cannot open " + path + " for writing");
+  }
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << delim_;
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+Status CsvWriter::Close() {
+  out_.flush();
+  if (!out_.good()) return Status::IOError("write failed");
+  out_.close();
+  return Status::OK();
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("bad double: " + buf);
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("bad integer: " + buf);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace commsig

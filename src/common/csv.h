@@ -1,0 +1,70 @@
+#ifndef COMMSIG_COMMON_CSV_H_
+#define COMMSIG_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace commsig {
+
+/// Splits one CSV line on `delim`. Fields are not unescaped (commsig's trace
+/// formats never quote fields); empty fields are preserved.
+std::vector<std::string> SplitCsvLine(std::string_view line, char delim = ',');
+
+/// Minimal line-oriented CSV reader for commsig's trace and edge-list files.
+/// No quoting/escaping support — the on-disk formats are plain delimited
+/// numbers and labels without embedded delimiters.
+class CsvReader {
+ public:
+  /// Opens `path`; check `status()` before use.
+  explicit CsvReader(const std::string& path, char delim = ',');
+
+  /// OK if the file opened successfully.
+  const Status& status() const { return status_; }
+
+  /// Reads the next non-empty line into `fields`. Returns false at EOF.
+  /// Lines starting with '#' are skipped as comments.
+  bool Next(std::vector<std::string>& fields);
+
+  /// Number of data lines consumed so far (for error messages).
+  size_t line_number() const { return line_number_; }
+
+ private:
+  std::ifstream in_;
+  char delim_;
+  Status status_;
+  size_t line_number_ = 0;
+};
+
+/// Minimal CSV writer matched to CsvReader.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path, char delim = ',');
+
+  const Status& status() const { return status_; }
+
+  /// Writes one row; fields must not contain the delimiter or newlines.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and reports any I/O error.
+  Status Close();
+
+ private:
+  std::ofstream out_;
+  char delim_;
+  Status status_;
+};
+
+/// Parses a double, rejecting trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a non-negative integer, rejecting trailing garbage.
+Result<uint64_t> ParseUint(std::string_view text);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_CSV_H_

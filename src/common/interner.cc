@@ -1,0 +1,19 @@
+#include "common/interner.h"
+
+namespace commsig {
+
+NodeId Interner::Intern(std::string_view label) {
+  auto it = index_.find(std::string(label));
+  if (it != index_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.emplace_back(label);
+  index_.emplace(labels_.back(), id);
+  return id;
+}
+
+NodeId Interner::Find(std::string_view label) const {
+  auto it = index_.find(std::string(label));
+  return it == index_.end() ? kInvalidNode : it->second;
+}
+
+}  // namespace commsig

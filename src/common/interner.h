@@ -1,0 +1,58 @@
+#ifndef COMMSIG_COMMON_INTERNER_H_
+#define COMMSIG_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace commsig {
+
+/// Dense integer id of a graph node. Node ids index directly into the
+/// adjacency arrays of CommGraph, so they must form a contiguous range
+/// [0, num_nodes) — the Interner below provides that mapping from raw
+/// observed labels (IP addresses, user names, table names, ...).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Bidirectional mapping between string labels and dense NodeIds.
+///
+/// Labels are interned in first-seen order, so id assignment is
+/// deterministic for a fixed input trace. The interner is shared across all
+/// time windows of a data set: every window graph indexes the same node
+/// universe, which is what lets signatures from different windows be
+/// compared entry-by-entry.
+class Interner {
+ public:
+  Interner() = default;
+
+  // Interned labels are referenced by string_view into storage owned here;
+  // moving would be fine but copying is cheap enough and keeps usage simple.
+  Interner(const Interner&) = default;
+  Interner& operator=(const Interner&) = default;
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+
+  /// Returns the id for `label`, interning it if new.
+  NodeId Intern(std::string_view label);
+
+  /// Returns the id for `label`, or kInvalidNode if it was never interned.
+  NodeId Find(std::string_view label) const;
+
+  /// Label for a previously returned id. `id` must be < size().
+  const std::string& LabelOf(NodeId id) const { return labels_[id]; }
+
+  /// Number of distinct labels interned so far.
+  size_t size() const { return labels_.size(); }
+
+ private:
+  std::unordered_map<std::string, NodeId> index_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_INTERNER_H_

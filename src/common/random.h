@@ -1,0 +1,101 @@
+#ifndef COMMSIG_COMMON_RANDOM_H_
+#define COMMSIG_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace commsig {
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer. Used both for
+/// seeding and as a cheap stateless hash of integer keys.
+uint64_t SplitMix64(uint64_t x);
+
+/// Deterministic, seedable PRNG (xoshiro256**). Every randomized component
+/// of commsig takes an explicit seed so experiments are reproducible; this
+/// generator is small, fast, and has no global state.
+///
+/// Satisfies the essentials of UniformRandomBitGenerator, but commsig code
+/// uses the member helpers below rather than <random> distributions (whose
+/// outputs differ across standard library implementations).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit state words by running SplitMix64 from `seed`.
+  explicit Rng(uint64_t seed = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double UniformDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed sample with mean `lambda >= 0`. Uses Knuth's
+  /// algorithm for small lambda and a normal approximation above 64.
+  uint64_t Poisson(double lambda);
+
+  /// Standard normal sample (Box-Muller, one value per call).
+  double Gaussian();
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Total weight must be positive. O(n) per call; use
+  /// DiscreteSampler for repeated draws from the same distribution.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Forks an independent generator; the child stream is decorrelated from
+  /// the parent via SplitMix64 on a fresh draw.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Walker alias table: O(1) sampling from a fixed discrete distribution
+/// after O(n) preprocessing. Used by the trace generators, which draw
+/// millions of destinations from heavy-tailed popularity distributions.
+class DiscreteSampler {
+ public:
+  /// Builds the alias table for the given (unnormalized, non-negative)
+  /// weights. At least one weight must be positive.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability weights[i] / sum.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_RANDOM_H_

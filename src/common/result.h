@@ -1,0 +1,60 @@
+#ifndef COMMSIG_COMMON_RESULT_H_
+#define COMMSIG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace commsig {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent — the usual `StatusOr` idiom.
+///
+/// Accessing the value of a failed Result aborts in debug builds; callers
+/// must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Success: wraps a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure: wraps a non-OK status. Constructing from an OK status is a
+  /// programming error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Only valid when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_RESULT_H_

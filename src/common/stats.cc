@@ -1,0 +1,77 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace commsig {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank > 0) --rank;  // nearest-rank, 0-based
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.empty()) return 0.0;
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace commsig

@@ -1,0 +1,52 @@
+#ifndef COMMSIG_COMMON_STATS_H_
+#define COMMSIG_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace commsig {
+
+/// Streaming mean / variance accumulator (Welford). Used throughout the
+/// evaluation layer to summarize per-node property values, e.g. the
+/// persistence/uniqueness means and standard deviations behind the paper's
+/// Figure 1 ellipses.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Incorporates one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford update).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  /// Mean of observations; 0 when empty.
+  double Mean() const { return mean_; }
+  /// Population variance; 0 with fewer than two observations.
+  double Variance() const;
+  /// Population standard deviation.
+  double StdDev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of `values` (the vector is copied and partially sorted).
+/// `q` in [0,1]; uses the nearest-rank definition. Returns 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Pearson correlation coefficient of two equal-length series. Returns 0 if
+/// either series is constant or the lengths differ/are empty.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_STATS_H_

@@ -1,0 +1,57 @@
+#ifndef COMMSIG_COMMON_THREAD_POOL_H_
+#define COMMSIG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace commsig {
+
+/// Fixed-size worker pool for the embarrassingly parallel parts of the
+/// pipeline — per-focal-node signature computation and pairwise distance
+/// scans. Tasks are plain std::function<void()>; completion is awaited
+/// with Wait(). No task may throw (the library is exception-free).
+class ThreadPool {
+ public:
+  /// `num_threads` 0 uses the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool and blocks until all
+/// iterations complete. Iterations are batched into contiguous chunks to
+/// amortize queue overhead.
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_THREAD_POOL_H_

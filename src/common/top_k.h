@@ -1,0 +1,56 @@
+#ifndef COMMSIG_COMMON_TOP_K_H_
+#define COMMSIG_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace commsig {
+
+/// Keeps the k largest items seen so far under `Compare` (a strict
+/// greater-than ordering: Compare(a, b) == true means a outranks b).
+///
+/// Implemented as a size-bounded min-heap on the kept items, so inserting n
+/// items costs O(n log k). `Take()` returns the kept items ranked best-first.
+template <typename T, typename Compare>
+class TopK {
+ public:
+  explicit TopK(size_t k, Compare cmp = Compare()) : k_(k), cmp_(cmp) {
+    heap_.reserve(k);
+  }
+
+  /// Offers one item; keeps it iff it outranks the current worst kept item
+  /// (or fewer than k items are kept).
+  void Offer(const T& item) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back(item);
+      std::push_heap(heap_.begin(), heap_.end(), cmp_);
+      return;
+    }
+    // heap_.front() is the *worst* kept item under cmp_ (min-heap via
+    // greater-than comparator).
+    if (cmp_(item, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), cmp_);
+      heap_.back() = item;
+      std::push_heap(heap_.begin(), heap_.end(), cmp_);
+    }
+  }
+
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts the kept items, best first. The selector is left empty.
+  std::vector<T> Take() {
+    std::sort(heap_.begin(), heap_.end(), cmp_);
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  Compare cmp_;
+  std::vector<T> heap_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_TOP_K_H_

@@ -1,0 +1,80 @@
+#ifndef COMMSIG_CORE_DISTANCE_H_
+#define COMMSIG_CORE_DISTANCE_H_
+
+#include <span>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/signature.h"
+
+namespace commsig {
+
+/// The four signature distance functions of Section IV-B. All map a pair of
+/// signatures into [0, 1]; 0 means identical support (and, for the weighted
+/// variants, identical weights), 1 means disjoint support.
+enum class DistanceKind {
+  /// Jaccard: 1 - |S1 ∩ S2| / |S1 ∪ S2|. Ignores weights.
+  kJaccard,
+  /// Weighted Dice: 1 - Σ_{j∈∩}(w1j + w2j) / Σ_{j∈∪}(w1j + w2j).
+  kDice,
+  /// Scaled Dice: 1 - Σ_{j∈∩} min(w1j, w2j) / Σ_{j∈∪} max(w1j, w2j) —
+  /// rewards signatures whose common nodes also carry similar weights.
+  kScaledDice,
+  /// Scaled Hellinger: 1 - Σ_{j∈∩} sqrt(w1j·w2j) / Σ_{j∈∪} max(w1j, w2j) —
+  /// like ScaledDice but with a geometric-mean numerator that penalizes
+  /// unequal weights less harshly.
+  kScaledHellinger,
+
+  // --- Extensions beyond the paper's four (Section IV-B notes "other
+  // functions are certainly suitable"). Not included in AllDistanceKinds()
+  // so the figure benches keep the paper's lineup. ---
+
+  /// Cosine: 1 - <w1, w2> / (|w1|·|w2|). Scale-invariant in each
+  /// signature's weights.
+  kCosine,
+  /// Overlap (Szymkiewicz-Simpson): 1 - |S1 ∩ S2| / min(|S1|, |S2|).
+  /// Insensitive to signature-length mismatch; useful when comparing
+  /// signatures built with different k.
+  kOverlap,
+};
+
+/// The paper's four kinds, in its presentation order.
+std::span<const DistanceKind> AllDistanceKinds();
+
+/// The paper's four plus the extensions.
+std::span<const DistanceKind> AllDistanceKindsExtended();
+
+/// Short name: "jac", "dice", "sdice", "shel".
+std::string_view DistanceName(DistanceKind kind);
+
+/// Inverse of DistanceName; InvalidArgument for unknown names.
+Result<DistanceKind> ParseDistanceName(std::string_view name);
+
+/// Computes Dist_kind(a, b).
+///
+/// Edge cases (both signatures must come from schemes that emit positive
+/// weights): two empty signatures are at distance 0 — an individual with no
+/// observable communication is "identical to itself"; empty vs non-empty is
+/// distance 1.
+double Distance(DistanceKind kind, const Signature& a, const Signature& b);
+
+/// Convenience value type bundling a kind with its evaluation; cheap to
+/// copy, usable as a function object.
+class SignatureDistance {
+ public:
+  explicit SignatureDistance(DistanceKind kind) : kind_(kind) {}
+
+  double operator()(const Signature& a, const Signature& b) const {
+    return Distance(kind_, a, b);
+  }
+
+  DistanceKind kind() const { return kind_; }
+  std::string_view name() const { return DistanceName(kind_); }
+
+ private:
+  DistanceKind kind_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_CORE_DISTANCE_H_

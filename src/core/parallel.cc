@@ -1,0 +1,33 @@
+#include "core/parallel.h"
+
+#include "core/distance.h"
+
+namespace commsig {
+
+std::vector<Signature> ComputeAllParallel(const SignatureScheme& scheme,
+                                          const CommGraph& g,
+                                          std::span<const NodeId> nodes,
+                                          ThreadPool& pool) {
+  std::vector<Signature> out(nodes.size());
+  ParallelFor(pool, nodes.size(), [&](size_t i) {
+    out[i] = scheme.Compute(g, nodes[i]);
+  });
+  return out;
+}
+
+std::vector<double> PairwiseDistancesParallel(
+    std::span<const Signature> sigs, SignatureDistance dist,
+    ThreadPool& pool) {
+  const size_t n = sigs.size();
+  std::vector<double> matrix(n * n, 0.0);
+  ParallelFor(pool, n, [&](size_t i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = dist(sigs[i], sigs[j]);
+      matrix[i * n + j] = d;
+      matrix[j * n + i] = d;
+    }
+  });
+  return matrix;
+}
+
+}  // namespace commsig

@@ -1,0 +1,30 @@
+#ifndef COMMSIG_CORE_PARALLEL_H_
+#define COMMSIG_CORE_PARALLEL_H_
+
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/distance.h"
+#include "core/scheme.h"
+
+namespace commsig {
+
+/// Parallel counterpart of SignatureScheme::ComputeAll: computes the
+/// signatures of `nodes` across the pool's workers. Safe because schemes
+/// are immutable and Compute is const with no shared mutable state.
+/// Results are index-aligned with `nodes`, identical to the serial path.
+std::vector<Signature> ComputeAllParallel(const SignatureScheme& scheme,
+                                          const CommGraph& g,
+                                          std::span<const NodeId> nodes,
+                                          ThreadPool& pool);
+
+/// Parallel pairwise distance matrix (row-major n x n, zero diagonal) —
+/// the inner loop of uniqueness scans and multiusage detection at scale.
+std::vector<double> PairwiseDistancesParallel(
+    std::span<const Signature> sigs, SignatureDistance dist,
+    ThreadPool& pool);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_CORE_PARALLEL_H_

@@ -1,0 +1,109 @@
+#include "core/rwr.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace commsig {
+
+std::string RwrScheme::name() const {
+  char buf[64];
+  if (rwr_.max_hops > 0) {
+    std::snprintf(buf, sizeof(buf), "rwr(c=%g,h=%zu)", rwr_.reset,
+                  rwr_.max_hops);
+  } else {
+    std::snprintf(buf, sizeof(buf), "rwr(c=%g)", rwr_.reset);
+  }
+  return buf;
+}
+
+SchemeTraits RwrScheme::traits() const {
+  if (rwr_.max_hops > 0) {
+    // RWR^h: locality + transitivity -> all three properties (Table III).
+    return {{GraphCharacteristic::kLocality,
+             GraphCharacteristic::kTransitivity},
+            {SignatureProperty::kPersistence, SignatureProperty::kUniqueness,
+             SignatureProperty::kRobustness}};
+  }
+  return {{GraphCharacteristic::kTransitivity,
+           GraphCharacteristic::kEngagement},
+          {SignatureProperty::kPersistence, SignatureProperty::kRobustness}};
+}
+
+std::vector<double> RwrScheme::StationaryVector(const CommGraph& g,
+                                                NodeId v) const {
+  const size_t n = g.NumNodes();
+  const bool symmetric = rwr_.traversal == TraversalMode::kSymmetric;
+  const double c = rwr_.reset;
+
+  // Total traversable weight per node (the row normalizer of P).
+  std::vector<double> norm(n, 0.0);
+  for (NodeId x = 0; x < n; ++x) {
+    norm[x] = g.OutWeight(x) + (symmetric ? g.InWeight(x) : 0.0);
+  }
+
+  std::vector<double> r(n, 0.0), next(n, 0.0);
+  r[v] = 1.0;
+
+  const size_t iterations =
+      rwr_.max_hops > 0 ? rwr_.max_hops : rwr_.max_iterations;
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId x = 0; x < n; ++x) {
+      const double mass = r[x];
+      if (mass == 0.0) continue;
+      if (norm[x] <= 0.0) {
+        // Nodes with no traversable edges return their mass to the start
+        // node, preserving a total probability of 1.
+        dangling += mass;
+        continue;
+      }
+      const double scale = (1.0 - c) * mass / norm[x];
+      for (const Edge& e : g.OutEdges(x)) {
+        next[e.node] += scale * e.weight;
+      }
+      if (symmetric) {
+        for (const Edge& e : g.InEdges(x)) {
+          next[e.node] += scale * e.weight;
+        }
+      }
+    }
+    // Reset mass: c from every walking node, plus everything a dangling
+    // node would have carried.
+    double walked = 0.0;
+    for (NodeId x = 0; x < n; ++x) {
+      if (norm[x] > 0.0) walked += r[x];
+    }
+    next[v] += c * walked + dangling;
+
+    if (rwr_.max_hops == 0) {
+      double delta = 0.0;
+      for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - r[i]);
+      r.swap(next);
+      if (delta < rwr_.tolerance) break;
+    } else {
+      r.swap(next);
+    }
+  }
+  return r;
+}
+
+Signature RwrScheme::Compute(const CommGraph& g, NodeId v) const {
+  std::vector<double> r = StationaryVector(g, v);
+
+  std::vector<Signature::Entry> candidates;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (r[u] <= 0.0) continue;
+    if (!KeepCandidate(g, v, u)) continue;
+    candidates.push_back({u, r[u]});
+  }
+  return Signature::FromTopK(std::move(candidates), options_.k);
+}
+
+std::unique_ptr<SignatureScheme> MakeRwr(SchemeOptions options,
+                                         RwrOptions rwr_options) {
+  return std::make_unique<RwrScheme>(options, rwr_options);
+}
+
+}  // namespace commsig

@@ -1,0 +1,49 @@
+#ifndef COMMSIG_CORE_RWR_H_
+#define COMMSIG_CORE_RWR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+
+namespace commsig {
+
+/// Random Walk with Resets (paper Definition 5): the signature of `i` holds
+/// the k nodes with the largest steady-state occupancy probability of a
+/// random walk that follows edges with probability proportional to edge
+/// weight and resets to `i` with probability c — i.e. personalized PageRank
+/// rooted at `i`.
+///
+/// RWR^h truncates the power iteration at h steps, restricting influence to
+/// the h-hop neighbourhood; `max_hops == 0` iterates to convergence (full
+/// RWR). With c = 0 and h = 1 the scheme coincides exactly with Top Talkers.
+///
+/// The walk traverses edges symmetrically by default (see TraversalMode):
+/// on one-way monitored traces, directed multi-hop walks die at sink nodes
+/// after one step, while the symmetric walk recovers the paper's
+/// local -> external -> local transitivity.
+class RwrScheme final : public SignatureScheme {
+ public:
+  RwrScheme(SchemeOptions options, RwrOptions rwr_options)
+      : SignatureScheme(options), rwr_(rwr_options) {}
+
+  std::string name() const override;
+
+  SchemeTraits traits() const override;
+
+  Signature Compute(const CommGraph& g, NodeId v) const override;
+
+  /// Exposes the full occupancy-probability vector for node `v` (before
+  /// top-k truncation). Probabilities sum to 1; index = node id. Used by
+  /// tests and by ablation benches.
+  std::vector<double> StationaryVector(const CommGraph& g, NodeId v) const;
+
+  const RwrOptions& rwr_options() const { return rwr_; }
+
+ private:
+  RwrOptions rwr_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_CORE_RWR_H_

@@ -1,0 +1,99 @@
+#include "core/rwr_push.h"
+
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+namespace commsig {
+
+std::string RwrPushScheme::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rwr-push(c=%g,eps=%g)", push_.reset,
+                push_.epsilon);
+  return buf;
+}
+
+std::vector<double> RwrPushScheme::ApproximateVector(const CommGraph& g,
+                                                     NodeId v,
+                                                     size_t* pushes) const {
+  const size_t n = g.NumNodes();
+  const bool symmetric = push_.traversal == TraversalMode::kSymmetric;
+  const double c = push_.reset;
+
+  std::vector<double> norm(n, 0.0);
+  for (NodeId x = 0; x < n; ++x) {
+    norm[x] = g.OutWeight(x) + (symmetric ? g.InWeight(x) : 0.0);
+  }
+
+  std::vector<double> p(n, 0.0), r(n, 0.0);
+  std::vector<bool> queued(n, false);
+  std::deque<NodeId> queue;
+  r[v] = 1.0;
+  queue.push_back(v);
+  queued[v] = true;
+
+  size_t push_count = 0;
+  auto enqueue_if_hot = [&](NodeId u) {
+    // Nodes with no traversable edges are pushed too (their threshold is
+    // any positive residual) so their mass returns to the start.
+    const double threshold =
+        norm[u] > 0.0 ? push_.epsilon * norm[u] : 1e-12;
+    if (!queued[u] && r[u] > threshold) {
+      queued[u] = true;
+      queue.push_back(u);
+    }
+  };
+
+  while (!queue.empty()) {
+    if (push_.max_pushes > 0 && push_count >= push_.max_pushes) break;
+    NodeId u = queue.front();
+    queue.pop_front();
+    queued[u] = false;
+    const double mass = r[u];
+    const double threshold =
+        norm[u] > 0.0 ? push_.epsilon * norm[u] : 1e-12;
+    if (mass <= threshold) continue;
+    ++push_count;
+    r[u] = 0.0;
+    p[u] += c * mass;
+    const double spread = (1.0 - c) * mass;
+    if (norm[u] <= 0.0) {
+      // Dangling: remaining mass walks home (same convention as the power
+      // iteration in RwrScheme).
+      r[v] += spread;
+      enqueue_if_hot(v);
+      continue;
+    }
+    const double scale = spread / norm[u];
+    for (const Edge& e : g.OutEdges(u)) {
+      r[e.node] += scale * e.weight;
+      enqueue_if_hot(e.node);
+    }
+    if (symmetric) {
+      for (const Edge& e : g.InEdges(u)) {
+        r[e.node] += scale * e.weight;
+        enqueue_if_hot(e.node);
+      }
+    }
+  }
+  if (pushes != nullptr) *pushes = push_count;
+  return p;
+}
+
+Signature RwrPushScheme::Compute(const CommGraph& g, NodeId v) const {
+  std::vector<double> p = ApproximateVector(g, v);
+  std::vector<Signature::Entry> candidates;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (p[u] <= 0.0) continue;
+    if (!KeepCandidate(g, v, u)) continue;
+    candidates.push_back({u, p[u]});
+  }
+  return Signature::FromTopK(std::move(candidates), options_.k);
+}
+
+std::unique_ptr<SignatureScheme> MakeRwrPush(SchemeOptions options,
+                                             RwrPushOptions push_options) {
+  return std::make_unique<RwrPushScheme>(options, push_options);
+}
+
+}  // namespace commsig

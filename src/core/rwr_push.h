@@ -1,0 +1,64 @@
+#ifndef COMMSIG_CORE_RWR_PUSH_H_
+#define COMMSIG_CORE_RWR_PUSH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+
+namespace commsig {
+
+/// Local forward-push computation of personalized PageRank
+/// [Andersen-Chung-Lang, FOCS 2006], addressing the scalability question
+/// the paper's Section VI leaves open for RWR-based signatures: instead of
+/// whole-graph power iterations, mass is pushed out of a residual vector
+/// only where it exceeds `epsilon` times the node's traversable weight, so
+/// work is proportional to 1/(c·epsilon) regardless of graph size.
+///
+/// Guarantee: for every node u, the returned estimate p[u] underestimates
+/// the exact RWR probability by at most epsilon · norm(u), where norm(u)
+/// is u's total traversable edge weight. Signatures built from p therefore
+/// converge to the exact RWR signatures as epsilon -> 0.
+struct RwrPushOptions {
+  /// Reset probability c (same role as RwrOptions::reset).
+  double reset = 0.1;
+  /// Residual push threshold relative to a node's traversable weight.
+  double epsilon = 1e-6;
+  /// Safety cap on push operations (0 = unlimited).
+  size_t max_pushes = 0;
+  TraversalMode traversal = TraversalMode::kSymmetric;
+};
+
+class RwrPushScheme final : public SignatureScheme {
+ public:
+  RwrPushScheme(SchemeOptions options, RwrPushOptions push_options)
+      : SignatureScheme(options), push_(push_options) {}
+
+  std::string name() const override;
+
+  SchemeTraits traits() const override {
+    return {{GraphCharacteristic::kTransitivity,
+             GraphCharacteristic::kEngagement},
+            {SignatureProperty::kPersistence, SignatureProperty::kRobustness}};
+  }
+
+  Signature Compute(const CommGraph& g, NodeId v) const override;
+
+  /// The approximate PPR vector (lower bounds the exact probabilities).
+  /// Also reports the number of push operations performed, for the
+  /// scalability bench.
+  std::vector<double> ApproximateVector(const CommGraph& g, NodeId v,
+                                        size_t* pushes = nullptr) const;
+
+  const RwrPushOptions& push_options() const { return push_; }
+
+ private:
+  RwrPushOptions push_;
+};
+
+std::unique_ptr<SignatureScheme> MakeRwrPush(SchemeOptions options,
+                                             RwrPushOptions push_options);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_CORE_RWR_PUSH_H_

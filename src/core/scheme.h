@@ -1,0 +1,170 @@
+#ifndef COMMSIG_CORE_SCHEME_H_
+#define COMMSIG_CORE_SCHEME_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/signature.h"
+#include "graph/comm_graph.h"
+
+namespace commsig {
+
+/// The paper's three fundamental signature properties (Definition 2).
+enum class SignatureProperty {
+  kPersistence,
+  kUniqueness,
+  kRobustness,
+};
+
+/// Communication-graph characteristics a scheme can exploit (Section III).
+enum class GraphCharacteristic {
+  kEngagement,    // edge weight / communication strength
+  kNovelty,       // low in-degree neighbours are more discriminating
+  kLocality,      // nearby nodes are more relevant
+  kTransitivity,  // many connecting paths imply closeness
+};
+
+/// Requirement level in the paper's Table I.
+enum class Requirement { kLow, kMedium, kHigh };
+
+/// One row of Table I: which property levels an application needs.
+struct ApplicationRequirement {
+  std::string_view application;
+  Requirement persistence;
+  Requirement uniqueness;
+  Requirement robustness;
+};
+
+/// The paper's Table I (application -> property requirements).
+std::span<const ApplicationRequirement> ApplicationRequirements();
+
+/// One row of Table II: characteristic -> properties it supports.
+struct CharacteristicLink {
+  GraphCharacteristic characteristic;
+  std::vector<SignatureProperty> properties;
+};
+
+/// The paper's Table II.
+const std::vector<CharacteristicLink>& CharacteristicLinks();
+
+/// Per-scheme metadata mirroring Table III: the characteristics a scheme
+/// exploits and the properties it is therefore expected to deliver.
+struct SchemeTraits {
+  std::vector<GraphCharacteristic> characteristics;
+  std::vector<SignatureProperty> properties;
+};
+
+/// Options common to all signature schemes.
+struct SchemeOptions {
+  /// Signature length: the (at most) k highest-relevance nodes are kept
+  /// (paper Definition 1). The paper uses k = 10 on flow data, k = 3 on
+  /// query logs — half the mean focal out-degree.
+  size_t k = 10;
+
+  /// For bipartite graphs, restrict signature members to the partition
+  /// opposite the focal node (the paper's V1 -> V2 restriction). Ignored
+  /// for non-bipartite graphs.
+  bool restrict_to_opposite_partition = false;
+};
+
+/// Interface implemented by every signature scheme (TT, UT, RWR, ...).
+///
+/// A scheme maps (window graph, focal node) -> Signature. Schemes are
+/// stateless with respect to graphs: the same scheme object can be applied
+/// to every window of a data set.
+class SignatureScheme {
+ public:
+  explicit SignatureScheme(SchemeOptions options) : options_(options) {}
+  virtual ~SignatureScheme() = default;
+
+  SignatureScheme(const SignatureScheme&) = delete;
+  SignatureScheme& operator=(const SignatureScheme&) = delete;
+
+  /// Short spec-style name, e.g. "tt", "ut", "rwr(c=0.1,h=3)".
+  virtual std::string name() const = 0;
+
+  /// Table III metadata for this scheme.
+  virtual SchemeTraits traits() const = 0;
+
+  /// Computes the signature of `v` in `g`. `v` must be < g.NumNodes().
+  virtual Signature Compute(const CommGraph& g, NodeId v) const = 0;
+
+  /// Computes signatures for a set of focal nodes (the enterprise-data
+  /// "local hosts"). The default loops over Compute.
+  virtual std::vector<Signature> ComputeAll(const CommGraph& g,
+                                            std::span<const NodeId> nodes) const;
+
+  const SchemeOptions& options() const { return options_; }
+
+ protected:
+  /// Definition-1 candidate filter: rejects the focal node itself and, when
+  /// requested and the graph is bipartite, nodes in the focal node's own
+  /// partition.
+  bool KeepCandidate(const CommGraph& g, NodeId focal, NodeId candidate) const;
+
+  SchemeOptions options_;
+};
+
+/// How UnexpectedTalkers scales down universally popular destinations.
+enum class UtWeighting {
+  /// w_ij = C[i,j] / |I(j)| (paper Definition 4).
+  kInverseInDegree,
+  /// w_ij = C[i,j] * log(|V| / |I(j)|) — the TF-IDF analogue the paper
+  /// mentions; reported to behave very similarly.
+  kTfIdf,
+};
+
+/// How a random walk traverses directed edges.
+enum class TraversalMode {
+  /// Follow out-edges only.
+  kDirected,
+  /// Treat every edge as traversable in both directions. This is the mode
+  /// that makes multi-hop walks meaningful on one-way monitored traces
+  /// (e.g. enterprise data where only local->external flows are captured):
+  /// the walk alternates local -> external -> other local -> ...
+  kSymmetric,
+};
+
+/// Parameters of the Random Walk with Resets scheme (Definition 5).
+struct RwrOptions {
+  /// Reset (teleport) probability c. The paper evaluates c = 0.1 and notes
+  /// that c -> 0.9 collapses RWR onto TT.
+  double reset = 0.1;
+
+  /// Hop bound h: run exactly this many power-iteration steps (RWR^h).
+  /// 0 means unbounded — iterate to convergence (full RWR).
+  size_t max_hops = 0;
+
+  /// Convergence threshold on the L1 change of the probability vector,
+  /// used only when max_hops == 0.
+  double tolerance = 1e-10;
+
+  /// Iteration cap for the unbounded walk.
+  size_t max_iterations = 200;
+
+  TraversalMode traversal = TraversalMode::kSymmetric;
+};
+
+/// Factory helpers.
+std::unique_ptr<SignatureScheme> MakeTopTalkers(SchemeOptions options);
+std::unique_ptr<SignatureScheme> MakeUnexpectedTalkers(
+    SchemeOptions options, UtWeighting weighting = UtWeighting::kInverseInDegree);
+std::unique_ptr<SignatureScheme> MakeRwr(SchemeOptions options,
+                                         RwrOptions rwr_options);
+
+/// Creates a scheme from a spec string, as used by the benchmark binaries
+/// and the CLI:
+///   "tt" | "ut" | "ut-tfidf" | "rwr(c=C)" | "rwr(c=C,h=H)"
+///   | "rwr-push(c=C,eps=E)"
+/// rwr specs also accept "mode=directed|symmetric".
+/// Returns InvalidArgument for unknown specs or malformed parameters.
+Result<std::unique_ptr<SignatureScheme>> CreateScheme(std::string_view spec,
+                                                      SchemeOptions options);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_CORE_SCHEME_H_

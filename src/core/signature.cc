@@ -1,0 +1,77 @@
+#include "core/signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace commsig {
+
+Signature Signature::FromTopK(std::vector<Entry> candidates, size_t k) {
+  // Drop non-positive weights first; Definition 1 takes weights in R+.
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [](const Entry& e) { return !(e.weight > 0.0); }),
+      candidates.end());
+
+  if (candidates.size() > k) {
+    // Rank by (weight desc, node asc) so the cut at k is deterministic.
+    auto rank = [](const Entry& a, const Entry& b) {
+      if (a.weight != b.weight) return a.weight > b.weight;
+      return a.node < b.node;
+    };
+    std::nth_element(candidates.begin(), candidates.begin() + k,
+                     candidates.end(), rank);
+    candidates.resize(k);
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Entry& a, const Entry& b) { return a.node < b.node; });
+
+  Signature sig;
+  sig.entries_ = std::move(candidates);
+  return sig;
+}
+
+double Signature::WeightOf(NodeId node) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), node,
+      [](const Entry& e, NodeId id) { return e.node < id; });
+  if (it != entries_.end() && it->node == node) return it->weight;
+  return 0.0;
+}
+
+double Signature::TotalWeight() const {
+  double total = 0.0;
+  for (const Entry& e : entries_) total += e.weight;
+  return total;
+}
+
+Signature Signature::Normalized() const {
+  Signature out = *this;
+  double total = TotalWeight();
+  if (total > 0.0) {
+    for (Entry& e : out.entries_) e.weight /= total;
+  }
+  return out;
+}
+
+std::string Signature::ToString(const Interner& interner) const {
+  std::vector<Entry> by_weight(entries_.begin(), entries_.end());
+  std::sort(by_weight.begin(), by_weight.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.node < b.node;
+            });
+  std::string out = "{";
+  for (size_t i = 0; i < by_weight.size(); ++i) {
+    if (i > 0) out += ", ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", by_weight[i].weight);
+    out += interner.LabelOf(by_weight[i].node);
+    out += ":";
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace commsig

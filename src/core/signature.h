@@ -1,0 +1,69 @@
+#ifndef COMMSIG_CORE_SIGNATURE_H_
+#define COMMSIG_CORE_SIGNATURE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace commsig {
+
+/// A communication-graph signature (paper Definition 1): the top-k nodes by
+/// relevancy weight for some focal node, stored as (node, weight) entries.
+///
+/// Entries are kept sorted by node id so that the set operations behind the
+/// distance functions are single linear merges. All weights are positive —
+/// zero-relevance nodes never enter a signature.
+class Signature {
+ public:
+  struct Entry {
+    NodeId node = kInvalidNode;
+    double weight = 0.0;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// An empty signature (node with no observed relevant neighbours).
+  Signature() = default;
+
+  /// Builds a signature from arbitrary candidate weights: keeps the (at
+  /// most) k candidates with the largest weights, drops non-positive
+  /// weights, and sorts by node id. Ties beyond position k are broken by
+  /// smaller node id (deterministic; the paper allows arbitrary
+  /// tie-breaking).
+  static Signature FromTopK(std::vector<Entry> candidates, size_t k);
+
+  /// Entries sorted ascending by node id.
+  std::span<const Entry> entries() const { return entries_; }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// True iff `node` appears in the signature. O(log size).
+  bool Contains(NodeId node) const { return WeightOf(node) > 0.0; }
+
+  /// Weight of `node` in the signature, or 0 if absent. O(log size).
+  double WeightOf(NodeId node) const;
+
+  /// Sum of entry weights.
+  double TotalWeight() const;
+
+  /// Returns a copy with weights scaled to sum to 1 (no-op when empty).
+  /// Useful when comparing signatures whose schemes emit different scales.
+  Signature Normalized() const;
+
+  /// Human-readable rendering "{label:weight, ...}" in descending weight
+  /// order, using `interner` for labels.
+  std::string ToString(const Interner& interner) const;
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_CORE_SIGNATURE_H_

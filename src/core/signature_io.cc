@@ -1,0 +1,79 @@
+#include "core/signature_io.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "common/csv.h"
+
+namespace commsig {
+
+size_t SignatureSet::Find(NodeId owner) const {
+  for (size_t i = 0; i < owners.size(); ++i) {
+    if (owners[i] == owner) return i;
+  }
+  return std::numeric_limits<size_t>::max();
+}
+
+Status WriteSignatureSetCsv(const SignatureSet& set, const Interner& interner,
+                            const std::string& path) {
+  if (set.owners.size() != set.signatures.size()) {
+    return Status::InvalidArgument("owners/signatures size mismatch");
+  }
+  CsvWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  writer.WriteRow({"# commsig-signatures owner,member,weight"});
+  for (size_t i = 0; i < set.owners.size(); ++i) {
+    const std::string& owner = interner.LabelOf(set.owners[i]);
+    if (set.signatures[i].empty()) {
+      writer.WriteRow({owner, "", "0"});
+      continue;
+    }
+    for (const Signature::Entry& e : set.signatures[i].entries()) {
+      writer.WriteRow(
+          {owner, interner.LabelOf(e.node), std::to_string(e.weight)});
+    }
+  }
+  return writer.Close();
+}
+
+Result<SignatureSet> ReadSignatureSetCsv(const std::string& path,
+                                         Interner& interner) {
+  CsvReader reader(path);
+  if (!reader.status().ok()) return reader.status();
+
+  // Collect entries per owner, preserving first-seen owner order.
+  std::vector<NodeId> order;
+  std::unordered_map<NodeId, std::vector<Signature::Entry>> entries;
+  std::vector<std::string> fields;
+  while (reader.Next(fields)) {
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          "signature row needs 3 fields at line " +
+          std::to_string(reader.line_number()));
+    }
+    NodeId owner = interner.Intern(fields[0]);
+    if (!entries.contains(owner)) {
+      order.push_back(owner);
+      entries.emplace(owner, std::vector<Signature::Entry>{});
+    }
+    if (fields[1].empty()) continue;  // empty-signature marker
+    Result<double> weight = ParseDouble(fields[2]);
+    if (!weight.ok()) return weight.status();
+    if (*weight <= 0.0) {
+      return Status::InvalidArgument("non-positive weight at line " +
+                                     std::to_string(reader.line_number()));
+    }
+    entries[owner].push_back({interner.Intern(fields[1]), *weight});
+  }
+
+  SignatureSet set;
+  for (NodeId owner : order) {
+    set.owners.push_back(owner);
+    auto& e = entries[owner];
+    const size_t k = e.size();
+    set.signatures.push_back(Signature::FromTopK(std::move(e), k));
+  }
+  return set;
+}
+
+}  // namespace commsig

@@ -1,0 +1,24 @@
+#include "core/top_talkers.h"
+
+#include <vector>
+
+namespace commsig {
+
+Signature TopTalkersScheme::Compute(const CommGraph& g, NodeId v) const {
+  const double total = g.OutWeight(v);
+  if (total <= 0.0) return Signature();
+
+  std::vector<Signature::Entry> candidates;
+  candidates.reserve(g.OutDegree(v));
+  for (const Edge& e : g.OutEdges(v)) {
+    if (!KeepCandidate(g, v, e.node)) continue;
+    candidates.push_back({e.node, e.weight / total});
+  }
+  return Signature::FromTopK(std::move(candidates), options_.k);
+}
+
+std::unique_ptr<SignatureScheme> MakeTopTalkers(SchemeOptions options) {
+  return std::make_unique<TopTalkersScheme>(options);
+}
+
+}  // namespace commsig

@@ -1,0 +1,33 @@
+#ifndef COMMSIG_CORE_TOP_TALKERS_H_
+#define COMMSIG_CORE_TOP_TALKERS_H_
+
+#include <string>
+
+#include "core/scheme.h"
+
+namespace commsig {
+
+/// Top Talkers (paper Definition 3): the signature of `i` is the (at most)
+/// k out-neighbours with the largest normalized outgoing volume
+/// w_ij = C[i,j] / sum_v C[i,v].
+///
+/// Exploits locality and engagement only; the "Communities of Interest"
+/// baseline from the fraud-detection literature.
+class TopTalkersScheme final : public SignatureScheme {
+ public:
+  explicit TopTalkersScheme(SchemeOptions options)
+      : SignatureScheme(options) {}
+
+  std::string name() const override { return "tt"; }
+
+  SchemeTraits traits() const override {
+    return {{GraphCharacteristic::kLocality, GraphCharacteristic::kEngagement},
+            {SignatureProperty::kUniqueness, SignatureProperty::kRobustness}};
+  }
+
+  Signature Compute(const CommGraph& g, NodeId v) const override;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_CORE_TOP_TALKERS_H_

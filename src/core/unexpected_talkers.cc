@@ -1,0 +1,38 @@
+#include "core/unexpected_talkers.h"
+
+#include <cmath>
+#include <vector>
+
+namespace commsig {
+
+Signature UnexpectedTalkersScheme::Compute(const CommGraph& g,
+                                           NodeId v) const {
+  const double num_nodes = static_cast<double>(g.NumNodes());
+
+  std::vector<Signature::Entry> candidates;
+  candidates.reserve(g.OutDegree(v));
+  for (const Edge& e : g.OutEdges(v)) {
+    if (!KeepCandidate(g, v, e.node)) continue;
+    // A candidate reached via an out-edge from v has in-degree >= 1, so the
+    // divisor is always positive.
+    const double in_degree = static_cast<double>(g.InDegree(e.node));
+    double w = 0.0;
+    switch (weighting_) {
+      case UtWeighting::kInverseInDegree:
+        w = e.weight / in_degree;
+        break;
+      case UtWeighting::kTfIdf:
+        w = e.weight * std::log(num_nodes / in_degree);
+        break;
+    }
+    candidates.push_back({e.node, w});
+  }
+  return Signature::FromTopK(std::move(candidates), options_.k);
+}
+
+std::unique_ptr<SignatureScheme> MakeUnexpectedTalkers(SchemeOptions options,
+                                                       UtWeighting weighting) {
+  return std::make_unique<UnexpectedTalkersScheme>(options, weighting);
+}
+
+}  // namespace commsig

@@ -1,0 +1,39 @@
+#ifndef COMMSIG_CORE_UNEXPECTED_TALKERS_H_
+#define COMMSIG_CORE_UNEXPECTED_TALKERS_H_
+
+#include <string>
+
+#include "core/scheme.h"
+
+namespace commsig {
+
+/// Unexpected Talkers (paper Definition 4): w_ij = C[i,j] / |I(j)| —
+/// outgoing volume scaled down by the destination's in-degree, so
+/// universally popular nodes (search engines, mail servers) stop dominating
+/// signatures. A TF-IDF-style variant w_ij = C[i,j] * log(|V| / |I(j)|) is
+/// also provided (the paper reports little difference between scalings).
+///
+/// Exploits novelty and locality; expected to excel at uniqueness.
+class UnexpectedTalkersScheme final : public SignatureScheme {
+ public:
+  UnexpectedTalkersScheme(SchemeOptions options, UtWeighting weighting)
+      : SignatureScheme(options), weighting_(weighting) {}
+
+  std::string name() const override {
+    return weighting_ == UtWeighting::kInverseInDegree ? "ut" : "ut-tfidf";
+  }
+
+  SchemeTraits traits() const override {
+    return {{GraphCharacteristic::kNovelty, GraphCharacteristic::kLocality},
+            {SignatureProperty::kUniqueness}};
+  }
+
+  Signature Compute(const CommGraph& g, NodeId v) const override;
+
+ private:
+  UtWeighting weighting_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_CORE_UNEXPECTED_TALKERS_H_

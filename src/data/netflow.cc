@@ -1,0 +1,159 @@
+#include "data/netflow.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace commsig {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 24;
+constexpr size_t kRecordBytes = 48;
+constexpr size_t kMaxRecordsPerPacket = 30;
+
+// Big-endian (network order) readers/writers.
+uint16_t ReadU16(const unsigned char* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+uint32_t ReadU32(const unsigned char* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+void WriteU16(unsigned char* p, uint16_t v) {
+  p[0] = static_cast<unsigned char>(v >> 8);
+  p[1] = static_cast<unsigned char>(v);
+}
+void WriteU32(unsigned char* p, uint32_t v) {
+  p[0] = static_cast<unsigned char>(v >> 24);
+  p[1] = static_cast<unsigned char>(v >> 16);
+  p[2] = static_cast<unsigned char>(v >> 8);
+  p[3] = static_cast<unsigned char>(v);
+}
+
+}  // namespace
+
+std::string Ipv4ToString(uint32_t addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+
+  std::vector<NetflowV5Record> records;
+  unsigned char header[kHeaderBytes];
+  while (in.read(reinterpret_cast<char*>(header), kHeaderBytes)) {
+    const uint16_t version = ReadU16(header);
+    const uint16_t count = ReadU16(header + 2);
+    const uint32_t unix_secs = ReadU32(header + 8);
+    if (version != 5) {
+      return Status::Corruption("not a NetFlow v5 header (version " +
+                                std::to_string(version) + ")");
+    }
+    if (count == 0 || count > kMaxRecordsPerPacket) {
+      return Status::Corruption("invalid record count " +
+                                std::to_string(count));
+    }
+    for (uint16_t i = 0; i < count; ++i) {
+      unsigned char rec[kRecordBytes];
+      if (!in.read(reinterpret_cast<char*>(rec), kRecordBytes)) {
+        return Status::Corruption("truncated NetFlow packet");
+      }
+      NetflowV5Record r;
+      r.src_addr = ReadU32(rec);
+      r.dst_addr = ReadU32(rec + 4);
+      // rec+8: nexthop; rec+12: input/output ifindex.
+      r.packets = ReadU32(rec + 16);
+      r.octets = ReadU32(rec + 20);
+      // rec+24: first; rec+28: last (sysuptime ms).
+      r.src_port = ReadU16(rec + 32);
+      r.dst_port = ReadU16(rec + 34);
+      // rec+36: pad; rec+37: tcp_flags.
+      r.protocol = rec[38];
+      r.unix_secs = unix_secs;
+      records.push_back(r);
+    }
+  }
+  if (in.bad()) return Status::IOError("read error on " + path);
+  // A trailing partial header is corruption; eof exactly at a packet
+  // boundary is success.
+  if (in.gcount() != 0) return Status::Corruption("trailing partial header");
+  return records;
+}
+
+std::vector<TraceEvent> NetflowToEvents(
+    const std::vector<NetflowV5Record>& records, Interner& interner,
+    const NetflowReadOptions& options) {
+  std::vector<TraceEvent> events;
+  events.reserve(records.size());
+  for (const NetflowV5Record& r : records) {
+    if (options.protocol_filter != 0 &&
+        r.protocol != options.protocol_filter) {
+      continue;
+    }
+    double weight = 1.0;
+    switch (options.weighting) {
+      case NetflowWeighting::kFlows:
+        weight = 1.0;
+        break;
+      case NetflowWeighting::kPackets:
+        weight = static_cast<double>(r.packets);
+        break;
+      case NetflowWeighting::kOctets:
+        weight = static_cast<double>(r.octets);
+        break;
+    }
+    if (weight <= 0.0) continue;
+    events.push_back({interner.Intern(Ipv4ToString(r.src_addr)),
+                      interner.Intern(Ipv4ToString(r.dst_addr)),
+                      r.unix_secs, weight});
+  }
+  return events;
+}
+
+Status WriteNetflowV5File(const std::vector<NetflowV5Record>& records,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  size_t cursor = 0;
+  uint32_t sequence = 0;
+  while (cursor < records.size()) {
+    const size_t batch =
+        std::min(kMaxRecordsPerPacket, records.size() - cursor);
+    unsigned char header[kHeaderBytes] = {};
+    WriteU16(header, 5);
+    WriteU16(header + 2, static_cast<uint16_t>(batch));
+    WriteU32(header + 4, 0);  // sysuptime
+    WriteU32(header + 8, records[cursor].unix_secs);
+    WriteU32(header + 12, 0);  // unix nsecs
+    WriteU32(header + 16, sequence);
+    out.write(reinterpret_cast<const char*>(header), kHeaderBytes);
+    for (size_t i = 0; i < batch; ++i) {
+      const NetflowV5Record& r = records[cursor + i];
+      unsigned char rec[kRecordBytes] = {};
+      WriteU32(rec, r.src_addr);
+      WriteU32(rec + 4, r.dst_addr);
+      WriteU32(rec + 16, r.packets);
+      WriteU32(rec + 20, r.octets);
+      WriteU16(rec + 32, r.src_port);
+      WriteU16(rec + 34, r.dst_port);
+      rec[38] = r.protocol;
+      out.write(reinterpret_cast<const char*>(rec), kRecordBytes);
+    }
+    sequence += static_cast<uint32_t>(batch);
+    cursor += batch;
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+}  // namespace commsig

@@ -1,0 +1,103 @@
+#include "data/query_log_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "data/zipf.h"
+#include "graph/graph_builder.h"
+
+namespace commsig {
+
+std::vector<CommGraph> QueryLogDataset::Windows() const {
+  TraceWindower windower(interner.size(), window_length, /*start_time=*/0,
+                         static_cast<NodeId>(users.size()));
+  std::vector<CommGraph> graphs = windower.Split(events);
+  while (graphs.size() < num_windows) {
+    GraphBuilder builder(interner.size());
+    builder.SetBipartiteLeftSize(static_cast<NodeId>(users.size()));
+    graphs.push_back(std::move(builder).Build());
+  }
+  return graphs;
+}
+
+QueryLogDataset QueryLogGenerator::Generate() const {
+  const QueryLogConfig& cfg = config_;
+  assert(cfg.num_users >= 2 && cfg.num_tables >= 4);
+  assert(cfg.num_windows >= 2);
+
+  Rng rng(cfg.seed);
+  QueryLogDataset ds;
+  ds.num_windows = cfg.num_windows;
+  ds.window_length = cfg.window_length;
+
+  for (size_t u = 0; u < cfg.num_users; ++u) {
+    ds.users.push_back(ds.interner.Intern("user-" + std::to_string(u)));
+  }
+  std::vector<NodeId> tables;
+  tables.reserve(cfg.num_tables);
+  for (size_t t = 0; t < cfg.num_tables; ++t) {
+    tables.push_back(ds.interner.Intern("table-" + std::to_string(t)));
+  }
+
+  ZipfSampler popularity(cfg.num_tables, cfg.zipf_exponent);
+
+  struct Entry {
+    NodeId table;
+    double rate;
+  };
+  auto fresh_entry = [&](Rng& r) -> Entry {
+    NodeId table = tables[popularity.Sample(r)];
+    double rate =
+        -cfg.mean_accesses * std::log(1.0 - r.UniformDouble() + 1e-12);
+    return {table, std::max(rate, 1.0)};
+  };
+
+  std::vector<std::vector<Entry>> working_set(cfg.num_users);
+  for (size_t u = 0; u < cfg.num_users; ++u) {
+    size_t size =
+        std::max<uint64_t>(2, rng.Poisson(cfg.mean_tables_per_user));
+    std::unordered_set<NodeId> used;
+    while (working_set[u].size() < size) {
+      Entry e = fresh_entry(rng);
+      if (used.insert(e.table).second) working_set[u].push_back(e);
+    }
+  }
+
+  for (size_t w = 0; w < cfg.num_windows; ++w) {
+    const uint64_t window_start = w * cfg.window_length;
+    for (size_t u = 0; u < cfg.num_users; ++u) {
+      for (const Entry& e : working_set[u]) {
+        uint64_t accesses = rng.Poisson(e.rate);
+        if (accesses == 0) continue;
+        ds.events.push_back(
+            {ds.users[u], e.table,
+             window_start + rng.UniformInt(cfg.window_length),
+             static_cast<double>(accesses)});
+      }
+    }
+    if (w + 1 < cfg.num_windows) {
+      for (size_t u = 0; u < cfg.num_users; ++u) {
+        std::unordered_set<NodeId> used;
+        for (const Entry& e : working_set[u]) used.insert(e.table);
+        for (Entry& e : working_set[u]) {
+          if (!rng.Bernoulli(cfg.churn)) continue;
+          for (int attempt = 0; attempt < 8; ++attempt) {
+            Entry fresh = fresh_entry(rng);
+            if (used.insert(fresh.table).second) {
+              used.erase(e.table);
+              e = fresh;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace commsig

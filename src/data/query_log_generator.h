@@ -1,0 +1,70 @@
+#ifndef COMMSIG_DATA_QUERY_LOG_GENERATOR_H_
+#define COMMSIG_DATA_QUERY_LOG_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interner.h"
+#include "graph/comm_graph.h"
+#include "graph/windower.h"
+
+namespace commsig {
+
+/// Configuration of the synthetic data-warehouse query log standing in for
+/// the paper's second data set: 851 users querying 979 tables, ~820K
+/// (userID, tableID) tuples over 5 periods, edge weight = access count,
+/// mean tables-per-user ≈ 6 so the paper's k = 3 is half of it.
+struct QueryLogConfig {
+  size_t num_users = 851;
+  size_t num_tables = 979;
+  size_t num_windows = 5;
+  /// Window length (arbitrary units; one "period").
+  uint64_t window_length = 1000;
+
+  /// Mean size of a user's working set of tables (Poisson, floor 2).
+  double mean_tables_per_user = 6.0;
+  /// Zipf exponent of table popularity (shared dimension tables are hot;
+  /// most fact tables are touched by few users).
+  double zipf_exponent = 0.8;
+  /// Fraction of the working set replaced each period.
+  double churn = 0.06;
+  /// Mean accesses per (user, table) per period.
+  double mean_accesses = 32.0;
+
+  uint64_t seed = 7;
+};
+
+/// A generated query-log workload over the bipartite user -> table graph.
+struct QueryLogDataset {
+  Interner interner;
+  std::vector<TraceEvent> events;
+  /// Focal nodes: all users, ids 0..num_users-1 (V1 of the bipartite
+  /// graph; tables occupy the remaining ids).
+  std::vector<NodeId> users;
+  size_t num_windows = 0;
+  uint64_t window_length = 0;
+
+  /// One bipartite CommGraph per period.
+  std::vector<CommGraph> Windows() const;
+};
+
+/// Deterministic generator for QueryLogDatasets. Each user holds a small,
+/// highly discriminative working set of tables (distinct users rarely share
+/// the same combination even when they share hot tables), which reproduces
+/// the paper's Figure 3(b) regime where every scheme scores near-perfect
+/// AUC.
+class QueryLogGenerator {
+ public:
+  explicit QueryLogGenerator(QueryLogConfig config) : config_(config) {}
+
+  QueryLogDataset Generate() const;
+
+  const QueryLogConfig& config() const { return config_; }
+
+ private:
+  QueryLogConfig config_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_DATA_QUERY_LOG_GENERATOR_H_

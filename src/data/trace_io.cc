@@ -1,0 +1,46 @@
+#include "data/trace_io.h"
+
+#include "common/csv.h"
+
+namespace commsig {
+
+Status WriteTraceCsv(const std::vector<TraceEvent>& events,
+                     const Interner& interner, const std::string& path) {
+  CsvWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  writer.WriteRow({"# commsig-trace src,dst,time,weight"});
+  for (const TraceEvent& e : events) {
+    writer.WriteRow({interner.LabelOf(e.src), interner.LabelOf(e.dst),
+                     std::to_string(e.time), std::to_string(e.weight)});
+  }
+  return writer.Close();
+}
+
+Result<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path,
+                                             Interner& interner) {
+  CsvReader reader(path);
+  if (!reader.status().ok()) return reader.status();
+
+  std::vector<TraceEvent> events;
+  std::vector<std::string> fields;
+  while (reader.Next(fields)) {
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          "trace row needs 4 fields at line " +
+          std::to_string(reader.line_number()));
+    }
+    Result<uint64_t> time = ParseUint(fields[2]);
+    if (!time.ok()) return time.status();
+    Result<double> weight = ParseDouble(fields[3]);
+    if (!weight.ok()) return weight.status();
+    if (*weight <= 0.0) {
+      return Status::InvalidArgument("non-positive weight at line " +
+                                     std::to_string(reader.line_number()));
+    }
+    events.push_back({interner.Intern(fields[0]), interner.Intern(fields[1]),
+                      *time, *weight});
+  }
+  return events;
+}
+
+}  // namespace commsig

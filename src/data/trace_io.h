@@ -1,0 +1,27 @@
+#ifndef COMMSIG_DATA_TRACE_IO_H_
+#define COMMSIG_DATA_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "graph/windower.h"
+
+namespace commsig {
+
+/// Writes a trace as CSV rows `src_label,dst_label,time,weight` — the
+/// interchange format for loading real NetFlow-style or query-log data into
+/// commsig.
+Status WriteTraceCsv(const std::vector<TraceEvent>& events,
+                     const Interner& interner, const std::string& path);
+
+/// Reads a trace written by WriteTraceCsv (or hand-prepared in the same
+/// format), interning labels into `interner` in row order. Fails with
+/// InvalidArgument on malformed rows.
+Result<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path,
+                                             Interner& interner);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_DATA_TRACE_IO_H_

@@ -1,0 +1,24 @@
+#include "data/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace commsig {
+
+std::vector<double> ZipfWeights(size_t n, double exponent) {
+  assert(n > 0);
+  std::vector<double> weights(n);
+  for (size_t r = 0; r < n; ++r) {
+    weights[r] = 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+  }
+  return weights;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double exponent)
+    : exponent_(exponent), sampler_(ZipfWeights(n, exponent)) {}
+
+double ZipfSampler::WeightOfRank(size_t r) const {
+  return 1.0 / std::pow(static_cast<double>(r + 1), exponent_);
+}
+
+}  // namespace commsig

@@ -1,0 +1,38 @@
+#ifndef COMMSIG_DATA_ZIPF_H_
+#define COMMSIG_DATA_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace commsig {
+
+/// Samples ranks 0..n-1 with P(rank r) ∝ 1/(r+1)^s — the heavy-tailed
+/// popularity law communication graphs exhibit (paper Section III,
+/// "Novelty": a few nodes have very high degree, the majority small).
+/// Backed by an alias table, so draws are O(1) after O(n) setup.
+class ZipfSampler {
+ public:
+  /// `n` > 0 items; `exponent` >= 0 (0 = uniform).
+  ZipfSampler(size_t n, double exponent);
+
+  size_t Sample(Rng& rng) const { return sampler_.Sample(rng); }
+
+  size_t size() const { return sampler_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// The unnormalized weight of rank r (1/(r+1)^s).
+  double WeightOfRank(size_t r) const;
+
+ private:
+  double exponent_;
+  DiscreteSampler sampler_;
+};
+
+/// Convenience: the vector of Zipf weights 1/(r+1)^s for r in [0, n).
+std::vector<double> ZipfWeights(size_t n, double exponent);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_DATA_ZIPF_H_

@@ -1,0 +1,61 @@
+#include "eval/masquerade_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace commsig {
+
+bool MasqueradePlan::Contains(NodeId v, NodeId u) const {
+  return std::find(mapping.begin(), mapping.end(), std::make_pair(v, u)) !=
+         mapping.end();
+}
+
+std::vector<NodeId> MasqueradePlan::PerturbedNodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(mapping.size());
+  for (const auto& [v, u] : mapping) nodes.push_back(v);
+  return nodes;
+}
+
+MasqueradePlan PlanMasquerade(std::span<const NodeId> pool, double fraction,
+                              uint64_t seed) {
+  MasqueradePlan plan;
+  const size_t count = static_cast<size_t>(
+      std::floor(fraction * static_cast<double>(pool.size())));
+  if (count < 2) return plan;
+
+  Rng rng(seed);
+  std::vector<NodeId> selected(pool.begin(), pool.end());
+  rng.Shuffle(selected);
+  selected.resize(count);
+
+  // A uniformly shuffled cyclic shift is a simple fixed-point-free
+  // bijection: shuffle, then map each selected node to the next one.
+  std::vector<NodeId> cycle = selected;
+  rng.Shuffle(cycle);
+  plan.mapping.reserve(count);
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    plan.mapping.emplace_back(cycle[i], cycle[(i + 1) % cycle.size()]);
+  }
+  return plan;
+}
+
+CommGraph ApplyMasquerade(const CommGraph& g, const MasqueradePlan& plan) {
+  std::vector<NodeId> relabel(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) relabel[v] = v;
+  for (const auto& [v, u] : plan.mapping) relabel[v] = u;
+
+  GraphBuilder builder(g.NumNodes());
+  builder.SetBipartiteLeftSize(g.bipartite().left_size);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const Edge& e : g.OutEdges(v)) {
+      builder.AddEdge(relabel[v], relabel[e.node], e.weight);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace commsig

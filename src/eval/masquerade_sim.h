@@ -1,0 +1,39 @@
+#ifndef COMMSIG_EVAL_MASQUERADE_SIM_H_
+#define COMMSIG_EVAL_MASQUERADE_SIM_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/comm_graph.h"
+
+namespace commsig {
+
+/// A planned label masquerade: pairs (v, u) meaning "v's communications are
+/// relabelled with u" in the perturbed window (the paper's E_P).
+struct MasqueradePlan {
+  std::vector<std::pair<NodeId, NodeId>> mapping;
+
+  /// True iff (v, u) is in the plan.
+  bool Contains(NodeId v, NodeId u) const;
+
+  /// All perturbed labels (the paper's set P = sources ∪ targets; for a
+  /// derangement these coincide).
+  std::vector<NodeId> PerturbedNodes() const;
+};
+
+/// Selects ⌊fraction·|pool|⌋ nodes from `pool` and builds a random
+/// *derangement* among them (a bijection with no fixed points — a fixed
+/// point would be an unobservable "masquerade as oneself"). If fewer than 2
+/// nodes are selected the plan is empty. Deterministic under `seed`.
+MasqueradePlan PlanMasquerade(std::span<const NodeId> pool, double fraction,
+                              uint64_t seed);
+
+/// Applies the plan to `g`: every edge endpoint v with (v, u) in the plan
+/// is rewritten to u. Node universe and bipartite metadata are preserved.
+CommGraph ApplyMasquerade(const CommGraph& g, const MasqueradePlan& plan);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_EVAL_MASQUERADE_SIM_H_

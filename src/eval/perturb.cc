@@ -1,0 +1,139 @@
+#include "eval/perturb.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace commsig {
+
+namespace {
+
+/// Fenwick (binary indexed) tree over non-negative weights supporting
+/// point updates and weighted sampling in O(log n). Drives the paper's
+/// "sample existing edges proportional to their weights, decrement by one
+/// unit, repeat" deletion process, where weights change between draws.
+class FenwickSampler {
+ public:
+  explicit FenwickSampler(const std::vector<double>& weights)
+      : n_(weights.size()), tree_(weights.size() + 1, 0.0) {
+    for (size_t i = 0; i < n_; ++i) Update(i, weights[i]);
+  }
+
+  void Update(size_t i, double delta) {
+    for (size_t x = i + 1; x <= n_; x += x & (~x + 1)) {
+      tree_[x] += delta;
+    }
+  }
+
+  double Total() const {
+    double total = 0.0;
+    for (size_t x = n_; x > 0; x -= x & (~x + 1)) total += tree_[x];
+    return total;
+  }
+
+  /// Index i with probability weight[i]/Total(). Total() must be > 0.
+  size_t Sample(Rng& rng) const {
+    double target = rng.UniformDouble() * Total();
+    size_t pos = 0;
+    size_t mask = 1;
+    while (mask * 2 <= n_) mask *= 2;
+    for (; mask > 0; mask /= 2) {
+      size_t next = pos + mask;
+      if (next <= n_ && tree_[next] < target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    return pos;  // 0-based index
+  }
+
+ private:
+  size_t n_;
+  std::vector<double> tree_;
+};
+
+}  // namespace
+
+CommGraph Perturb(const CommGraph& g, const PerturbOptions& options) {
+  assert(g.NumEdges() > 0);
+  Rng rng(options.seed);
+  const size_t n = g.NumNodes();
+  const bool bipartite = g.bipartite().IsBipartite();
+  const NodeId left = g.bipartite().left_size;
+
+  // Mutable edge list.
+  std::vector<CommGraph::FlatEdge> edges = g.Edges();
+  const size_t original_edges = edges.size();
+
+  // --- Insertions ------------------------------------------------------
+  // Sources ∝ out-degree; destinations ∝ in-degree. For bipartite graphs
+  // this naturally keeps src in V1, dst in V2 (only V1 nodes have
+  // out-degree). For general graphs any node may play either role.
+  std::vector<double> out_deg(n, 0.0), in_deg(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    out_deg[v] = static_cast<double>(g.OutDegree(v));
+    in_deg[v] = static_cast<double>(g.InDegree(v));
+  }
+  DiscreteSampler src_sampler(out_deg);
+  DiscreteSampler dst_sampler(in_deg);
+
+  // Empirical weight distribution for the weights of inserted edges.
+  std::vector<double> weight_pool;
+  weight_pool.reserve(original_edges);
+  for (const auto& e : edges) weight_pool.push_back(e.weight);
+
+  const size_t num_inserts = static_cast<size_t>(
+      std::llround(options.insert_fraction * static_cast<double>(original_edges)));
+  std::vector<CommGraph::FlatEdge> inserted;
+  inserted.reserve(num_inserts);
+  for (size_t s = 0; s < num_inserts; ++s) {
+    NodeId src = static_cast<NodeId>(src_sampler.Sample(rng));
+    NodeId dst = static_cast<NodeId>(dst_sampler.Sample(rng));
+    if (src == dst) {
+      // Re-draw the destination once; if it collides again, skip — the
+      // paper's process never inserts self-loops on bipartite data, and a
+      // rare skip does not bias the general-graph case measurably.
+      dst = static_cast<NodeId>(dst_sampler.Sample(rng));
+      if (src == dst) continue;
+    }
+    if (bipartite && g.InLeftPartition(src) == g.InLeftPartition(dst)) {
+      // Degree-proportional draws already make this impossible when only V1
+      // has out-edges; guard anyway for mixed inputs.
+      continue;
+    }
+    const double w = weight_pool[rng.UniformInt(weight_pool.size())];
+    inserted.push_back({src, dst, w});
+  }
+  (void)left;
+
+  // --- Deletions --------------------------------------------------------
+  // β|E| unit decrements, sampling ∝ current weight via a Fenwick tree.
+  std::vector<double> weights(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) weights[i] = edges[i].weight;
+  FenwickSampler sampler(weights);
+  const size_t num_deletes = static_cast<size_t>(
+      std::llround(options.delete_fraction * static_cast<double>(original_edges)));
+  for (size_t s = 0; s < num_deletes; ++s) {
+    if (sampler.Total() <= 0.5) break;  // everything deleted
+    size_t idx = sampler.Sample(rng);
+    double dec = std::min(1.0, weights[idx]);
+    if (dec <= 0.0) continue;
+    weights[idx] -= dec;
+    sampler.Update(idx, -dec);
+  }
+
+  GraphBuilder builder(n);
+  builder.SetBipartiteLeftSize(g.bipartite().left_size);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (weights[i] > 0.0) {
+      builder.AddEdge(edges[i].src, edges[i].dst, weights[i]);
+    }
+  }
+  for (const auto& e : inserted) builder.AddEdge(e.src, e.dst, e.weight);
+  return std::move(builder).Build();
+}
+
+}  // namespace commsig

@@ -1,0 +1,29 @@
+#ifndef COMMSIG_EVAL_PERTURB_H_
+#define COMMSIG_EVAL_PERTURB_H_
+
+#include <cstdint>
+
+#include "graph/comm_graph.h"
+
+namespace commsig {
+
+/// Parameters of the paper's robustness perturbation (Section IV-C):
+///  * insertion: α·|E| new/boosted edges. Source sampled ∝ out-degree,
+///    destination sampled ∝ in-degree (within the opposite partition for
+///    bipartite graphs); the added weight is drawn from the empirical
+///    distribution of existing edge weights, independent of C[v,u].
+///  * deletion: β·|E| unit decrements of existing edges, sampling an edge
+///    ∝ its (current) weight each time; edges reaching weight 0 disappear.
+struct PerturbOptions {
+  double insert_fraction = 0.1;  // α
+  double delete_fraction = 0.1;  // β
+  uint64_t seed = 1;
+};
+
+/// Returns the perturbed graph G'_t. The input graph must have at least one
+/// edge; node universe and bipartite metadata are preserved.
+CommGraph Perturb(const CommGraph& g, const PerturbOptions& options);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_EVAL_PERTURB_H_

@@ -1,0 +1,52 @@
+#ifndef COMMSIG_EVAL_ROC_H_
+#define COMMSIG_EVAL_ROC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace commsig {
+
+/// One point of an ROC curve.
+struct RocPoint {
+  double fpr = 0.0;  // false-positive rate (x axis)
+  double tpr = 0.0;  // true-positive rate (y axis)
+};
+
+/// An ROC curve plus its area. Built from a ranked candidate list exactly as
+/// in the paper (Section IV-C): traverse candidates best-first; a relevant
+/// candidate steps the curve up by 1/|R|, an irrelevant one steps right by
+/// 1/(N - |R|).
+struct RocResult {
+  std::vector<RocPoint> curve;  // starts at (0,0), ends at (1,1)
+  double auc = 0.0;
+};
+
+/// Computes the ROC for one query. `scores[i]` is the distance of candidate
+/// i to the query (smaller = ranked higher); `relevant[i]` marks the
+/// candidates that should be ranked first. There must be at least one
+/// relevant and one irrelevant candidate.
+///
+/// Tied scores are handled in the standard Mann-Whitney way: a
+/// relevant/irrelevant pair with equal scores contributes 0.5 to the AUC,
+/// and the curve moves diagonally through tie groups, so candidate order
+/// never affects the result.
+RocResult ComputeRoc(const std::vector<double>& scores,
+                     const std::vector<bool>& relevant);
+
+/// AUC only (same tie convention), without materializing the curve.
+/// Returns 0.5 when either class is empty.
+double ComputeAuc(const std::vector<double>& scores,
+                  const std::vector<bool>& relevant);
+
+/// Vertically averages per-query ROC curves onto a uniform FPR grid of
+/// `grid_size` points — the form plotted in the paper's Figures 2 and 5.
+/// TPR at each grid FPR is linearly interpolated per curve, then averaged.
+std::vector<RocPoint> AverageRocCurves(const std::vector<RocResult>& curves,
+                                       size_t grid_size = 101);
+
+/// Mean AUC over queries; 0.5 if `curves` is empty.
+double MeanAuc(const std::vector<RocResult>& curves);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_EVAL_ROC_H_

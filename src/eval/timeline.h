@@ -1,0 +1,46 @@
+#ifndef COMMSIG_EVAL_TIMELINE_H_
+#define COMMSIG_EVAL_TIMELINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/distance.h"
+#include "core/signature.h"
+
+namespace commsig {
+
+/// Multi-window evaluation helpers. The paper computes its properties on
+/// one window transition and notes that "over all different time periods
+/// we observed very similar results" and that "signatures that exhibit
+/// higher persistence over a longer term will be more effective at
+/// detecting anomalies" — these helpers make both statements measurable.
+
+/// Mean/stddev of per-node persistence at each transition (t -> t+1)
+/// across the horizon. `per_window[w][i]` is focal node i's signature in
+/// window w; all windows must be index-aligned.
+struct TransitionStats {
+  size_t from_window = 0;
+  double mean_persistence = 0.0;
+  double std_persistence = 0.0;
+};
+std::vector<TransitionStats> PersistencePerTransition(
+    const std::vector<std::vector<Signature>>& per_window,
+    SignatureDistance dist);
+
+/// Lag sweep: mean persistence 1 - Dist(σ_t(v), σ_{t+lag}(v)) pooled over
+/// all valid t, for lag = 1 .. max_lag. Decaying slowly in lag = the
+/// "long-term persistence" that anomaly detection wants.
+struct LagStats {
+  size_t lag = 0;
+  double mean_persistence = 0.0;
+  double std_persistence = 0.0;
+  size_t samples = 0;
+};
+std::vector<LagStats> PersistenceByLag(
+    const std::vector<std::vector<Signature>>& per_window,
+    SignatureDistance dist, size_t max_lag);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_EVAL_TIMELINE_H_

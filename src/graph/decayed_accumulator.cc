@@ -1,0 +1,58 @@
+#include "graph/decayed_accumulator.h"
+
+#include <cassert>
+
+#include "graph/graph_builder.h"
+
+namespace commsig {
+
+DecayedGraphAccumulator::DecayedGraphAccumulator(size_t num_nodes,
+                                                 double decay,
+                                                 NodeId bipartite_left_size,
+                                                 double prune_threshold)
+    : num_nodes_(num_nodes),
+      decay_(decay),
+      bipartite_left_size_(bipartite_left_size),
+      prune_threshold_(prune_threshold) {
+  assert(decay >= 0.0 && decay < 1.0);
+  weights_.resize(num_nodes);
+}
+
+void DecayedGraphAccumulator::AddWindow(const CommGraph& window) {
+  assert(window.NumNodes() == num_nodes_);
+  ++windows_seen_;
+  for (auto& per_src : weights_) {
+    for (auto it = per_src.begin(); it != per_src.end();) {
+      it->second *= decay_;
+      if (it->second < prune_threshold_) {
+        it = per_src.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (NodeId src = 0; src < num_nodes_; ++src) {
+    for (const Edge& e : window.OutEdges(src)) {
+      weights_[src][e.node] += e.weight;
+    }
+  }
+}
+
+CommGraph DecayedGraphAccumulator::Current() const {
+  GraphBuilder builder(num_nodes_);
+  builder.SetBipartiteLeftSize(bipartite_left_size_);
+  for (NodeId src = 0; src < num_nodes_; ++src) {
+    for (const auto& [dst, w] : weights_[src]) {
+      builder.AddEdge(src, dst, w);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+double DecayedGraphAccumulator::EdgeWeight(NodeId src, NodeId dst) const {
+  assert(src < num_nodes_);
+  auto it = weights_[src].find(dst);
+  return it == weights_[src].end() ? 0.0 : it->second;
+}
+
+}  // namespace commsig

@@ -1,0 +1,56 @@
+#ifndef COMMSIG_GRAPH_DECAYED_ACCUMULATOR_H_
+#define COMMSIG_GRAPH_DECAYED_ACCUMULATOR_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/comm_graph.h"
+
+namespace commsig {
+
+/// Exponentially-decayed accumulation of window graphs:
+///   C'_t = decay · C'_{t-1} + C_t
+/// — the age-weighted edge volumes used by the "Communities of Interest"
+/// line of work the paper builds on (Definition 3 discussion: signatures
+/// may be computed "over a set of modified edge weights C'[i,j] which
+/// reflect an appropriate exponential decay ... of historical data").
+///
+/// Feed one CommGraph per time window in order; `Current()` materializes
+/// the decayed graph, on which any SignatureScheme can be evaluated
+/// unchanged. Edges whose decayed weight falls below `prune_threshold`
+/// are dropped, bounding memory over long horizons.
+class DecayedGraphAccumulator {
+ public:
+  /// `decay` in [0, 1): 0 keeps only the latest window; values near 1
+  /// remember history for ~1/(1-decay) windows.
+  DecayedGraphAccumulator(size_t num_nodes, double decay,
+                          NodeId bipartite_left_size = 0,
+                          double prune_threshold = 1e-9);
+
+  /// Folds in the next window. The graph must be over the same node
+  /// universe.
+  void AddWindow(const CommGraph& window);
+
+  /// Materializes the decayed graph (empty if no windows were added).
+  CommGraph Current() const;
+
+  /// Decayed weight of edge (src, dst); 0 if absent.
+  double EdgeWeight(NodeId src, NodeId dst) const;
+
+  size_t windows_seen() const { return windows_seen_; }
+  double decay() const { return decay_; }
+
+ private:
+  size_t num_nodes_;
+  double decay_;
+  NodeId bipartite_left_size_;
+  double prune_threshold_;
+  size_t windows_seen_ = 0;
+  // Sparse decayed volumes, per source.
+  std::vector<std::unordered_map<NodeId, double>> weights_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_GRAPH_DECAYED_ACCUMULATOR_H_

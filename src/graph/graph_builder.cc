@@ -1,0 +1,68 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace commsig {
+
+GraphBuilder::GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {
+  adjacency_.resize(num_nodes);
+}
+
+void GraphBuilder::AddEdge(NodeId src, NodeId dst, double weight) {
+  assert(src < num_nodes_ && dst < num_nodes_);
+  assert(weight > 0.0);
+  adjacency_[src][dst] += weight;
+}
+
+CommGraph GraphBuilder::Build() && {
+  CommGraph g;
+  const size_t n = num_nodes_;
+  g.out_index_.assign(n + 1, 0);
+  g.in_index_.assign(n + 1, 0);
+  g.out_weight_.assign(n, 0.0);
+  g.in_weight_.assign(n, 0.0);
+
+  // Pass 1: degree counts.
+  size_t num_edges = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    g.out_index_[v + 1] = adjacency_[v].size();
+    num_edges += adjacency_[v].size();
+    for (const auto& [dst, w] : adjacency_[v]) {
+      g.in_index_[dst + 1] += 1;
+    }
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    g.out_index_[i] += g.out_index_[i - 1];
+    g.in_index_[i] += g.in_index_[i - 1];
+  }
+
+  // Pass 2: fill out-edges (sorted by dst) and scatter in-edges.
+  g.out_edges_.resize(num_edges);
+  g.in_edges_.resize(num_edges);
+  std::vector<size_t> in_cursor(g.in_index_.begin(), g.in_index_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    size_t begin = g.out_index_[v];
+    size_t pos = begin;
+    for (const auto& [dst, w] : adjacency_[v]) {
+      g.out_edges_[pos++] = {dst, w};
+      g.out_weight_[v] += w;
+      g.in_weight_[dst] += w;
+      g.total_weight_ += w;
+    }
+    std::sort(g.out_edges_.begin() + begin, g.out_edges_.begin() + pos,
+              [](const Edge& a, const Edge& b) { return a.node < b.node; });
+  }
+  // Scattering in src order keeps each in-adjacency range sorted by source,
+  // since sources are visited in increasing id order.
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Edge& e : g.OutEdges(v)) {
+      g.in_edges_[in_cursor[e.node]++] = {v, e.weight};
+    }
+  }
+
+  g.bipartite_.left_size = left_size_;
+  return g;
+}
+
+}  // namespace commsig

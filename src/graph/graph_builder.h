@@ -1,0 +1,46 @@
+#ifndef COMMSIG_GRAPH_GRAPH_BUILDER_H_
+#define COMMSIG_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/comm_graph.h"
+
+namespace commsig {
+
+/// Accumulates directed weighted edge observations and finalizes them into
+/// an immutable CommGraph.
+///
+/// Repeated AddEdge calls on the same (src, dst) pair aggregate their
+/// weights — this is the paper's flow aggregation step where individual
+/// communications within a window are summed into edge volumes C[v,u].
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the node universe; all ids must be < num_nodes.
+  explicit GraphBuilder(size_t num_nodes);
+
+  /// Adds `weight` (> 0) to edge (src, dst). Self-loops are permitted at
+  /// this layer; signature schemes ignore the focal node per Definition 1.
+  void AddEdge(NodeId src, NodeId dst, double weight = 1.0);
+
+  /// Marks the first `left_size` node ids as partition V1 of a bipartite
+  /// graph (see CommGraph::Bipartite).
+  void SetBipartiteLeftSize(NodeId left_size) { left_size_ = left_size; }
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Finalizes into a CommGraph. The builder is consumed.
+  CommGraph Build() &&;
+
+ private:
+  size_t num_nodes_;
+  NodeId left_size_ = 0;
+  // Per-source aggregation maps; dense enough for window-sized graphs while
+  // keeping AddEdge O(1) expected.
+  std::vector<std::unordered_map<NodeId, double>> adjacency_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_GRAPH_GRAPH_BUILDER_H_

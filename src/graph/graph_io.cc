@@ -1,0 +1,61 @@
+#include "graph/graph_io.h"
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "graph/graph_builder.h"
+
+namespace commsig {
+
+Status WriteEdgeListCsv(const CommGraph& g, const Interner& interner,
+                        const std::string& path) {
+  CsvWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  // Header comment is informational; readers skip '#' lines.
+  writer.WriteRow({"# commsig-graph nodes=" + std::to_string(g.NumNodes()) +
+                   " left=" + std::to_string(g.bipartite().left_size)});
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const Edge& e : g.OutEdges(v)) {
+      writer.WriteRow({interner.LabelOf(v), interner.LabelOf(e.node),
+                       std::to_string(e.weight)});
+    }
+  }
+  return writer.Close();
+}
+
+Result<CommGraph> ReadEdgeListCsv(const std::string& path, Interner& interner,
+                                  NodeId bipartite_left_size) {
+  CsvReader reader(path);
+  if (!reader.status().ok()) return reader.status();
+
+  struct Row {
+    NodeId src;
+    NodeId dst;
+    double weight;
+  };
+  std::vector<Row> rows;
+  std::vector<std::string> fields;
+  while (reader.Next(fields)) {
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          "edge row needs 3 fields at line " +
+          std::to_string(reader.line_number()));
+    }
+    Result<double> w = ParseDouble(fields[2]);
+    if (!w.ok()) return w.status();
+    if (*w <= 0.0) {
+      return Status::InvalidArgument("non-positive weight at line " +
+                                     std::to_string(reader.line_number()));
+    }
+    rows.push_back(
+        {interner.Intern(fields[0]), interner.Intern(fields[1]), *w});
+  }
+
+  GraphBuilder builder(interner.size());
+  builder.SetBipartiteLeftSize(bipartite_left_size);
+  for (const Row& r : rows) builder.AddEdge(r.src, r.dst, r.weight);
+  return std::move(builder).Build();
+}
+
+}  // namespace commsig

@@ -1,0 +1,104 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace commsig {
+
+GraphSummary Summarize(const CommGraph& g) {
+  GraphSummary s;
+  s.num_nodes = g.NumNodes();
+  s.num_edges = g.NumEdges();
+  s.total_weight = g.TotalWeight();
+  size_t out_deg_sum = 0;
+  size_t out_active = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    size_t od = g.OutDegree(v);
+    size_t id = g.InDegree(v);
+    if (od > 0 || id > 0) ++s.num_active_nodes;
+    if (od > 0) {
+      ++out_active;
+      out_deg_sum += od;
+    }
+    s.max_out_degree = std::max(s.max_out_degree, static_cast<double>(od));
+    s.max_in_degree = std::max(s.max_in_degree, static_cast<double>(id));
+  }
+  if (out_active > 0) {
+    s.mean_out_degree_active =
+        static_cast<double>(out_deg_sum) / static_cast<double>(out_active);
+  }
+  return s;
+}
+
+namespace {
+
+std::vector<size_t> DegreeHistogram(const CommGraph& g, bool out) {
+  size_t max_deg = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_deg = std::max(max_deg, out ? g.OutDegree(v) : g.InDegree(v));
+  }
+  std::vector<size_t> hist(max_deg + 1, 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    hist[out ? g.OutDegree(v) : g.InDegree(v)] += 1;
+  }
+  return hist;
+}
+
+}  // namespace
+
+std::vector<size_t> OutDegreeHistogram(const CommGraph& g) {
+  return DegreeHistogram(g, /*out=*/true);
+}
+
+std::vector<size_t> InDegreeHistogram(const CommGraph& g) {
+  return DegreeHistogram(g, /*out=*/false);
+}
+
+std::vector<size_t> UndirectedHopDistances(const CommGraph& g, NodeId start) {
+  std::vector<size_t> dist(g.NumNodes(), kUnreachable);
+  if (start >= g.NumNodes()) return dist;
+  std::deque<NodeId> queue;
+  dist[start] = 0;
+  queue.push_back(start);
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    auto visit = [&](NodeId u) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    };
+    for (const Edge& e : g.OutEdges(v)) visit(e.node);
+    for (const Edge& e : g.InEdges(v)) visit(e.node);
+  }
+  return dist;
+}
+
+size_t UndirectedEccentricity(const CommGraph& g, NodeId start) {
+  auto dist = UndirectedHopDistances(g, start);
+  size_t ecc = 0;
+  for (size_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+size_t EstimateDiameter(const CommGraph& g, NodeId start) {
+  if (g.NumEdges() == 0 || g.NumNodes() == 0) return 0;
+  if (start >= g.NumNodes()) start = 0;
+  // First sweep: find the farthest reachable node from `start`.
+  auto dist = UndirectedHopDistances(g, start);
+  NodeId far = start;
+  size_t best = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] > best) {
+      best = dist[v];
+      far = v;
+    }
+  }
+  // Second sweep from that node.
+  return UndirectedEccentricity(g, far);
+}
+
+}  // namespace commsig

@@ -1,0 +1,50 @@
+#ifndef COMMSIG_GRAPH_GRAPH_STATS_H_
+#define COMMSIG_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/comm_graph.h"
+
+namespace commsig {
+
+/// Summary statistics of one window graph. The paper sizes its signature
+/// length k from the mean focal-host out-degree (k = half the mean), and its
+/// RWR-depth discussion rests on the graph's small diameter — both are
+/// computed here.
+struct GraphSummary {
+  size_t num_nodes = 0;
+  size_t num_active_nodes = 0;  // nodes with at least one incident edge
+  size_t num_edges = 0;
+  double total_weight = 0.0;
+  double mean_out_degree_active = 0.0;  // over nodes with out-degree > 0
+  double max_out_degree = 0.0;
+  double max_in_degree = 0.0;
+};
+
+/// Computes the summary above.
+GraphSummary Summarize(const CommGraph& g);
+
+/// Histogram of a degree sequence: result[d] = number of nodes with degree
+/// exactly d (sized to max degree + 1). Power-law shape checks in tests use
+/// this.
+std::vector<size_t> OutDegreeHistogram(const CommGraph& g);
+std::vector<size_t> InDegreeHistogram(const CommGraph& g);
+
+/// BFS eccentricity of `start` treating edges as undirected, i.e. the
+/// longest hop distance from `start` to any reachable node.
+size_t UndirectedEccentricity(const CommGraph& g, NodeId start);
+
+/// Lower bound on the undirected diameter obtained by double-sweep BFS from
+/// `start`. Exact on trees; a good estimate on communication graphs. Returns
+/// 0 for graphs with no edges.
+size_t EstimateDiameter(const CommGraph& g, NodeId start = 0);
+
+/// Hop distances (undirected) from `start`; kUnreachable for disconnected
+/// nodes. Used by tests and by the h-hop locality checks.
+inline constexpr size_t kUnreachable = static_cast<size_t>(-1);
+std::vector<size_t> UndirectedHopDistances(const CommGraph& g, NodeId start);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_GRAPH_GRAPH_STATS_H_

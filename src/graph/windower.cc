@@ -1,0 +1,52 @@
+#include "graph/windower.h"
+
+#include <cassert>
+
+#include "graph/graph_builder.h"
+
+namespace commsig {
+
+TraceWindower::TraceWindower(size_t num_nodes, uint64_t window_length,
+                             uint64_t start_time, NodeId bipartite_left_size)
+    : num_nodes_(num_nodes),
+      window_length_(window_length),
+      start_time_(start_time),
+      bipartite_left_size_(bipartite_left_size) {
+  assert(window_length_ > 0);
+}
+
+size_t TraceWindower::WindowOf(uint64_t time) const {
+  if (time < start_time_) return static_cast<size_t>(-1);
+  return static_cast<size_t>((time - start_time_) / window_length_);
+}
+
+std::vector<CommGraph> TraceWindower::Split(
+    const std::vector<TraceEvent>& events) const {
+  size_t num_windows = 0;
+  for (const TraceEvent& e : events) {
+    size_t w = WindowOf(e.time);
+    if (w == static_cast<size_t>(-1)) continue;
+    num_windows = std::max(num_windows, w + 1);
+  }
+
+  std::vector<GraphBuilder> builders;
+  builders.reserve(num_windows);
+  for (size_t w = 0; w < num_windows; ++w) {
+    builders.emplace_back(num_nodes_);
+    builders.back().SetBipartiteLeftSize(bipartite_left_size_);
+  }
+  for (const TraceEvent& e : events) {
+    size_t w = WindowOf(e.time);
+    if (w == static_cast<size_t>(-1)) continue;
+    builders[w].AddEdge(e.src, e.dst, e.weight);
+  }
+
+  std::vector<CommGraph> graphs;
+  graphs.reserve(num_windows);
+  for (auto& b : builders) {
+    graphs.push_back(std::move(b).Build());
+  }
+  return graphs;
+}
+
+}  // namespace commsig

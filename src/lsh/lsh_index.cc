@@ -1,0 +1,82 @@
+#include "lsh/lsh_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+
+namespace commsig {
+
+LshIndex::LshIndex(Options options)
+    : options_(options),
+      hasher_(options.bands * options.rows_per_band, options.seed),
+      buckets_(options.bands) {}
+
+uint64_t LshIndex::BandKey(const std::vector<uint64_t>& sketch,
+                           size_t band) const {
+  uint64_t key = SplitMix64(band + 1);
+  const size_t begin = band * options_.rows_per_band;
+  for (size_t r = 0; r < options_.rows_per_band; ++r) {
+    key = SplitMix64(key ^ sketch[begin + r]);
+  }
+  return key;
+}
+
+void LshIndex::Insert(NodeId id, const Signature& sig) {
+  std::vector<uint64_t> sketch = hasher_.Sketch(sig);
+  uint32_t index = static_cast<uint32_t>(sketches_.size());
+  for (size_t band = 0; band < options_.bands; ++band) {
+    buckets_[band][BandKey(sketch, band)].push_back(index);
+  }
+  sketches_.emplace_back(id, std::move(sketch));
+}
+
+std::vector<NodeId> LshIndex::Query(const Signature& sig) const {
+  std::vector<uint64_t> sketch = hasher_.Sketch(sig);
+  std::set<NodeId> candidates;
+  for (size_t band = 0; band < options_.bands; ++band) {
+    auto it = buckets_[band].find(BandKey(sketch, band));
+    if (it == buckets_[band].end()) continue;
+    for (uint32_t index : it->second) {
+      candidates.insert(sketches_[index].first);
+    }
+  }
+  return {candidates.begin(), candidates.end()};
+}
+
+std::vector<LshIndex::Pair> LshIndex::SimilarPairs(
+    double min_similarity) const {
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const auto& band_buckets : buckets_) {
+    for (const auto& [key, members] : band_buckets) {
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          uint32_t a = std::min(members[i], members[j]);
+          uint32_t b = std::max(members[i], members[j]);
+          if (a != b) seen.emplace(a, b);
+        }
+      }
+    }
+  }
+
+  std::vector<Pair> pairs;
+  pairs.reserve(seen.size());
+  for (const auto& [i, j] : seen) {
+    double sim = MinHasher::EstimateJaccardSimilarity(sketches_[i].second,
+                                                      sketches_[j].second);
+    if (sim < min_similarity) continue;
+    NodeId a = sketches_[i].first;
+    NodeId b = sketches_[j].first;
+    pairs.push_back({std::min(a, b), std::max(a, b), sim});
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+    if (x.estimated_similarity != y.estimated_similarity) {
+      return x.estimated_similarity > y.estimated_similarity;
+    }
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  return pairs;
+}
+
+}  // namespace commsig

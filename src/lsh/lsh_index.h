@@ -1,0 +1,69 @@
+#ifndef COMMSIG_LSH_LSH_INDEX_H_
+#define COMMSIG_LSH_LSH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "core/signature.h"
+#include "lsh/minhash.h"
+
+namespace commsig {
+
+/// Banded MinHash LSH index over signatures (Section VI, "scalable
+/// signature comparison"). Sketches are split into `bands` groups of
+/// `rows_per_band` components; two signatures collide in a band iff that
+/// whole group matches, so a pair with Jaccard similarity s is retrieved
+/// with probability 1 − (1 − s^rows)^bands — the classic S-curve. The
+/// default 32 bands × 4 rows puts the 50% threshold near s ≈ 0.4.
+///
+/// Typical use: index all focal signatures of a window, then Query each
+/// one (or call SimilarPairs) to cut multiusage detection from O(n²)
+/// distance evaluations to near-linear candidate generation.
+class LshIndex {
+ public:
+  struct Options {
+    size_t bands = 32;
+    size_t rows_per_band = 4;
+    uint64_t seed = 0x15b;
+  };
+
+  LshIndex() : LshIndex(Options()) {}
+  explicit LshIndex(Options options);
+
+  /// Sketches and indexes `sig` under `id`. Ids should be unique.
+  void Insert(NodeId id, const Signature& sig);
+
+  /// Candidate ids colliding with `sig` in at least one band (excluding
+  /// exact id self-matches is the caller's concern). Deduplicated,
+  /// ascending.
+  std::vector<NodeId> Query(const Signature& sig) const;
+
+  /// All distinct indexed pairs colliding in at least one band, each with
+  /// its MinHash-estimated Jaccard similarity. Pairs are returned with
+  /// a < b, sorted by descending similarity.
+  struct Pair {
+    NodeId a;
+    NodeId b;
+    double estimated_similarity;
+  };
+  std::vector<Pair> SimilarPairs(double min_similarity = 0.0) const;
+
+  size_t size() const { return sketches_.size(); }
+  const MinHasher& hasher() const { return hasher_; }
+
+ private:
+  uint64_t BandKey(const std::vector<uint64_t>& sketch, size_t band) const;
+
+  Options options_;
+  MinHasher hasher_;
+  std::vector<std::pair<NodeId, std::vector<uint64_t>>> sketches_;
+  // band -> bucket hash -> indices into sketches_.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> buckets_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_LSH_LSH_INDEX_H_

@@ -1,0 +1,44 @@
+#include "lsh/minhash.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/random.h"
+
+namespace commsig {
+
+MinHasher::MinHasher(size_t num_hashes, uint64_t seed)
+    : num_hashes_(num_hashes), seed_(seed) {
+  assert(num_hashes > 0);
+}
+
+std::vector<uint64_t> MinHasher::Sketch(const Signature& sig) const {
+  std::vector<uint64_t> sketch(num_hashes_,
+                               std::numeric_limits<uint64_t>::max());
+  // Fold the seed through SplitMix64 first: XORing a small seed directly
+  // into small node ids would merely permute the input set, leaving the
+  // per-component minima unchanged across seeds.
+  const uint64_t seed_offset = SplitMix64(seed_);
+  for (const Signature::Entry& e : sig.entries()) {
+    // One base hash per node, then cheap per-component mixing.
+    uint64_t base = SplitMix64(static_cast<uint64_t>(e.node) + seed_offset);
+    for (size_t h = 0; h < num_hashes_; ++h) {
+      uint64_t value = SplitMix64(base + h * 0x9e3779b97f4a7c15ULL);
+      sketch[h] = std::min(sketch[h], value);
+    }
+  }
+  return sketch;
+}
+
+double MinHasher::EstimateJaccardSimilarity(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b) {
+  assert(a.size() == b.size() && !a.empty());
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace commsig

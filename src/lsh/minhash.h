@@ -1,0 +1,43 @@
+#ifndef COMMSIG_LSH_MINHASH_H_
+#define COMMSIG_LSH_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.h"
+
+namespace commsig {
+
+/// MinHash sketching of a signature's node *set* (weights are ignored —
+/// the underlying similarity is Jaccard, matching Dist_Jac). With `m`
+/// hash functions, the fraction of agreeing components is an unbiased
+/// estimator of the Jaccard similarity with standard error ≈ 1/√m.
+///
+/// Section VI proposes exactly this (Indyk-Motwani LSH) for approximate
+/// nearest-neighbour signature matching at scale.
+class MinHasher {
+ public:
+  /// `num_hashes` components per sketch.
+  explicit MinHasher(size_t num_hashes = 128, uint64_t seed = 0x315);
+
+  /// Sketches a signature. Empty signatures map to the all-max sketch,
+  /// which never collides with non-empty ones.
+  std::vector<uint64_t> Sketch(const Signature& sig) const;
+
+  /// Fraction of agreeing components in [0, 1]. Sketches must come from
+  /// the same MinHasher.
+  static double EstimateJaccardSimilarity(const std::vector<uint64_t>& a,
+                                          const std::vector<uint64_t>& b);
+
+  size_t num_hashes() const { return num_hashes_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  size_t num_hashes_;
+  uint64_t seed_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_LSH_MINHASH_H_

@@ -1,0 +1,56 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace commsig {
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  assert(width > 0 && depth > 0);
+  table_.assign(width * depth, 0.0);
+}
+
+CountMinSketch CountMinSketch::WithGuarantee(double epsilon, double delta,
+                                             uint64_t seed) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  assert(delta > 0.0 && delta < 1.0);
+  size_t width = static_cast<size_t>(std::ceil(M_E / epsilon));
+  size_t depth = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<size_t>(width, 1), std::max<size_t>(depth, 1),
+                        seed);
+}
+
+size_t CountMinSketch::Index(size_t row, uint64_t key) const {
+  // Row-seeded SplitMix64 acts as a family of pairwise-enough hashes.
+  uint64_t h = SplitMix64(key ^ SplitMix64(seed_ + row * 0x9e37u));
+  return row * width_ + static_cast<size_t>(h % width_);
+}
+
+void CountMinSketch::Add(uint64_t key, double count) {
+  assert(count > 0.0);
+  total_ += count;
+  for (size_t row = 0; row < depth_; ++row) {
+    table_[Index(row, key)] += count;
+  }
+}
+
+double CountMinSketch::Estimate(uint64_t key) const {
+  double best = table_[Index(0, key)];
+  for (size_t row = 1; row < depth_; ++row) {
+    best = std::min(best, table_[Index(row, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  assert(width_ == other.width_ && depth_ == other.depth_ &&
+         seed_ == other.seed_);
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  total_ += other.total_;
+}
+
+}  // namespace commsig

@@ -1,0 +1,63 @@
+#ifndef COMMSIG_SKETCH_COUNT_MIN_H_
+#define COMMSIG_SKETCH_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace commsig {
+
+/// Count-Min sketch [Cormode & Muthukrishnan, LATIN 2004] over 64-bit keys
+/// with double-valued counts. Supports point updates and point queries with
+/// one-sided error: the estimate never underestimates, and overestimates by
+/// at most ε·(total count) with probability 1−δ when built with
+/// width = ⌈e/ε⌉ and depth = ⌈ln(1/δ)⌉.
+///
+/// Section VI uses one CM sketch to approximate the edge volumes C[i,j]
+/// (keyed by the (i,j) pair) when the raw graph is too large to store.
+class CountMinSketch {
+ public:
+  /// `width` counters per row, `depth` rows; both must be positive. `seed`
+  /// derives the per-row hash functions.
+  CountMinSketch(size_t width, size_t depth, uint64_t seed = 0x5eed);
+
+  /// Builds a sketch meeting the (epsilon, delta) guarantee.
+  static CountMinSketch WithGuarantee(double epsilon, double delta,
+                                      uint64_t seed = 0x5eed);
+
+  /// Adds `count` (> 0) to `key`.
+  void Add(uint64_t key, double count = 1.0);
+
+  /// Point estimate: min over rows. Never less than the true count.
+  double Estimate(uint64_t key) const;
+
+  /// Sum of all counts added.
+  double TotalCount() const { return total_; }
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+  /// Memory footprint in bytes (counter array only).
+  size_t MemoryBytes() const { return table_.size() * sizeof(double); }
+
+  /// Merges another sketch with identical dimensions and seed.
+  void Merge(const CountMinSketch& other);
+
+  /// Packs an edge (src, dst) into a sketch key.
+  static uint64_t EdgeKey(uint32_t src, uint32_t dst) {
+    return (static_cast<uint64_t>(src) << 32) | dst;
+  }
+
+ private:
+  size_t Index(size_t row, uint64_t key) const;
+
+  size_t width_;
+  size_t depth_;
+  uint64_t seed_;
+  double total_ = 0.0;
+  std::vector<double> table_;  // depth_ rows of width_ counters
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_SKETCH_COUNT_MIN_H_

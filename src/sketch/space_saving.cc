@@ -1,0 +1,55 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace commsig {
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+  counters_.reserve(capacity);
+}
+
+void SpaceSaving::Add(uint64_t key, double weight) {
+  assert(weight > 0.0);
+  total_ += weight;
+
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(key, Counter{weight, 0.0});
+    return;
+  }
+  // Evict the minimum-count key; the newcomer inherits its count as error.
+  // Linear scan is fine at signature-sized capacities (tens of entries).
+  auto min_it = counters_.begin();
+  for (auto i = counters_.begin(); i != counters_.end(); ++i) {
+    if (i->second.count < min_it->second.count) min_it = i;
+  }
+  Counter evicted = min_it->second;
+  counters_.erase(min_it);
+  counters_.emplace(key, Counter{evicted.count + weight, evicted.count});
+}
+
+std::vector<SpaceSaving::Item> SpaceSaving::Items() const {
+  std::vector<Item> items;
+  items.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    items.push_back({key, counter.count, counter.error});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return items;
+}
+
+double SpaceSaving::Estimate(uint64_t key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0.0 : it->second.count;
+}
+
+}  // namespace commsig

@@ -1,0 +1,84 @@
+#include "sketch/streaming_signatures.h"
+
+#include <algorithm>
+
+namespace commsig {
+
+StreamingSignatureBuilder::StreamingSignatureBuilder(
+    std::vector<NodeId> focal_nodes, Options options)
+    : options_(options),
+      edge_volumes_(options.cm_width, options.cm_depth, options.seed) {
+  for (NodeId v : focal_nodes) {
+    per_focal_.emplace(v, SpaceSaving(options_.heavy_hitter_capacity));
+    out_volume_.emplace(v, 0.0);
+  }
+}
+
+void StreamingSignatureBuilder::Observe(const TraceEvent& event) {
+  ++events_observed_;
+  // Destination novelty statistics see the whole stream.
+  auto [it, inserted] = in_degree_.try_emplace(
+      event.dst, FmSketch(options_.fm_bitmaps, options_.seed ^ 0xf));
+  it->second.Add(event.src);
+
+  auto focal_it = per_focal_.find(event.src);
+  if (focal_it == per_focal_.end()) return;
+  focal_it->second.Add(event.dst, event.weight);
+  out_volume_[event.src] += event.weight;
+  edge_volumes_.Add(CountMinSketch::EdgeKey(event.src, event.dst),
+                    event.weight);
+}
+
+void StreamingSignatureBuilder::ObserveAll(
+    const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) Observe(e);
+}
+
+Signature StreamingSignatureBuilder::TopTalkers(NodeId focal,
+                                                size_t k) const {
+  auto it = per_focal_.find(focal);
+  if (it == per_focal_.end()) return Signature();
+  const double total = out_volume_.at(focal);
+  if (total <= 0.0) return Signature();
+
+  std::vector<Signature::Entry> candidates;
+  for (const SpaceSaving::Item& item : it->second.Items()) {
+    NodeId dst = static_cast<NodeId>(item.key);
+    if (dst == focal) continue;
+    candidates.push_back({dst, item.count / total});
+  }
+  return Signature::FromTopK(std::move(candidates), k);
+}
+
+Signature StreamingSignatureBuilder::UnexpectedTalkers(NodeId focal,
+                                                       size_t k) const {
+  auto it = per_focal_.find(focal);
+  if (it == per_focal_.end()) return Signature();
+
+  std::vector<Signature::Entry> candidates;
+  for (const SpaceSaving::Item& item : it->second.Items()) {
+    NodeId dst = static_cast<NodeId>(item.key);
+    if (dst == focal) continue;
+    double volume =
+        edge_volumes_.Estimate(CountMinSketch::EdgeKey(focal, dst));
+    auto fm = in_degree_.find(dst);
+    double degree = fm == in_degree_.end() ? 1.0
+                                           : std::max(1.0, fm->second.Estimate());
+    candidates.push_back({dst, volume / degree});
+  }
+  return Signature::FromTopK(std::move(candidates), k);
+}
+
+size_t StreamingSignatureBuilder::MemoryBytes() const {
+  size_t bytes = edge_volumes_.MemoryBytes();
+  for (const auto& [node, sketch] : in_degree_) {
+    bytes += sketch.MemoryBytes();
+  }
+  // SpaceSaving summaries: key + counter pair per tracked entry.
+  for (const auto& [node, summary] : per_focal_) {
+    bytes += summary.size() * (sizeof(uint64_t) + 2 * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace commsig

@@ -1,0 +1,79 @@
+#ifndef COMMSIG_SKETCH_STREAMING_SIGNATURES_H_
+#define COMMSIG_SKETCH_STREAMING_SIGNATURES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "core/signature.h"
+#include "graph/windower.h"
+#include "sketch/count_min.h"
+#include "sketch/fm_sketch.h"
+#include "sketch/space_saving.h"
+
+namespace commsig {
+
+/// Semi-streaming signature construction (paper Section VI): builds
+/// approximate Top Talkers and Unexpected Talkers signatures from a single
+/// pass over the communication stream, without materializing the graph.
+///
+/// Per focal node: a SpaceSaving summary of its outgoing edges (candidate
+/// set + TT weights). Globally: one Count-Min sketch of edge volumes
+/// C[i,j], and one small FM distinct-counter per destination estimating its
+/// in-degree |I(j)| — together these recover the UT weight
+/// C[i,j] / |I(j)| approximately. Memory is O(1) per node, as the
+/// semi-streaming model allows.
+class StreamingSignatureBuilder {
+ public:
+  struct Options {
+    /// SpaceSaving capacity per focal node. Must exceed the signature
+    /// length k; 4-8x k keeps the candidate set honest for UT, whose top-k
+    /// need not be TT's top-k.
+    size_t heavy_hitter_capacity = 64;
+    /// Count-Min dimensions.
+    size_t cm_width = 4096;
+    size_t cm_depth = 4;
+    /// FM bitmaps per destination (64 => ~10% degree error, 512 B each).
+    size_t fm_bitmaps = 64;
+    uint64_t seed = 0xc0de;
+  };
+
+  /// `focal_nodes`: the nodes whose signatures will be extracted (the
+  /// enterprise "local hosts").
+  StreamingSignatureBuilder(std::vector<NodeId> focal_nodes, Options options);
+
+  /// Processes one communication. Non-focal sources still feed the
+  /// destination in-degree estimators, so UT novelty reflects the whole
+  /// stream.
+  void Observe(const TraceEvent& event);
+
+  /// Convenience for whole traces.
+  void ObserveAll(const std::vector<TraceEvent>& events);
+
+  /// Approximate Top Talkers signature of `focal`: SpaceSaving counts
+  /// normalized by the node's total observed out-volume. Returns an empty
+  /// signature for unknown focal nodes.
+  Signature TopTalkers(NodeId focal, size_t k) const;
+
+  /// Approximate Unexpected Talkers: Count-Min volume estimates divided by
+  /// FM in-degree estimates, over the node's SpaceSaving candidates.
+  Signature UnexpectedTalkers(NodeId focal, size_t k) const;
+
+  /// Total sketch memory in bytes (diagnostics for the scalability bench).
+  size_t MemoryBytes() const;
+
+  uint64_t events_observed() const { return events_observed_; }
+
+ private:
+  Options options_;
+  std::unordered_map<NodeId, SpaceSaving> per_focal_;
+  std::unordered_map<NodeId, double> out_volume_;
+  CountMinSketch edge_volumes_;
+  std::unordered_map<NodeId, FmSketch> in_degree_;
+  uint64_t events_observed_ = 0;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_SKETCH_STREAMING_SIGNATURES_H_

@@ -1,0 +1,120 @@
+#include "apps/anomaly.h"
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+Signature Sig(std::vector<Signature::Entry> entries) {
+  return Signature::FromTopK(std::move(entries), 100);
+}
+
+const SignatureDistance kJac{DistanceKind::kJaccard};
+
+TEST(DetectAnomaliesTest, FlagsTheOneChangedNode) {
+  // Nine stable nodes, one that flipped its behaviour entirely.
+  std::vector<NodeId> nodes;
+  std::vector<Signature> t, t1;
+  for (NodeId v = 0; v < 10; ++v) {
+    nodes.push_back(v);
+    t.push_back(Sig({{100 + v, 1.0}, {200 + v, 1.0}}));
+    if (v == 7) {
+      t1.push_back(Sig({{900, 1.0}, {901, 1.0}}));  // total change
+    } else {
+      t1.push_back(t.back());
+    }
+  }
+  auto anomalies = DetectAnomalies(nodes, t, t1, kJac, 2.0);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].node, 7u);
+  EXPECT_DOUBLE_EQ(anomalies[0].persistence, 0.0);
+  EXPECT_GT(anomalies[0].deviations_below_mean, 2.0);
+}
+
+TEST(DetectAnomaliesTest, NoAnomaliesWhenAllStable) {
+  std::vector<NodeId> nodes = {0, 1, 2};
+  std::vector<Signature> sigs = {Sig({{1, 1.0}}), Sig({{2, 1.0}}),
+                                 Sig({{3, 1.0}})};
+  EXPECT_TRUE(DetectAnomalies(nodes, sigs, sigs, kJac, 2.0).empty());
+}
+
+TEST(DetectAnomaliesTest, SortsMostAnomalousFirst) {
+  std::vector<NodeId> nodes;
+  std::vector<Signature> t, t1;
+  for (NodeId v = 0; v < 20; ++v) {
+    nodes.push_back(v);
+    t.push_back(Sig({{100 + v, 1.0}, {200 + v, 1.0}}));
+    if (v == 3) {
+      t1.push_back(Sig({{900, 1.0}, {901, 1.0}}));  // full change
+    } else if (v == 5) {
+      t1.push_back(Sig({{100 + v, 1.0}, {902, 1.0}}));  // half change
+    } else {
+      t1.push_back(t.back());
+    }
+  }
+  auto anomalies = DetectAnomalies(nodes, t, t1, kJac, 1.0);
+  ASSERT_GE(anomalies.size(), 2u);
+  EXPECT_EQ(anomalies[0].node, 3u);
+  EXPECT_EQ(anomalies[1].node, 5u);
+}
+
+TEST(AnomalyMonitorTest, FirstWindowNeverAlerts) {
+  std::vector<NodeId> nodes = {0, 1};
+  AnomalyMonitor monitor(nodes, kJac);
+  auto alerts = monitor.Observe({Sig({{1, 1.0}}), Sig({{2, 1.0}})});
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_EQ(monitor.windows_seen(), 1u);
+}
+
+TEST(AnomalyMonitorTest, DetectsBehaviourBreakAfterStableHistory) {
+  std::vector<NodeId> nodes;
+  std::vector<Signature> stable;
+  for (NodeId v = 0; v < 10; ++v) {
+    nodes.push_back(v);
+    stable.push_back(Sig({{100 + v, 1.0}, {200 + v, 1.0}}));
+  }
+  AnomalyMonitor monitor(nodes, kJac,
+                         {.deviation_threshold = 2.0, .min_history = 2});
+  // Five stable windows.
+  for (int w = 0; w < 5; ++w) {
+    EXPECT_TRUE(monitor.Observe(stable).empty()) << "window " << w;
+  }
+  // Node 4 breaks.
+  std::vector<Signature> broken = stable;
+  broken[4] = Sig({{999, 1.0}});
+  auto alerts = monitor.Observe(broken);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].node, 4u);
+}
+
+TEST(AnomalyMonitorTest, GradualDriftBelowThresholdStaysQuiet) {
+  std::vector<NodeId> nodes = {0, 1, 2, 3};
+  AnomalyMonitor::Options opts;
+  opts.deviation_threshold = 3.0;
+  opts.min_history = 2;
+  opts.min_stddev = 0.2;  // tolerate sizable wobble
+  AnomalyMonitor monitor(nodes, kJac, opts);
+  // Signatures drift by one node each window out of four.
+  for (NodeId base = 0; base < 6; ++base) {
+    std::vector<Signature> sigs;
+    for (NodeId v = 0; v < 4; ++v) {
+      sigs.push_back(Sig({{100 + v, 1.0},
+                          {200 + v, 1.0},
+                          {300 + v, 1.0},
+                          {400 + base, 1.0}}));
+    }
+    EXPECT_TRUE(monitor.Observe(sigs).empty()) << "window " << base;
+  }
+}
+
+TEST(AnomalyMonitorTest, WindowsSeenCounts) {
+  std::vector<NodeId> nodes = {0};
+  AnomalyMonitor monitor(nodes, kJac);
+  monitor.Observe({Sig({{1, 1.0}})});
+  monitor.Observe({Sig({{1, 1.0}})});
+  monitor.Observe({Sig({{1, 1.0}})});
+  EXPECT_EQ(monitor.windows_seen(), 3u);
+}
+
+}  // namespace
+}  // namespace commsig

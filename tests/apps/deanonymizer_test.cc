@@ -1,0 +1,200 @@
+#include "apps/deanonymizer.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace commsig {
+namespace {
+
+Signature Sig(std::vector<Signature::Entry> entries) {
+  return Signature::FromTopK(std::move(entries), 100);
+}
+
+const SignatureDistance kJac{DistanceKind::kJaccard};
+
+TEST(PlanAnonymizationTest, IsAPermutationOfThePool) {
+  std::vector<NodeId> pool = {3, 5, 7, 9, 11};
+  AnonymizationPlan plan = PlanAnonymization(pool, 1);
+  ASSERT_EQ(plan.pseudonym_of.size(), pool.size());
+  std::multiset<NodeId> a(pool.begin(), pool.end());
+  std::multiset<NodeId> b(plan.pseudonym_of.begin(),
+                          plan.pseudonym_of.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(PlanAnonymizationTest, DeterministicUnderSeed) {
+  std::vector<NodeId> pool = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(PlanAnonymization(pool, 9).pseudonym_of,
+            PlanAnonymization(pool, 9).pseudonym_of);
+}
+
+TEST(PlanAnonymizationTest, OriginalOfInverts) {
+  std::vector<NodeId> pool = {0, 1, 2, 3};
+  AnonymizationPlan plan = PlanAnonymization(pool, 4);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(plan.OriginalOf(plan.pseudonym_of[i]), pool[i]);
+  }
+  EXPECT_EQ(plan.OriginalOf(999), kInvalidNode);
+}
+
+TEST(AnonymizeTest, RelabelsEdges) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 2, 5.0);
+  b.AddEdge(1, 3, 7.0);
+  CommGraph g = std::move(b).Build();
+  AnonymizationPlan plan;
+  plan.pool = {0, 1};
+  plan.pseudonym_of = {1, 0};  // swap
+  CommGraph anon = Anonymize(g, plan);
+  EXPECT_DOUBLE_EQ(anon.EdgeWeight(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(anon.EdgeWeight(0, 3), 7.0);
+  EXPECT_DOUBLE_EQ(anon.TotalWeight(), g.TotalWeight());
+}
+
+TEST(DeanonymizerTest, RecoversDistinctiveNodes) {
+  // Three nodes with disjoint signatures, shuffled pseudonyms.
+  std::vector<NodeId> originals = {10, 11, 12};
+  std::vector<Signature> reference = {Sig({{1, 1.0}}), Sig({{2, 1.0}}),
+                                      Sig({{3, 1.0}})};
+  // Anonymized window: same behaviours under permuted labels
+  // 10 -> 12, 11 -> 10, 12 -> 11.
+  std::vector<NodeId> pseudonyms = {12, 10, 11};
+  std::vector<Signature> anonymous = reference;
+  Deanonymizer attacker(kJac);
+  auto ids = attacker.Identify(originals, reference, pseudonyms, anonymous);
+  ASSERT_EQ(ids.size(), 3u);
+  for (const auto& id : ids) {
+    // pseudonyms[i] carries reference[i]'s behaviour.
+    if (id.original == 10) {
+      EXPECT_EQ(id.pseudonym, 12u);
+    } else if (id.original == 11) {
+      EXPECT_EQ(id.pseudonym, 10u);
+    } else if (id.original == 12) {
+      EXPECT_EQ(id.pseudonym, 11u);
+    }
+  }
+}
+
+TEST(DeanonymizerTest, OneToOneNeverReusesAPseudonym) {
+  // Two reference nodes whose nearest candidate is the same pseudonym.
+  std::vector<NodeId> originals = {1, 2};
+  std::vector<Signature> reference = {Sig({{1, 1.0}, {2, 1.0}}),
+                                      Sig({{1, 1.0}, {3, 1.0}})};
+  std::vector<NodeId> pseudonyms = {100, 200};
+  std::vector<Signature> anonymous = {Sig({{1, 1.0}, {2, 1.0}}),
+                                      Sig({{9, 1.0}})};
+  Deanonymizer attacker(kJac, {.one_to_one = true, .max_distance = 1.0});
+  auto ids = attacker.Identify(originals, reference, pseudonyms, anonymous);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_NE(ids[0].pseudonym, ids[1].pseudonym);
+  // The exact-match pair must win pseudonym 100.
+  for (const auto& id : ids) {
+    if (id.original == 1) {
+      EXPECT_EQ(id.pseudonym, 100u);
+    }
+  }
+}
+
+TEST(DeanonymizerTest, IndependentModeMayReuse) {
+  std::vector<NodeId> originals = {1, 2};
+  std::vector<Signature> reference = {Sig({{1, 1.0}}), Sig({{1, 1.0}})};
+  std::vector<NodeId> pseudonyms = {100, 200};
+  std::vector<Signature> anonymous = {Sig({{1, 1.0}}), Sig({{9, 1.0}})};
+  Deanonymizer attacker(kJac, {.one_to_one = false, .max_distance = 1.0});
+  auto ids = attacker.Identify(originals, reference, pseudonyms, anonymous);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0].pseudonym, 100u);
+  EXPECT_EQ(ids[1].pseudonym, 100u);
+}
+
+TEST(DeanonymizerTest, MaxDistanceAbstains) {
+  std::vector<NodeId> originals = {1};
+  std::vector<Signature> reference = {Sig({{1, 1.0}})};
+  std::vector<NodeId> pseudonyms = {100};
+  std::vector<Signature> anonymous = {Sig({{9, 1.0}})};  // distance 1
+  Deanonymizer attacker(kJac, {.one_to_one = true, .max_distance = 0.5});
+  EXPECT_TRUE(
+      attacker.Identify(originals, reference, pseudonyms, anonymous).empty());
+}
+
+TEST(DeanonymizerTest, EmptyInputs) {
+  Deanonymizer attacker(kJac);
+  EXPECT_TRUE(attacker.Identify({}, {}, {}, {}).empty());
+}
+
+TEST(DeanonymizerTest, MarginSortsConfidentFirst) {
+  std::vector<NodeId> originals = {1, 2};
+  // Node 1 has an unambiguous match; node 2 is ambiguous.
+  std::vector<Signature> reference = {Sig({{1, 1.0}, {2, 1.0}}),
+                                      Sig({{5, 1.0}, {6, 1.0}})};
+  std::vector<NodeId> pseudonyms = {100, 200, 300};
+  std::vector<Signature> anonymous = {Sig({{1, 1.0}, {2, 1.0}}),
+                                      Sig({{5, 1.0}, {7, 1.0}}),
+                                      Sig({{5, 1.0}, {8, 1.0}})};
+  Deanonymizer attacker(kJac);
+  auto ids = attacker.Identify(originals, reference, pseudonyms, anonymous);
+  ASSERT_GE(ids.size(), 2u);
+  EXPECT_EQ(ids[0].original, 1u);
+  EXPECT_GE(ids[0].margin, ids[1].margin);
+}
+
+TEST(DeanonymizerTest, OptimalAssignmentBeatsGreedyTrap) {
+  // Greedy-by-margin can claim the wrong pseudonym for an ambiguous node;
+  // the Hungarian assignment minimizes total distance and recovers the
+  // truth. Construct: ref0 is closest to anon0 AND anon1; ref1 only
+  // matches anon0. Greedy may give anon0 to ref0, stranding ref1.
+  std::vector<NodeId> originals = {1, 2};
+  std::vector<Signature> reference = {
+      Sig({{1, 1.0}, {2, 1.0}, {3, 1.0}}),
+      Sig({{1, 1.0}, {2, 1.0}, {4, 1.0}})};
+  std::vector<NodeId> pseudonyms = {100, 200};
+  std::vector<Signature> anonymous = {
+      Sig({{1, 1.0}, {2, 1.0}, {4, 1.0}}),   // = ref1 exactly
+      Sig({{1, 1.0}, {2, 1.0}, {5, 1.0}})};  // closer to ref0 than to ref1?
+  // Distances (jac): ref0-anon0 = 1-2/4 = .5; ref0-anon1 = .5;
+  // ref1-anon0 = 0; ref1-anon1 = .5. Optimal total: ref1->anon0 (0) +
+  // ref0->anon1 (.5) = .5.
+  Deanonymizer optimal(kJac, {.one_to_one = true,
+                              .assignment =
+                                  Deanonymizer::AssignmentMode::kOptimal});
+  auto ids = optimal.Identify(originals, reference, pseudonyms, anonymous);
+  ASSERT_EQ(ids.size(), 2u);
+  for (const auto& id : ids) {
+    if (id.original == 2) {
+      EXPECT_EQ(id.pseudonym, 100u);
+    } else if (id.original == 1) {
+      EXPECT_EQ(id.pseudonym, 200u);
+    }
+  }
+}
+
+TEST(DeanonymizerTest, OptimalRespectsMaxDistance) {
+  std::vector<NodeId> originals = {1};
+  std::vector<Signature> reference = {Sig({{1, 1.0}})};
+  std::vector<NodeId> pseudonyms = {100};
+  std::vector<Signature> anonymous = {Sig({{9, 1.0}})};
+  Deanonymizer optimal(kJac, {.one_to_one = true,
+                              .assignment =
+                                  Deanonymizer::AssignmentMode::kOptimal,
+                              .max_distance = 0.5});
+  EXPECT_TRUE(
+      optimal.Identify(originals, reference, pseudonyms, anonymous).empty());
+}
+
+TEST(DeanonymizationAccuracyTest, CountsExactPairs) {
+  AnonymizationPlan plan;
+  plan.pool = {1, 2, 3, 4};
+  plan.pseudonym_of = {2, 1, 4, 3};
+  std::vector<Identification> ids = {
+      {1, 2, 0.0, 1.0},  // correct
+      {2, 1, 0.0, 1.0},  // correct
+      {3, 3, 0.0, 1.0},  // wrong (truth: 3 -> 4)
+  };
+  EXPECT_DOUBLE_EQ(DeanonymizationAccuracy(ids, plan), 0.5);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,129 @@
+#include "apps/masquerade_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+Signature Sig(std::vector<Signature::Entry> entries) {
+  return Signature::FromTopK(std::move(entries), 100);
+}
+
+const SignatureDistance kJac{DistanceKind::kJaccard};
+
+// Four nodes with distinctive signatures; nodes 2 and 3 swap in window t+1.
+struct SwapScenario {
+  std::vector<NodeId> nodes = {100, 101, 102, 103};
+  std::vector<Signature> sigs_t = {
+      Sig({{1, 1.0}, {2, 1.0}}), Sig({{3, 1.0}, {4, 1.0}}),
+      Sig({{5, 1.0}, {6, 1.0}}), Sig({{7, 1.0}, {8, 1.0}})};
+  std::vector<Signature> sigs_t1 = {
+      Sig({{1, 1.0}, {2, 1.0}}), Sig({{3, 1.0}, {4, 1.0}}),
+      Sig({{7, 1.0}, {8, 1.0}}),  // node 102 now carries 103's behaviour
+      Sig({{5, 1.0}, {6, 1.0}})};  // and vice versa
+};
+
+TEST(MasqueradeDetectorTest, DetectsSwappedPair) {
+  SwapScenario s;
+  MasqueradeDetector detector(kJac, {.top_ell = 1, .delta_divisor = 5.0});
+  MasqueradeDetection result = detector.Detect(s.nodes, s.sigs_t, s.sigs_t1);
+  // Nodes 100, 101 persist; 102 matches 103's new signature and vice versa.
+  // The detected pair (v, u) means: v's behaviour reappears under label u,
+  // i.e. 102's old behaviour now lives at 103.
+  ASSERT_EQ(result.detected.size(), 2u);
+  EXPECT_TRUE((result.detected[0] == std::make_pair(NodeId{102}, NodeId{103})) ||
+              (result.detected[1] == std::make_pair(NodeId{102}, NodeId{103})));
+  EXPECT_TRUE((result.detected[0] == std::make_pair(NodeId{103}, NodeId{102})) ||
+              (result.detected[1] == std::make_pair(NodeId{103}, NodeId{102})));
+  EXPECT_EQ(result.non_suspects.size(), 2u);
+}
+
+TEST(MasqueradeDetectorTest, PerfectAccuracyOnSwap) {
+  SwapScenario s;
+  MasqueradeDetector detector(kJac, {.top_ell = 1, .delta_divisor = 5.0});
+  MasqueradeDetection result = detector.Detect(s.nodes, s.sigs_t, s.sigs_t1);
+  MasqueradePlan plan;
+  plan.mapping = {{102, 103}, {103, 102}};
+  EXPECT_DOUBLE_EQ(MasqueradeAccuracy(result, plan, s.nodes), 1.0);
+}
+
+TEST(MasqueradeDetectorTest, NoMasqueradesMeansAllCleared) {
+  SwapScenario s;
+  MasqueradeDetector detector(kJac, {.top_ell = 1, .delta_divisor = 5.0});
+  MasqueradeDetection result = detector.Detect(s.nodes, s.sigs_t, s.sigs_t);
+  EXPECT_TRUE(result.detected.empty());
+  EXPECT_EQ(result.non_suspects.size(), 4u);
+  EXPECT_DOUBLE_EQ(MasqueradeAccuracy(result, MasqueradePlan{}, s.nodes),
+                   1.0);
+}
+
+TEST(MasqueradeDetectorTest, FixedDeltaOverridesDerivation) {
+  SwapScenario s;
+  MasqueradeDetector detector(kJac, {.top_ell = 1, .fixed_delta = 0.25});
+  MasqueradeDetection result = detector.Detect(s.nodes, s.sigs_t, s.sigs_t1);
+  EXPECT_DOUBLE_EQ(result.delta, 0.25);
+}
+
+TEST(MasqueradeDetectorTest, VanishedBehaviourIsNotPaired) {
+  // Node 1's behaviour disappears entirely (nobody inherits it): with no
+  // matching partner it must not be reported as a pair.
+  std::vector<NodeId> nodes = {1, 2};
+  std::vector<Signature> t = {Sig({{10, 1.0}}), Sig({{20, 1.0}})};
+  std::vector<Signature> t1 = {Sig({{30, 1.0}}), Sig({{20, 1.0}})};
+  MasqueradeDetector detector(kJac, {.top_ell = 1, .delta_divisor = 2.0});
+  MasqueradeDetection result = detector.Detect(nodes, t, t1);
+  for (const auto& [v, u] : result.detected) {
+    // Partner must itself be non-persistent; node 2 persists, so the only
+    // allowed pairing is none at all for v = 1.
+    EXPECT_NE(u, 2u);
+  }
+}
+
+TEST(MasqueradeDetectorTest, LargerEllAdmitsLowerRankedPartners) {
+  // v's true partner ties with a persistent decoy for the best cross
+  // match; the tie-break ranks the decoy first, so ell = 1 misses the
+  // partner and ell = 2 finds it.
+  std::vector<NodeId> nodes = {1, 2, 3};
+  std::vector<Signature> t = {
+      Sig({{10, 1.0}}),            // v: behaviour X
+      Sig({{10, 1.0}, {11, 1.0}}), // decoy: persistent, overlaps X
+      Sig({{30, 1.0}})};           // partner-to-be
+  std::vector<Signature> t1 = {
+      Sig({{40, 1.0}}),            // v changed
+      Sig({{10, 1.0}, {11, 1.0}}), // decoy persists (ranked 1st for v)
+      Sig({{10, 1.0}, {99, 1.0}})};  // node 3 inherits X (tied, ranked 2nd)
+  MasqueradeDetector ell1(kJac, {.top_ell = 1, .delta_divisor = 2.0});
+  MasqueradeDetection r1 = ell1.Detect(nodes, t, t1);
+  bool found_ell1 = false;
+  for (const auto& p : r1.detected) {
+    if (p == std::make_pair(NodeId{1}, NodeId{3})) found_ell1 = true;
+  }
+  EXPECT_FALSE(found_ell1);
+
+  MasqueradeDetector ell2(kJac, {.top_ell = 2, .delta_divisor = 2.0});
+  MasqueradeDetection r2 = ell2.Detect(nodes, t, t1);
+  bool found_ell2 = false;
+  for (const auto& p : r2.detected) {
+    if (p == std::make_pair(NodeId{1}, NodeId{3})) found_ell2 = true;
+  }
+  EXPECT_TRUE(found_ell2);
+}
+
+TEST(MasqueradeAccuracyTest, PenalizesWrongPairs) {
+  MasqueradeDetection detection;
+  detection.detected = {{1, 2}};  // wrong: truth is (1,3)
+  detection.non_suspects = {4};
+  MasqueradePlan plan;
+  plan.mapping = {{1, 3}, {3, 1}};
+  std::vector<NodeId> focal = {1, 2, 3, 4};
+  // Correct: non-suspect 4 (2 is missing from both lists -> counts 0).
+  EXPECT_DOUBLE_EQ(MasqueradeAccuracy(detection, plan, focal), 0.25);
+}
+
+TEST(MasqueradeAccuracyTest, EmptyFocalSetIsZero) {
+  EXPECT_DOUBLE_EQ(
+      MasqueradeAccuracy(MasqueradeDetection{}, MasqueradePlan{}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,81 @@
+#include "apps/multiusage.h"
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+Signature Sig(std::vector<Signature::Entry> entries) {
+  return Signature::FromTopK(std::move(entries), 100);
+}
+
+const SignatureDistance kJac{DistanceKind::kJaccard};
+
+TEST(MultiusageDetectorTest, FindsIdenticalPair) {
+  std::vector<NodeId> nodes = {10, 11, 12};
+  std::vector<Signature> sigs = {Sig({{1, 1.0}, {2, 1.0}}),
+                                 Sig({{1, 1.0}, {2, 1.0}}),
+                                 Sig({{9, 1.0}})};
+  MultiusageDetector detector(kJac, {.threshold = 0.3});
+  auto pairs = detector.Detect(nodes, sigs);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 10u);
+  EXPECT_EQ(pairs[0].b, 11u);
+  EXPECT_DOUBLE_EQ(pairs[0].distance, 0.0);
+}
+
+TEST(MultiusageDetectorTest, NoPairsAboveThreshold) {
+  std::vector<NodeId> nodes = {1, 2};
+  std::vector<Signature> sigs = {Sig({{1, 1.0}}), Sig({{2, 1.0}})};
+  MultiusageDetector detector(kJac, {.threshold = 0.5});
+  EXPECT_TRUE(detector.Detect(nodes, sigs).empty());
+}
+
+TEST(MultiusageDetectorTest, PairsSortedMostSimilarFirst) {
+  std::vector<NodeId> nodes = {1, 2, 3};
+  std::vector<Signature> sigs = {
+      Sig({{10, 1.0}, {11, 1.0}}),           // node 1
+      Sig({{10, 1.0}, {11, 1.0}}),           // node 2: identical to 1
+      Sig({{10, 1.0}, {12, 1.0}}),           // node 3: half overlap
+  };
+  MultiusageDetector detector(kJac, {.threshold = 1.0});
+  auto pairs = detector.Detect(nodes, sigs);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_DOUBLE_EQ(pairs[0].distance, 0.0);
+  EXPECT_LE(pairs[0].distance, pairs[1].distance);
+  EXPECT_LE(pairs[1].distance, pairs[2].distance);
+}
+
+TEST(MultiusageDetectorTest, MaxPairsCapsOutput) {
+  std::vector<NodeId> nodes = {1, 2, 3, 4};
+  std::vector<Signature> sigs(4, Sig({{7, 1.0}}));
+  MultiusageDetector detector(kJac, {.threshold = 1.0, .max_pairs = 2});
+  EXPECT_EQ(detector.Detect(nodes, sigs).size(), 2u);
+}
+
+TEST(MultiusageDetectorTest, ThresholdIsInclusive) {
+  std::vector<NodeId> nodes = {1, 2};
+  // Jaccard distance = 0.5 exactly (|∩|=1, |∪|=2... actually 1/3): use
+  // signatures with distance exactly 1 - 1/2 = 0.5: {a,b} vs {a,c} has
+  // |∩|=1,|∪|=3 -> 2/3; use singleton overlap {a} vs {a,b}: 1 - 1/2 = 0.5.
+  std::vector<Signature> sigs = {Sig({{1, 1.0}}), Sig({{1, 1.0}, {2, 1.0}})};
+  MultiusageDetector detector(kJac, {.threshold = 0.5});
+  EXPECT_EQ(detector.Detect(nodes, sigs).size(), 1u);
+}
+
+TEST(MultiusageDetectorTest, EmptyInput) {
+  MultiusageDetector detector(kJac, {.threshold = 1.0});
+  EXPECT_TRUE(detector.Detect({}, {}).empty());
+}
+
+TEST(MultiusageDetectorTest, EmptySignaturesPairTogether) {
+  // Two silent hosts have identical (empty) signatures — distance 0. The
+  // caller is expected to filter inactive hosts; we document the behavior.
+  std::vector<NodeId> nodes = {1, 2};
+  std::vector<Signature> sigs = {Signature(), Signature()};
+  MultiusageDetector detector(kJac, {.threshold = 0.1});
+  EXPECT_EQ(detector.Detect(nodes, sigs).size(), 1u);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,115 @@
+#include "apps/scalable_multiusage.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/scheme.h"
+#include "data/flow_generator.h"
+
+namespace commsig {
+namespace {
+
+Signature Sig(std::vector<Signature::Entry> entries) {
+  return Signature::FromTopK(std::move(entries), 100);
+}
+
+const SignatureDistance kJac{DistanceKind::kJaccard};
+
+TEST(ScalableMultiusageTest, FindsIdenticalPair) {
+  std::vector<NodeId> nodes = {10, 11, 12};
+  std::vector<Signature> sigs = {Sig({{1, 1.0}, {2, 1.0}, {3, 1.0}}),
+                                 Sig({{1, 1.0}, {2, 1.0}, {3, 1.0}}),
+                                 Sig({{9, 1.0}})};
+  ScalableMultiusageDetector::Options opts;
+  opts.threshold = 0.3;
+  ScalableMultiusageDetector detector(kJac, opts);
+  auto result = detector.Detect(nodes, sigs);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0].a, 10u);
+  EXPECT_EQ(result.pairs[0].b, 11u);
+  EXPECT_GT(result.exact_evaluations, 0u);
+}
+
+TEST(ScalableMultiusageTest, ExactThresholdStillApplies) {
+  // LSH may surface a moderately similar pair; the exact threshold must
+  // still reject it.
+  std::vector<NodeId> nodes = {1, 2};
+  std::vector<Signature> sigs = {
+      Sig({{1, 1.0}, {2, 1.0}, {3, 1.0}, {4, 1.0}}),
+      Sig({{1, 1.0}, {2, 1.0}, {3, 1.0}, {9, 1.0}})};  // jac dist 0.4
+  ScalableMultiusageDetector::Options strict_opts;
+  strict_opts.threshold = 0.2;
+  ScalableMultiusageDetector strict(kJac, strict_opts);
+  EXPECT_TRUE(strict.Detect(nodes, sigs).pairs.empty());
+  ScalableMultiusageDetector::Options loose_opts;
+  loose_opts.threshold = 0.5;
+  ScalableMultiusageDetector loose(kJac, loose_opts);
+  EXPECT_EQ(loose.Detect(nodes, sigs).pairs.size(), 1u);
+}
+
+TEST(ScalableMultiusageTest, AgreesWithBruteForceOnRealWorkload) {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 120;
+  cfg.num_external_hosts = 4000;
+  cfg.num_windows = 2;
+  cfg.multi_ip_user_fraction = 0.2;
+  cfg.seed = 88;
+  FlowDataset ds = FlowTraceGenerator(cfg).Generate();
+  auto windows = ds.Windows();
+  auto tt = *CreateScheme("tt", {.k = 10, .restrict_to_opposite_partition = true});
+  auto sigs = tt->ComputeAll(windows[0], ds.local_hosts);
+
+  const double threshold = 0.4;
+  MultiusageDetector brute(kJac, {.threshold = threshold});
+  auto exact_pairs = brute.Detect(ds.local_hosts, sigs);
+
+  ScalableMultiusageDetector::Options fast_opts;
+  fast_opts.threshold = threshold;
+  ScalableMultiusageDetector fast(kJac, fast_opts);
+  auto result = fast.Detect(ds.local_hosts, sigs);
+
+  // Strongly-similar pairs (the ones multiusage cares about) must be
+  // recovered; LSH may drop borderline pairs near the threshold.
+  std::set<std::pair<NodeId, NodeId>> fast_set;
+  for (const auto& p : result.pairs) fast_set.emplace(p.a, p.b);
+  size_t strong = 0, strong_found = 0;
+  for (const auto& p : exact_pairs) {
+    if (p.distance <= 0.25) {
+      ++strong;
+      if (fast_set.contains({p.a, p.b})) ++strong_found;
+    }
+  }
+  if (strong > 0) {
+    EXPECT_GE(static_cast<double>(strong_found) / strong, 0.9);
+  }
+  // And it must be cheaper than the full scan.
+  EXPECT_LT(result.exact_evaluations,
+            ds.local_hosts.size() * (ds.local_hosts.size() - 1) / 2);
+  // No false positives relative to brute force (exact rerank).
+  std::set<std::pair<NodeId, NodeId>> exact_set;
+  for (const auto& p : exact_pairs) exact_set.emplace(p.a, p.b);
+  for (const auto& p : result.pairs) {
+    EXPECT_TRUE(exact_set.contains({p.a, p.b}));
+  }
+}
+
+TEST(ScalableMultiusageTest, MaxPairsCaps) {
+  std::vector<NodeId> nodes = {1, 2, 3};
+  std::vector<Signature> sigs(3, Sig({{7, 1.0}, {8, 1.0}}));
+  ScalableMultiusageDetector::Options opts;
+  opts.threshold = 1.0;
+  opts.max_pairs = 1;
+  ScalableMultiusageDetector detector(kJac, opts);
+  EXPECT_EQ(detector.Detect(nodes, sigs).pairs.size(), 1u);
+}
+
+TEST(ScalableMultiusageTest, EmptyInput) {
+  ScalableMultiusageDetector detector(kJac);
+  auto result = detector.Detect({}, {});
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_EQ(result.exact_evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace commsig

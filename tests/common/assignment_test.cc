@@ -1,0 +1,108 @@
+#include "common/assignment.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace commsig {
+namespace {
+
+/// Brute-force optimum over all permutations (small instances only).
+double BruteForceCost(const std::vector<double>& costs, size_t rows,
+                      size_t cols) {
+  std::vector<size_t> perm(cols);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 1e300;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < rows; ++i) total += costs[i * cols + perm[i]];
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(AssignmentTest, TrivialSingleCell) {
+  double cost = 0.0;
+  auto a = SolveAssignment({3.5}, 1, 1, &cost);
+  EXPECT_EQ(a, (std::vector<size_t>{0}));
+  EXPECT_DOUBLE_EQ(cost, 3.5);
+}
+
+TEST(AssignmentTest, PicksCheapestColumn) {
+  double cost = 0.0;
+  auto a = SolveAssignment({5.0, 1.0, 9.0}, 1, 3, &cost);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_DOUBLE_EQ(cost, 1.0);
+}
+
+TEST(AssignmentTest, TwoByTwoCrossAssignment) {
+  // Diagonal costs 10, off-diagonal 1: optimum crosses.
+  double cost = 0.0;
+  auto a = SolveAssignment({10.0, 1.0, 1.0, 10.0}, 2, 2, &cost);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 0u);
+  EXPECT_DOUBLE_EQ(cost, 2.0);
+}
+
+TEST(AssignmentTest, GreedyTrap) {
+  // Greedy takes (0,0)=1 then pays (1,1)=100; optimum is 2+3=5.
+  std::vector<double> costs = {1.0, 2.0,   //
+                               3.0, 100.0};
+  double cost = 0.0;
+  auto a = SolveAssignment(costs, 2, 2, &cost);
+  EXPECT_DOUBLE_EQ(cost, 5.0);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 0u);
+}
+
+TEST(AssignmentTest, AssignmentIsInjective) {
+  Rng rng(7);
+  std::vector<double> costs(6 * 9);
+  for (double& c : costs) c = rng.UniformDouble();
+  auto a = SolveAssignment(costs, 6, 9);
+  std::set<size_t> used(a.begin(), a.end());
+  EXPECT_EQ(used.size(), 6u);
+  for (size_t col : a) EXPECT_LT(col, 9u);
+}
+
+TEST(AssignmentTest, MatchesBruteForceOnRandomSquares) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const size_t n = 2 + rng.UniformInt(4);  // up to 5x5
+    std::vector<double> costs(n * n);
+    for (double& c : costs) c = rng.UniformDouble() * 10.0;
+    double cost = 0.0;
+    SolveAssignment(costs, n, n, &cost);
+    EXPECT_NEAR(cost, BruteForceCost(costs, n, n), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(AssignmentTest, MatchesBruteForceOnRectangles) {
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    const size_t rows = 2 + rng.UniformInt(2);  // 2-3
+    const size_t cols = rows + 1 + rng.UniformInt(2);
+    std::vector<double> costs(rows * cols);
+    for (double& c : costs) c = rng.UniformDouble() * 10.0;
+    double cost = 0.0;
+    SolveAssignment(costs, rows, cols, &cost);
+    EXPECT_NEAR(cost, BruteForceCost(costs, rows, cols), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(AssignmentTest, HandlesTies) {
+  std::vector<double> costs(4, 1.0);
+  double cost = 0.0;
+  auto a = SolveAssignment(costs, 2, 2, &cost);
+  EXPECT_DOUBLE_EQ(cost, 2.0);
+  EXPECT_NE(a[0], a[1]);
+}
+
+}  // namespace
+}  // namespace commsig

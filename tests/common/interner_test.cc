@@ -1,0 +1,67 @@
+#include "common/interner.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+TEST(InternerTest, AssignsDenseIdsInFirstSeenOrder) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("b"), 1u);
+  EXPECT_EQ(interner.Intern("c"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(InternerTest, RepeatedInternReturnsSameId) {
+  Interner interner;
+  NodeId a = interner.Intern("10.0.0.1");
+  EXPECT_EQ(interner.Intern("10.0.0.1"), a);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, LabelOfRoundTrips) {
+  Interner interner;
+  NodeId id = interner.Intern("ext-42");
+  EXPECT_EQ(interner.LabelOf(id), "ext-42");
+}
+
+TEST(InternerTest, FindWithoutInterning) {
+  Interner interner;
+  interner.Intern("x");
+  EXPECT_EQ(interner.Find("x"), 0u);
+  EXPECT_EQ(interner.Find("y"), kInvalidNode);
+  EXPECT_EQ(interner.size(), 1u);  // Find does not intern
+}
+
+TEST(InternerTest, EmptyLabelIsValid) {
+  Interner interner;
+  NodeId id = interner.Intern("");
+  EXPECT_EQ(interner.LabelOf(id), "");
+  EXPECT_EQ(interner.Find(""), id);
+}
+
+TEST(InternerTest, CopyIsIndependent) {
+  Interner a;
+  a.Intern("one");
+  Interner b = a;
+  b.Intern("two");
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.Find("one"), 0u);
+}
+
+TEST(InternerTest, ManyLabels) {
+  Interner interner;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(interner.Intern("node-" + std::to_string(i)),
+              static_cast<NodeId>(i));
+  }
+  EXPECT_EQ(interner.LabelOf(1234), "node-1234");
+  EXPECT_EQ(interner.Find("node-9999"), 9999u);
+}
+
+}  // namespace
+}  // namespace commsig

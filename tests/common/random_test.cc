@@ -1,0 +1,234 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_EQ(SplitMix64(12345), SplitMix64(12345));
+}
+
+TEST(SplitMix64Test, MixesNearbyInputs) {
+  // Consecutive inputs should land far apart.
+  uint64_t a = SplitMix64(1);
+  uint64_t b = SplitMix64(2);
+  EXPECT_NE(a, b);
+  int differing_bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing_bits, 10);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.UniformInt(kBuckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);  // ~5 sigma
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatchLambda) {
+  const double lambda = GetParam();
+  Rng rng(17);
+  const int kDraws = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = static_cast<double>(rng.Poisson(lambda));
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.1 * lambda + 0.1);
+  EXPECT_NEAR(var, lambda, 0.15 * lambda + 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, RngPoissonTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0, 200.0));
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  const int kDraws = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    counts[rng.WeightedIndex(weights)]++;
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.6, 0.02);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(31);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ShuffleIsUniformish) {
+  // Position of element 0 after shuffling should be ~uniform.
+  std::vector<int> position_counts(5, 0);
+  for (uint64_t seed = 0; seed < 5000; ++seed) {
+    Rng rng(seed);
+    std::vector<int> v = {0, 1, 2, 3, 4};
+    rng.Shuffle(v);
+    for (int i = 0; i < 5; ++i) {
+      if (v[i] == 0) position_counts[i]++;
+    }
+  }
+  for (int c : position_counts) {
+    EXPECT_NEAR(c, 1000, 150);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DiscreteSamplerTest, SingleItem) {
+  DiscreteSampler sampler({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  DiscreteSampler sampler({0.0, 1.0, 0.0});
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.Sample(rng), 1u);
+}
+
+TEST(DiscreteSamplerTest, MatchesDistribution) {
+  std::vector<double> weights = {2.0, 1.0, 4.0, 3.0};
+  DiscreteSampler sampler(weights);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[sampler.Sample(rng)]++;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(kDraws), weights[i] / 10.0,
+                0.01);
+  }
+}
+
+TEST(DiscreteSamplerTest, HeavyTailHeadDominates) {
+  // Zipf-ish weights: the head item must be sampled most often.
+  std::vector<double> weights;
+  for (int r = 1; r <= 1000; ++r) weights.push_back(1.0 / r);
+  DiscreteSampler sampler(weights);
+  Rng rng(4);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,58 @@
+#include "common/result.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("no such node"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "no such node");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(*r, "ab");
+}
+
+TEST(ResultTest, ImplicitConversionFromValue) {
+  auto make = []() -> Result<int> { return 7; };
+  EXPECT_EQ(*make(), 7);
+}
+
+TEST(ResultTest, ImplicitConversionFromStatus) {
+  auto make = []() -> Result<int> {
+    return Status::InvalidArgument("nope");
+  };
+  EXPECT_FALSE(make().ok());
+}
+
+}  // namespace
+}  // namespace commsig

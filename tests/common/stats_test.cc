@@ -1,0 +1,107 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.Mean(), 5.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.Min(), 5.0);
+  EXPECT_EQ(s.Max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  std::vector<double> values = {1.5, -2.0, 3.25, 8.0, 0.0, -7.5, 4.0};
+  for (size_t i = 0; i < values.size(); ++i) {
+    all.Add(values[i]);
+    (i < 3 ? a : b).Add(values[i]);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-12);
+  EXPECT_EQ(a.Min(), all.Min());
+  EXPECT_EQ(a.Max(), all.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats before = a;
+  a.Merge(empty);
+  EXPECT_EQ(a.Mean(), before.Mean());
+  empty.Merge(a);
+  EXPECT_EQ(empty.Mean(), 2.0);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  EXPECT_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, NearestRank) {
+  std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_EQ(Quantile(v, 0.25), 10.0);  // ceil(0.25*4)=1 -> first
+  EXPECT_EQ(Quantile(v, 0.75), 30.0);
+}
+
+TEST(PearsonTest, PerfectPositive) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, MismatchedLengthsAreZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+}  // namespace
+}  // namespace commsig

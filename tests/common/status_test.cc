@@ -1,0 +1,62 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactoryMatchesDefault) {
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status s = Status::NotFound("gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsIOError());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::IOError("a"));
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("broken header");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  EXPECT_EQ(copy.ToString(), "Corruption: broken header");
+}
+
+TEST(StatusTest, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::IOError("").ToString(), "IOError");
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,65 @@
+#include "common/top_k.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+struct GreaterInt {
+  bool operator()(int a, int b) const { return a > b; }
+};
+
+TEST(TopKTest, KeepsLargest) {
+  TopK<int, GreaterInt> top(3);
+  for (int x : {5, 1, 9, 3, 7, 2, 8}) top.Offer(x);
+  EXPECT_EQ(top.Take(), (std::vector<int>{9, 8, 7}));
+}
+
+TEST(TopKTest, FewerItemsThanK) {
+  TopK<int, GreaterInt> top(10);
+  for (int x : {2, 1, 3}) top.Offer(x);
+  EXPECT_EQ(top.Take(), (std::vector<int>{3, 2, 1}));
+}
+
+TEST(TopKTest, ZeroCapacityKeepsNothing) {
+  TopK<int, GreaterInt> top(0);
+  top.Offer(5);
+  EXPECT_EQ(top.size(), 0u);
+  EXPECT_TRUE(top.Take().empty());
+}
+
+TEST(TopKTest, DuplicatesAllowed) {
+  TopK<int, GreaterInt> top(3);
+  for (int x : {4, 4, 4, 1}) top.Offer(x);
+  EXPECT_EQ(top.Take(), (std::vector<int>{4, 4, 4}));
+}
+
+TEST(TopKTest, CustomComparatorOnPairs) {
+  using Item = std::pair<double, std::string>;
+  struct ByWeight {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.first > b.first;
+    }
+  };
+  TopK<Item, ByWeight> top(2);
+  top.Offer({0.5, "a"});
+  top.Offer({0.9, "b"});
+  top.Offer({0.1, "c"});
+  top.Offer({0.7, "d"});
+  auto kept = top.Take();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].second, "b");
+  EXPECT_EQ(kept[1].second, "d");
+}
+
+TEST(TopKTest, ManyItemsStressOrdering) {
+  TopK<int, GreaterInt> top(5);
+  for (int x = 0; x < 1000; ++x) top.Offer((x * 7919) % 1000);
+  EXPECT_EQ(top.Take(), (std::vector<int>{999, 998, 997, 996, 995}));
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,126 @@
+#include "core/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+using Entry = Signature::Entry;
+
+TEST(SignatureTest, EmptyByDefault) {
+  Signature sig;
+  EXPECT_TRUE(sig.empty());
+  EXPECT_EQ(sig.size(), 0u);
+  EXPECT_EQ(sig.TotalWeight(), 0.0);
+  EXPECT_FALSE(sig.Contains(0));
+}
+
+TEST(SignatureTest, FromTopKKeepsLargestWeights) {
+  Signature sig = Signature::FromTopK(
+      {{10, 0.1}, {20, 0.5}, {30, 0.3}, {40, 0.2}}, 2);
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_TRUE(sig.Contains(20));
+  EXPECT_TRUE(sig.Contains(30));
+  EXPECT_FALSE(sig.Contains(10));
+}
+
+TEST(SignatureTest, EntriesSortedByNodeId) {
+  Signature sig = Signature::FromTopK({{30, 0.3}, {10, 0.2}, {20, 0.5}}, 3);
+  auto entries = sig.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].node, 10u);
+  EXPECT_EQ(entries[1].node, 20u);
+  EXPECT_EQ(entries[2].node, 30u);
+}
+
+TEST(SignatureTest, DropsNonPositiveWeights) {
+  Signature sig =
+      Signature::FromTopK({{1, 0.0}, {2, -1.0}, {3, 0.5}}, 5);
+  EXPECT_EQ(sig.size(), 1u);
+  EXPECT_TRUE(sig.Contains(3));
+}
+
+TEST(SignatureTest, FewerCandidatesThanK) {
+  Signature sig = Signature::FromTopK({{1, 1.0}, {2, 2.0}}, 10);
+  EXPECT_EQ(sig.size(), 2u);
+}
+
+TEST(SignatureTest, KZeroYieldsEmpty) {
+  Signature sig = Signature::FromTopK({{1, 1.0}}, 0);
+  EXPECT_TRUE(sig.empty());
+}
+
+TEST(SignatureTest, TieBreakDeterministicBySmallerNode) {
+  // Four candidates with equal weight, k = 2: smaller ids win.
+  Signature sig = Signature::FromTopK(
+      {{4, 1.0}, {3, 1.0}, {2, 1.0}, {1, 1.0}}, 2);
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_TRUE(sig.Contains(1));
+  EXPECT_TRUE(sig.Contains(2));
+}
+
+TEST(SignatureTest, WeightOfPresentAndAbsent) {
+  Signature sig = Signature::FromTopK({{5, 0.7}, {9, 0.3}}, 2);
+  EXPECT_DOUBLE_EQ(sig.WeightOf(5), 0.7);
+  EXPECT_DOUBLE_EQ(sig.WeightOf(9), 0.3);
+  EXPECT_DOUBLE_EQ(sig.WeightOf(7), 0.0);
+}
+
+TEST(SignatureTest, TotalWeight) {
+  Signature sig = Signature::FromTopK({{1, 0.25}, {2, 0.75}}, 2);
+  EXPECT_DOUBLE_EQ(sig.TotalWeight(), 1.0);
+}
+
+TEST(SignatureTest, NormalizedSumsToOne) {
+  Signature sig = Signature::FromTopK({{1, 2.0}, {2, 6.0}}, 2);
+  Signature norm = sig.Normalized();
+  EXPECT_DOUBLE_EQ(norm.TotalWeight(), 1.0);
+  EXPECT_DOUBLE_EQ(norm.WeightOf(1), 0.25);
+  EXPECT_DOUBLE_EQ(norm.WeightOf(2), 0.75);
+}
+
+TEST(SignatureTest, NormalizeEmptyIsNoop) {
+  Signature sig;
+  EXPECT_EQ(sig.Normalized(), sig);
+}
+
+TEST(SignatureTest, EqualityIsValueBased) {
+  Signature a = Signature::FromTopK({{1, 0.5}, {2, 0.5}}, 2);
+  Signature b = Signature::FromTopK({{2, 0.5}, {1, 0.5}}, 2);
+  EXPECT_EQ(a, b);
+  Signature c = Signature::FromTopK({{1, 0.5}, {3, 0.5}}, 2);
+  EXPECT_NE(a, c);
+}
+
+TEST(SignatureTest, ToStringRendersDescendingWeight) {
+  Interner interner;
+  NodeId x = interner.Intern("x");
+  NodeId y = interner.Intern("y");
+  Signature sig = Signature::FromTopK({{x, 0.25}, {y, 0.75}}, 2);
+  EXPECT_EQ(sig.ToString(interner), "{y:0.75, x:0.25}");
+}
+
+TEST(SignatureTest, ToStringEmpty) {
+  Interner interner;
+  EXPECT_EQ(Signature().ToString(interner), "{}");
+}
+
+TEST(SignatureTest, LargeCandidateSetSelectsExactTopK) {
+  std::vector<Entry> candidates;
+  for (NodeId i = 0; i < 1000; ++i) {
+    candidates.push_back({i, static_cast<double>((i * 7919) % 1000) + 1.0});
+  }
+  Signature sig = Signature::FromTopK(candidates, 10);
+  ASSERT_EQ(sig.size(), 10u);
+  // Every kept weight must be >= every dropped weight.
+  double min_kept = 1e18;
+  for (const auto& e : sig.entries()) min_kept = std::min(min_kept, e.weight);
+  size_t greater = 0;
+  for (const auto& c : candidates) {
+    if (c.weight > min_kept) ++greater;
+  }
+  EXPECT_LE(greater, 10u);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,107 @@
+#include "core/top_talkers.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace commsig {
+namespace {
+
+CommGraph MakeFanOut() {
+  // 0 -> 1 (5), 0 -> 2 (3), 0 -> 3 (1), 0 -> 4 (1); total out = 10.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 5.0);
+  b.AddEdge(0, 2, 3.0);
+  b.AddEdge(0, 3, 1.0);
+  b.AddEdge(0, 4, 1.0);
+  return std::move(b).Build();
+}
+
+TEST(TopTalkersTest, WeightsAreNormalizedVolumes) {
+  TopTalkersScheme tt({.k = 4});
+  Signature sig = tt.Compute(MakeFanOut(), 0);
+  ASSERT_EQ(sig.size(), 4u);
+  EXPECT_DOUBLE_EQ(sig.WeightOf(1), 0.5);
+  EXPECT_DOUBLE_EQ(sig.WeightOf(2), 0.3);
+  EXPECT_DOUBLE_EQ(sig.WeightOf(3), 0.1);
+  EXPECT_DOUBLE_EQ(sig.WeightOf(4), 0.1);
+  EXPECT_DOUBLE_EQ(sig.TotalWeight(), 1.0);
+}
+
+TEST(TopTalkersTest, KeepsOnlyTopK) {
+  TopTalkersScheme tt({.k = 2});
+  Signature sig = tt.Compute(MakeFanOut(), 0);
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_TRUE(sig.Contains(1));
+  EXPECT_TRUE(sig.Contains(2));
+  EXPECT_FALSE(sig.Contains(3));
+}
+
+TEST(TopTalkersTest, NodeWithoutOutEdgesHasEmptySignature) {
+  TopTalkersScheme tt({.k = 3});
+  Signature sig = tt.Compute(MakeFanOut(), 3);
+  EXPECT_TRUE(sig.empty());
+}
+
+TEST(TopTalkersTest, ExcludesSelfLoop) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 0, 100.0);
+  b.AddEdge(0, 1, 1.0);
+  CommGraph g = std::move(b).Build();
+  TopTalkersScheme tt({.k = 5});
+  Signature sig = tt.Compute(g, 0);
+  EXPECT_FALSE(sig.Contains(0));
+  EXPECT_TRUE(sig.Contains(1));
+  // Normalizer still counts the self-loop volume (it is real traffic).
+  EXPECT_DOUBLE_EQ(sig.WeightOf(1), 1.0 / 101.0);
+}
+
+TEST(TopTalkersTest, BipartiteRestrictionFiltersOwnPartition) {
+  GraphBuilder b(4);
+  b.SetBipartiteLeftSize(2);
+  b.AddEdge(0, 1, 9.0);  // within-partition edge (mixed input)
+  b.AddEdge(0, 2, 1.0);
+  CommGraph g = std::move(b).Build();
+  TopTalkersScheme restricted({.k = 5, .restrict_to_opposite_partition = true});
+  Signature sig = restricted.Compute(g, 0);
+  EXPECT_FALSE(sig.Contains(1));
+  EXPECT_TRUE(sig.Contains(2));
+
+  TopTalkersScheme unrestricted({.k = 5});
+  Signature sig2 = unrestricted.Compute(g, 0);
+  EXPECT_TRUE(sig2.Contains(1));
+}
+
+TEST(TopTalkersTest, ComputeAllMatchesCompute) {
+  CommGraph g = MakeFanOut();
+  TopTalkersScheme tt({.k = 3});
+  std::vector<NodeId> nodes = {0, 1, 2};
+  auto sigs = tt.ComputeAll(g, nodes);
+  ASSERT_EQ(sigs.size(), 3u);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(sigs[i], tt.Compute(g, nodes[i]));
+  }
+}
+
+TEST(TopTalkersTest, NameAndTraits) {
+  TopTalkersScheme tt({.k = 10});
+  EXPECT_EQ(tt.name(), "tt");
+  auto traits = tt.traits();
+  EXPECT_EQ(traits.characteristics.size(), 2u);
+  EXPECT_EQ(traits.properties.size(), 2u);
+}
+
+TEST(TopTalkersTest, TieBreaksDeterministically) {
+  GraphBuilder b(5);
+  for (NodeId d = 1; d < 5; ++d) b.AddEdge(0, d, 1.0);
+  CommGraph g = std::move(b).Build();
+  TopTalkersScheme tt({.k = 2});
+  Signature s1 = tt.Compute(g, 0);
+  Signature s2 = tt.Compute(g, 0);
+  EXPECT_EQ(s1, s2);
+  EXPECT_TRUE(s1.Contains(1));
+  EXPECT_TRUE(s1.Contains(2));
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,94 @@
+#include "core/unexpected_talkers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace commsig {
+namespace {
+
+CommGraph MakePopularityGraph() {
+  // Node 9 is a universally popular destination (in-degree 4); node 8 is a
+  // niche destination only node 0 talks to.
+  GraphBuilder b(10);
+  for (NodeId host = 0; host < 4; ++host) b.AddEdge(host, 9, 10.0);
+  b.AddEdge(0, 8, 4.0);
+  return std::move(b).Build();
+}
+
+TEST(UnexpectedTalkersTest, DownweightsPopularDestinations) {
+  CommGraph g = MakePopularityGraph();
+  UnexpectedTalkersScheme ut({.k = 2}, UtWeighting::kInverseInDegree);
+  Signature sig = ut.Compute(g, 0);
+  // w(9) = 10/4 = 2.5; w(8) = 4/1 = 4 — the niche node outranks the
+  // popular one despite lower raw volume.
+  EXPECT_DOUBLE_EQ(sig.WeightOf(9), 2.5);
+  EXPECT_DOUBLE_EQ(sig.WeightOf(8), 4.0);
+}
+
+TEST(UnexpectedTalkersTest, TopTalkersWouldRankOppositely) {
+  CommGraph g = MakePopularityGraph();
+  UnexpectedTalkersScheme ut({.k = 1}, UtWeighting::kInverseInDegree);
+  Signature sig = ut.Compute(g, 0);
+  ASSERT_EQ(sig.size(), 1u);
+  EXPECT_TRUE(sig.Contains(8));  // UT keeps the niche destination
+}
+
+TEST(UnexpectedTalkersTest, TfIdfWeighting) {
+  CommGraph g = MakePopularityGraph();
+  UnexpectedTalkersScheme ut({.k = 2}, UtWeighting::kTfIdf);
+  Signature sig = ut.Compute(g, 0);
+  // |V| = 10: w(9) = 10·log(10/4); w(8) = 4·log(10/1).
+  EXPECT_NEAR(sig.WeightOf(9), 10.0 * std::log(10.0 / 4.0), 1e-12);
+  EXPECT_NEAR(sig.WeightOf(8), 4.0 * std::log(10.0), 1e-12);
+}
+
+TEST(UnexpectedTalkersTest, NamesReflectWeighting) {
+  UnexpectedTalkersScheme a({.k = 1}, UtWeighting::kInverseInDegree);
+  UnexpectedTalkersScheme b({.k = 1}, UtWeighting::kTfIdf);
+  EXPECT_EQ(a.name(), "ut");
+  EXPECT_EQ(b.name(), "ut-tfidf");
+}
+
+TEST(UnexpectedTalkersTest, EmptyForIsolatedNode) {
+  CommGraph g = MakePopularityGraph();
+  UnexpectedTalkersScheme ut({.k = 3}, UtWeighting::kInverseInDegree);
+  EXPECT_TRUE(ut.Compute(g, 5).empty());
+}
+
+TEST(UnexpectedTalkersTest, ExcludesSelf) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 0, 5.0);
+  b.AddEdge(0, 1, 1.0);
+  CommGraph g = std::move(b).Build();
+  UnexpectedTalkersScheme ut({.k = 5}, UtWeighting::kInverseInDegree);
+  Signature sig = ut.Compute(g, 0);
+  EXPECT_FALSE(sig.Contains(0));
+  EXPECT_TRUE(sig.Contains(1));
+}
+
+TEST(UnexpectedTalkersTest, TraitsMatchTableIII) {
+  UnexpectedTalkersScheme ut({.k = 1}, UtWeighting::kInverseInDegree);
+  auto traits = ut.traits();
+  ASSERT_EQ(traits.properties.size(), 1u);
+  EXPECT_EQ(traits.properties[0], SignatureProperty::kUniqueness);
+}
+
+TEST(UnexpectedTalkersTest, EqualInDegreesReduceToVolumeRanking) {
+  // When all destinations have in-degree 1, UT ranks like raw volume.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 3.0);
+  b.AddEdge(0, 2, 2.0);
+  b.AddEdge(0, 3, 1.0);
+  CommGraph g = std::move(b).Build();
+  UnexpectedTalkersScheme ut({.k = 2}, UtWeighting::kInverseInDegree);
+  Signature sig = ut.Compute(g, 0);
+  EXPECT_TRUE(sig.Contains(1));
+  EXPECT_TRUE(sig.Contains(2));
+  EXPECT_FALSE(sig.Contains(3));
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,84 @@
+#include "data/trace_io.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("commsig_trace_io_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(TraceIoTest, RoundTrip) {
+  Interner interner;
+  NodeId a = interner.Intern("host-a");
+  NodeId b = interner.Intern("ext-b");
+  std::vector<TraceEvent> events = {{a, b, 100, 2.0}, {a, b, 250, 1.0}};
+  ASSERT_TRUE(WriteTraceCsv(events, interner, path_.string()).ok());
+
+  Interner interner2;
+  auto loaded = ReadTraceCsv(path_.string(), interner2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].time, 100u);
+  EXPECT_DOUBLE_EQ((*loaded)[0].weight, 2.0);
+  EXPECT_EQ(interner2.LabelOf((*loaded)[0].src), "host-a");
+  EXPECT_EQ(interner2.LabelOf((*loaded)[0].dst), "ext-b");
+}
+
+TEST_F(TraceIoTest, RejectsShortRows) {
+  {
+    std::ofstream out(path_);
+    out << "a,b,5\n";
+  }
+  Interner interner;
+  EXPECT_FALSE(ReadTraceCsv(path_.string(), interner).ok());
+}
+
+TEST_F(TraceIoTest, RejectsBadTime) {
+  {
+    std::ofstream out(path_);
+    out << "a,b,yesterday,1\n";
+  }
+  Interner interner;
+  EXPECT_FALSE(ReadTraceCsv(path_.string(), interner).ok());
+}
+
+TEST_F(TraceIoTest, RejectsNonPositiveWeight) {
+  {
+    std::ofstream out(path_);
+    out << "a,b,5,0\n";
+  }
+  Interner interner;
+  EXPECT_FALSE(ReadTraceCsv(path_.string(), interner).ok());
+}
+
+TEST_F(TraceIoTest, MissingFileIsIOError) {
+  Interner interner;
+  auto r = ReadTraceCsv("/no/such/trace.csv", interner);
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  Interner interner;
+  ASSERT_TRUE(WriteTraceCsv({}, interner, path_.string()).ok());
+  Interner interner2;
+  auto loaded = ReadTraceCsv(path_.string(), interner2);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace commsig

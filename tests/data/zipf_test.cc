@@ -1,0 +1,73 @@
+#include "data/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+TEST(ZipfWeightsTest, ExponentZeroIsUniform) {
+  auto w = ZipfWeights(5, 0.0);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(ZipfWeightsTest, ClassicHarmonicWeights) {
+  auto w = ZipfWeights(4, 1.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_DOUBLE_EQ(w[3], 0.25);
+}
+
+TEST(ZipfSamplerTest, RankZeroMostFrequent) {
+  ZipfSampler sampler(100, 1.0);
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[90] - 5);  // tail noise tolerance
+}
+
+TEST(ZipfSamplerTest, FrequenciesMatchTheory) {
+  const size_t n = 10;
+  ZipfSampler sampler(n, 1.0);
+  Rng rng(2);
+  const int kDraws = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kDraws; ++i) counts[sampler.Sample(rng)]++;
+  double harmonic = 0.0;
+  for (size_t r = 1; r <= n; ++r) harmonic += 1.0 / static_cast<double>(r);
+  for (size_t r = 0; r < n; ++r) {
+    double expected = (1.0 / static_cast<double>(r + 1)) / harmonic;
+    EXPECT_NEAR(counts[r] / static_cast<double>(kDraws), expected,
+                0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSamplerTest, HigherExponentIsMoreSkewed) {
+  ZipfSampler mild(50, 0.5), steep(50, 2.0);
+  Rng rng1(3), rng2(3);
+  int mild_head = 0, steep_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (mild.Sample(rng1) == 0) ++mild_head;
+    if (steep.Sample(rng2) == 0) ++steep_head;
+  }
+  EXPECT_GT(steep_head, mild_head);
+}
+
+TEST(ZipfSamplerTest, WeightOfRankMatchesFormula) {
+  ZipfSampler sampler(10, 1.5);
+  EXPECT_DOUBLE_EQ(sampler.WeightOfRank(0), 1.0);
+  EXPECT_NEAR(sampler.WeightOfRank(3), 1.0 / std::pow(4.0, 1.5), 1e-12);
+}
+
+TEST(ZipfSamplerTest, SizeReported) {
+  ZipfSampler sampler(42, 1.0);
+  EXPECT_EQ(sampler.size(), 42u);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,117 @@
+#include "eval/masquerade_sim.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace commsig {
+namespace {
+
+TEST(PlanMasqueradeTest, SelectsRequestedFraction) {
+  std::vector<NodeId> pool(100);
+  for (NodeId i = 0; i < 100; ++i) pool[i] = i;
+  MasqueradePlan plan = PlanMasquerade(pool, 0.2, /*seed=*/1);
+  EXPECT_EQ(plan.mapping.size(), 20u);
+}
+
+TEST(PlanMasqueradeTest, NoFixedPoints) {
+  std::vector<NodeId> pool(50);
+  for (NodeId i = 0; i < 50; ++i) pool[i] = i;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    MasqueradePlan plan = PlanMasquerade(pool, 0.5, seed);
+    for (const auto& [v, u] : plan.mapping) {
+      EXPECT_NE(v, u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PlanMasqueradeTest, MappingIsBijectionOnSelected) {
+  std::vector<NodeId> pool(40);
+  for (NodeId i = 0; i < 40; ++i) pool[i] = i;
+  MasqueradePlan plan = PlanMasquerade(pool, 0.5, 3);
+  std::set<NodeId> sources, targets;
+  for (const auto& [v, u] : plan.mapping) {
+    sources.insert(v);
+    targets.insert(u);
+  }
+  EXPECT_EQ(sources.size(), plan.mapping.size());
+  EXPECT_EQ(targets.size(), plan.mapping.size());
+  EXPECT_EQ(sources, targets);  // a permutation of the selected set
+}
+
+TEST(PlanMasqueradeTest, TooFewNodesYieldsEmptyPlan) {
+  std::vector<NodeId> pool = {1, 2, 3};
+  EXPECT_TRUE(PlanMasquerade(pool, 0.3, 1).mapping.empty());  // 0 selected
+  EXPECT_TRUE(PlanMasquerade(pool, 0.4, 1).mapping.empty());  // 1 selected
+}
+
+TEST(PlanMasqueradeTest, DeterministicUnderSeed) {
+  std::vector<NodeId> pool(30);
+  for (NodeId i = 0; i < 30; ++i) pool[i] = i;
+  MasqueradePlan a = PlanMasquerade(pool, 0.4, 9);
+  MasqueradePlan b = PlanMasquerade(pool, 0.4, 9);
+  EXPECT_EQ(a.mapping, b.mapping);
+}
+
+TEST(MasqueradePlanTest, ContainsAndPerturbedNodes) {
+  MasqueradePlan plan;
+  plan.mapping = {{1, 2}, {2, 1}};
+  EXPECT_TRUE(plan.Contains(1, 2));
+  EXPECT_FALSE(plan.Contains(2, 3));
+  auto nodes = plan.PerturbedNodes();
+  EXPECT_EQ(nodes, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(ApplyMasqueradeTest, RelabelsOutgoingEdges) {
+  // 0 -> 5, 1 -> 6. Swap 0 and 1: edges become 1 -> 5, 0 -> 6.
+  GraphBuilder b(7);
+  b.AddEdge(0, 5, 2.0);
+  b.AddEdge(1, 6, 3.0);
+  CommGraph g = std::move(b).Build();
+  MasqueradePlan plan;
+  plan.mapping = {{0, 1}, {1, 0}};
+  CommGraph relabeled = ApplyMasquerade(g, plan);
+  EXPECT_DOUBLE_EQ(relabeled.EdgeWeight(1, 5), 2.0);
+  EXPECT_DOUBLE_EQ(relabeled.EdgeWeight(0, 6), 3.0);
+  EXPECT_FALSE(relabeled.HasEdge(0, 5));
+}
+
+TEST(ApplyMasqueradeTest, RelabelsIncomingEdges) {
+  GraphBuilder b(3);
+  b.AddEdge(2, 0, 4.0);
+  CommGraph g = std::move(b).Build();
+  MasqueradePlan plan;
+  plan.mapping = {{0, 1}, {1, 0}};
+  CommGraph relabeled = ApplyMasquerade(g, plan);
+  EXPECT_DOUBLE_EQ(relabeled.EdgeWeight(2, 1), 4.0);
+  EXPECT_FALSE(relabeled.HasEdge(2, 0));
+}
+
+TEST(ApplyMasqueradeTest, PreservesWeightAndStructure) {
+  GraphBuilder b(6);
+  b.SetBipartiteLeftSize(3);
+  b.AddEdge(0, 3, 1.0);
+  b.AddEdge(1, 4, 2.0);
+  b.AddEdge(2, 5, 3.0);
+  CommGraph g = std::move(b).Build();
+  MasqueradePlan plan;
+  plan.mapping = {{0, 1}, {1, 2}, {2, 0}};
+  CommGraph relabeled = ApplyMasquerade(g, plan);
+  EXPECT_DOUBLE_EQ(relabeled.TotalWeight(), g.TotalWeight());
+  EXPECT_EQ(relabeled.NumEdges(), g.NumEdges());
+  EXPECT_EQ(relabeled.bipartite().left_size, 3u);
+}
+
+TEST(ApplyMasqueradeTest, EmptyPlanIsIdentity) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  CommGraph g = std::move(b).Build();
+  CommGraph same = ApplyMasquerade(g, MasqueradePlan{});
+  EXPECT_DOUBLE_EQ(same.EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(same.NumEdges(), 1u);
+}
+
+}  // namespace
+}  // namespace commsig

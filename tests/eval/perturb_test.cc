@@ -1,0 +1,132 @@
+#include "eval/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace commsig {
+namespace {
+
+CommGraph MakeBipartiteFlows(size_t hosts, size_t externals,
+                             uint64_t seed = 5) {
+  GraphBuilder b(hosts + externals);
+  b.SetBipartiteLeftSize(static_cast<NodeId>(hosts));
+  Rng rng(seed);
+  for (NodeId h = 0; h < hosts; ++h) {
+    size_t degree = 3 + rng.UniformInt(5);
+    for (size_t d = 0; d < degree; ++d) {
+      NodeId dst = static_cast<NodeId>(hosts + rng.UniformInt(externals));
+      b.AddEdge(h, dst, 1.0 + static_cast<double>(rng.UniformInt(20)));
+    }
+  }
+  return std::move(b).Build();
+}
+
+TEST(PerturbTest, DeterministicUnderSeed) {
+  CommGraph g = MakeBipartiteFlows(20, 100);
+  CommGraph a = Perturb(g, {.insert_fraction = 0.2, .delete_fraction = 0.2,
+                            .seed = 9});
+  CommGraph b = Perturb(g, {.insert_fraction = 0.2, .delete_fraction = 0.2,
+                            .seed = 9});
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_DOUBLE_EQ(a.TotalWeight(), b.TotalWeight());
+}
+
+TEST(PerturbTest, DifferentSeedsDiffer) {
+  CommGraph g = MakeBipartiteFlows(20, 100);
+  CommGraph a = Perturb(g, {.insert_fraction = 0.3, .delete_fraction = 0.3,
+                            .seed = 1});
+  CommGraph b = Perturb(g, {.insert_fraction = 0.3, .delete_fraction = 0.3,
+                            .seed = 2});
+  EXPECT_NE(a.TotalWeight(), b.TotalWeight());
+}
+
+TEST(PerturbTest, ZeroFractionsLeaveGraphIntact) {
+  CommGraph g = MakeBipartiteFlows(10, 50);
+  CommGraph p = Perturb(g, {.insert_fraction = 0.0, .delete_fraction = 0.0,
+                            .seed = 1});
+  EXPECT_EQ(p.NumEdges(), g.NumEdges());
+  EXPECT_DOUBLE_EQ(p.TotalWeight(), g.TotalWeight());
+}
+
+TEST(PerturbTest, DeletionsReduceTotalWeight) {
+  CommGraph g = MakeBipartiteFlows(20, 100);
+  CommGraph p = Perturb(g, {.insert_fraction = 0.0, .delete_fraction = 0.5,
+                            .seed = 3});
+  // Each deletion decrements ~one unit of weight.
+  double expected_drop = 0.5 * static_cast<double>(g.NumEdges());
+  EXPECT_NEAR(g.TotalWeight() - p.TotalWeight(), expected_drop,
+              expected_drop * 0.1 + 1.0);
+}
+
+TEST(PerturbTest, InsertionsAddRoughlyAlphaEdges) {
+  CommGraph g = MakeBipartiteFlows(20, 200);
+  CommGraph p = Perturb(g, {.insert_fraction = 0.4, .delete_fraction = 0.0,
+                            .seed = 4});
+  // Inserted edges may coincide with existing ones (then they only add
+  // weight), so the new-edge count is bounded by alpha*|E|.
+  EXPECT_GE(p.NumEdges(), g.NumEdges());
+  EXPECT_LE(p.NumEdges(),
+            g.NumEdges() + static_cast<size_t>(0.4 * g.NumEdges()) + 1);
+  EXPECT_GT(p.TotalWeight(), g.TotalWeight());
+}
+
+TEST(PerturbTest, PreservesBipartiteStructure) {
+  CommGraph g = MakeBipartiteFlows(15, 80);
+  CommGraph p = Perturb(g, {.insert_fraction = 0.5, .delete_fraction = 0.2,
+                            .seed = 6});
+  EXPECT_EQ(p.bipartite().left_size, g.bipartite().left_size);
+  for (const auto& e : p.Edges()) {
+    EXPECT_TRUE(p.InLeftPartition(e.src));
+    EXPECT_FALSE(p.InLeftPartition(e.dst));
+  }
+}
+
+TEST(PerturbTest, PreservesNodeUniverse) {
+  CommGraph g = MakeBipartiteFlows(10, 40);
+  CommGraph p = Perturb(g, {.insert_fraction = 0.1, .delete_fraction = 0.1,
+                            .seed = 7});
+  EXPECT_EQ(p.NumNodes(), g.NumNodes());
+}
+
+TEST(PerturbTest, AllWeightsStayPositive) {
+  CommGraph g = MakeBipartiteFlows(20, 100);
+  CommGraph p = Perturb(g, {.insert_fraction = 0.2, .delete_fraction = 0.9,
+                            .seed = 8});
+  for (const auto& e : p.Edges()) {
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(PerturbTest, HeavyDeletionRemovesEdges) {
+  // Unit-weight graph: beta = 1 deletes roughly all weight.
+  GraphBuilder b(6);
+  b.SetBipartiteLeftSize(3);
+  for (NodeId h = 0; h < 3; ++h) {
+    for (NodeId d = 3; d < 6; ++d) b.AddEdge(h, d, 1.0);
+  }
+  CommGraph g = std::move(b).Build();
+  CommGraph p = Perturb(g, {.insert_fraction = 0.0, .delete_fraction = 1.0,
+                            .seed = 11});
+  EXPECT_LT(p.NumEdges(), g.NumEdges());
+}
+
+TEST(PerturbTest, WorksOnGeneralGraphs) {
+  GraphBuilder b(10);
+  Rng rng(12);
+  for (int e = 0; e < 30; ++e) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(10));
+    NodeId d = static_cast<NodeId>(rng.UniformInt(10));
+    if (s == d) continue;
+    b.AddEdge(s, d, 1.0 + static_cast<double>(rng.UniformInt(5)));
+  }
+  CommGraph g = std::move(b).Build();
+  CommGraph p = Perturb(g, {.insert_fraction = 0.3, .delete_fraction = 0.3,
+                            .seed = 13});
+  EXPECT_EQ(p.NumNodes(), g.NumNodes());
+  EXPECT_GT(p.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,136 @@
+#include "eval/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+Signature Sig(std::vector<Signature::Entry> entries) {
+  return Signature::FromTopK(std::move(entries), 100);
+}
+
+const SignatureDistance kJac{DistanceKind::kJaccard};
+
+TEST(PersistenceTest, IdenticalSignaturesPersistPerfectly) {
+  std::vector<Signature> sigs = {Sig({{1, 1.0}, {2, 1.0}}), Sig({{3, 1.0}})};
+  auto values = PersistenceValues(sigs, sigs, kJac);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 1.0);
+}
+
+TEST(PersistenceTest, DisjointSignaturesHaveZeroPersistence) {
+  std::vector<Signature> a = {Sig({{1, 1.0}})};
+  std::vector<Signature> b = {Sig({{2, 1.0}})};
+  auto values = PersistenceValues(a, b, kJac);
+  EXPECT_DOUBLE_EQ(values[0], 0.0);
+}
+
+TEST(PersistenceTest, PartialOverlap) {
+  std::vector<Signature> a = {Sig({{1, 1.0}, {2, 1.0}})};
+  std::vector<Signature> b = {Sig({{1, 1.0}, {3, 1.0}})};
+  auto values = PersistenceValues(a, b, kJac);
+  EXPECT_NEAR(values[0], 1.0 / 3.0, 1e-12);
+}
+
+TEST(UniquenessTest, AllPairsCounted) {
+  std::vector<Signature> sigs = {Sig({{1, 1.0}}), Sig({{2, 1.0}}),
+                                 Sig({{3, 1.0}})};
+  auto values = UniquenessValues(sigs, kJac);
+  EXPECT_EQ(values.size(), 3u);  // C(3,2)
+  for (double v : values) EXPECT_DOUBLE_EQ(v, 1.0);  // all disjoint
+}
+
+TEST(UniquenessTest, FewerThanTwoSignaturesYieldNothing) {
+  std::vector<Signature> one = {Sig({{1, 1.0}})};
+  EXPECT_TRUE(UniquenessValues(one, kJac).empty());
+  EXPECT_TRUE(UniquenessValues({}, kJac).empty());
+}
+
+TEST(UniquenessTest, SamplingCapsPairCount) {
+  std::vector<Signature> sigs;
+  for (NodeId i = 0; i < 100; ++i) sigs.push_back(Sig({{i, 1.0}}));
+  auto values = UniquenessValues(sigs, kJac, /*max_pairs=*/50, /*seed=*/3);
+  EXPECT_EQ(values.size(), 50u);
+  for (double v : values) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(UniquenessTest, SamplingIsDeterministicUnderSeed) {
+  std::vector<Signature> sigs;
+  for (NodeId i = 0; i < 30; ++i) {
+    sigs.push_back(Sig({{i, 1.0}, {i + 1, 1.0}}));
+  }
+  auto a = UniquenessValues(sigs, kJac, 20, 7);
+  auto b = UniquenessValues(sigs, kJac, 20, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SummarizePropertiesTest, EllipseOfIdenticalPopulations) {
+  std::vector<Signature> sigs = {Sig({{1, 1.0}}), Sig({{2, 1.0}}),
+                                 Sig({{3, 1.0}})};
+  PropertyEllipse e = SummarizeProperties(sigs, sigs, kJac);
+  EXPECT_DOUBLE_EQ(e.mean_persistence, 1.0);
+  EXPECT_DOUBLE_EQ(e.std_persistence, 0.0);
+  EXPECT_DOUBLE_EQ(e.mean_uniqueness, 1.0);
+  EXPECT_DOUBLE_EQ(e.std_uniqueness, 0.0);
+  EXPECT_EQ(e.persistence_count, 3u);
+  EXPECT_EQ(e.uniqueness_count, 3u);
+}
+
+TEST(SelfMatchRocTest, DistinctPersistentNodesScorePerfectly) {
+  // Each node keeps its own disjoint signature across windows: every query
+  // should rank itself first -> AUC 1.
+  std::vector<Signature> sigs = {Sig({{10, 1.0}}), Sig({{20, 1.0}}),
+                                 Sig({{30, 1.0}})};
+  auto rocs = SelfMatchRoc(sigs, sigs, kJac);
+  ASSERT_EQ(rocs.size(), 3u);
+  EXPECT_DOUBLE_EQ(MeanAuc(rocs), 1.0);
+}
+
+TEST(SelfMatchRocTest, SwappedSignaturesScoreBadly) {
+  // Node 0's window-t signature matches node 1's window-t+1 signature and
+  // vice versa (a masquerade): self-match AUC collapses.
+  std::vector<Signature> t = {Sig({{10, 1.0}}), Sig({{20, 1.0}})};
+  std::vector<Signature> t1 = {Sig({{20, 1.0}}), Sig({{10, 1.0}})};
+  auto rocs = SelfMatchRoc(t, t1, kJac);
+  EXPECT_DOUBLE_EQ(MeanAuc(rocs), 0.0);
+}
+
+TEST(SelfMatchRocTest, MatchRocAliasBehavesIdentically) {
+  std::vector<Signature> q = {Sig({{1, 1.0}}), Sig({{2, 1.0}})};
+  auto a = SelfMatchRoc(q, q, kJac);
+  auto b = MatchRoc(q, q, kJac);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].auc, b[i].auc);
+  }
+}
+
+TEST(SetMatchRocTest, MultiNodeUserRanksItsSiblingsFirst) {
+  // Candidates 0 and 1 belong to one user (near-identical signatures);
+  // 2 and 3 are unrelated.
+  std::vector<Signature> candidates = {
+      Sig({{10, 1.0}, {11, 1.0}}), Sig({{10, 1.0}, {11, 1.0}, {12, 1.0}}),
+      Sig({{50, 1.0}}), Sig({{60, 1.0}})};
+  std::vector<size_t> query_indices = {0};
+  std::vector<Signature> queries = {candidates[0]};
+  std::vector<std::vector<size_t>> relevant = {{1}};
+  auto rocs = SetMatchRoc(queries, query_indices, candidates, relevant, kJac,
+                          /*exclude_self=*/true);
+  ASSERT_EQ(rocs.size(), 1u);
+  EXPECT_DOUBLE_EQ(rocs[0].auc, 1.0);
+}
+
+TEST(SetMatchRocTest, ExcludeSelfRemovesOwnIndex) {
+  std::vector<Signature> candidates = {Sig({{1, 1.0}}), Sig({{2, 1.0}})};
+  std::vector<size_t> query_indices = {0};
+  std::vector<Signature> queries = {candidates[0]};
+  // With self excluded and the only relevant candidate being index 1
+  // (disjoint), AUC degenerates to 0.5 (single class after exclusion).
+  std::vector<std::vector<size_t>> relevant = {{1}};
+  auto rocs = SetMatchRoc(queries, query_indices, candidates, relevant, kJac);
+  EXPECT_DOUBLE_EQ(rocs[0].auc, 0.5);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,87 @@
+#include "graph/decayed_accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace commsig {
+namespace {
+
+CommGraph SingleEdge(size_t n, NodeId src, NodeId dst, double w) {
+  GraphBuilder b(n);
+  b.AddEdge(src, dst, w);
+  return std::move(b).Build();
+}
+
+TEST(DecayedAccumulatorTest, EmptyBeforeAnyWindow) {
+  DecayedGraphAccumulator acc(4, 0.5);
+  EXPECT_EQ(acc.windows_seen(), 0u);
+  EXPECT_EQ(acc.Current().NumEdges(), 0u);
+}
+
+TEST(DecayedAccumulatorTest, SingleWindowPassesThrough) {
+  DecayedGraphAccumulator acc(4, 0.5);
+  acc.AddWindow(SingleEdge(4, 0, 1, 8.0));
+  EXPECT_DOUBLE_EQ(acc.EdgeWeight(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(acc.Current().EdgeWeight(0, 1), 8.0);
+}
+
+TEST(DecayedAccumulatorTest, DecayHalvesOldWeight) {
+  DecayedGraphAccumulator acc(4, 0.5);
+  acc.AddWindow(SingleEdge(4, 0, 1, 8.0));
+  acc.AddWindow(SingleEdge(4, 0, 2, 4.0));
+  EXPECT_DOUBLE_EQ(acc.EdgeWeight(0, 1), 4.0);  // 8 * 0.5
+  EXPECT_DOUBLE_EQ(acc.EdgeWeight(0, 2), 4.0);  // fresh
+}
+
+TEST(DecayedAccumulatorTest, RepeatedEdgeIsGeometricSeries) {
+  DecayedGraphAccumulator acc(2, 0.5);
+  for (int w = 0; w < 4; ++w) acc.AddWindow(SingleEdge(2, 0, 1, 1.0));
+  // 1 + 0.5 + 0.25 + 0.125
+  EXPECT_DOUBLE_EQ(acc.EdgeWeight(0, 1), 1.875);
+  EXPECT_EQ(acc.windows_seen(), 4u);
+}
+
+TEST(DecayedAccumulatorTest, ZeroDecayKeepsOnlyLatestWindow) {
+  DecayedGraphAccumulator acc(4, 0.0);
+  acc.AddWindow(SingleEdge(4, 0, 1, 8.0));
+  acc.AddWindow(SingleEdge(4, 0, 2, 4.0));
+  EXPECT_DOUBLE_EQ(acc.EdgeWeight(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(acc.EdgeWeight(0, 2), 4.0);
+  EXPECT_EQ(acc.Current().NumEdges(), 1u);
+}
+
+TEST(DecayedAccumulatorTest, PruningDropsStaleEdges) {
+  DecayedGraphAccumulator acc(2, 0.5, 0, /*prune_threshold=*/0.3);
+  acc.AddWindow(SingleEdge(2, 0, 1, 1.0));
+  // After two decays: 0.25 < 0.3 -> pruned.
+  GraphBuilder empty1(2), empty2(2);
+  acc.AddWindow(std::move(empty1).Build());
+  EXPECT_DOUBLE_EQ(acc.EdgeWeight(0, 1), 0.5);
+  acc.AddWindow(std::move(empty2).Build());
+  EXPECT_DOUBLE_EQ(acc.EdgeWeight(0, 1), 0.0);
+  EXPECT_EQ(acc.Current().NumEdges(), 0u);
+}
+
+TEST(DecayedAccumulatorTest, BipartiteMetadataPropagates) {
+  DecayedGraphAccumulator acc(4, 0.5, /*bipartite_left_size=*/2);
+  acc.AddWindow(SingleEdge(4, 0, 2, 1.0));
+  CommGraph g = acc.Current();
+  EXPECT_TRUE(g.bipartite().IsBipartite());
+  EXPECT_EQ(g.bipartite().left_size, 2u);
+}
+
+TEST(DecayedAccumulatorTest, AggregatesMultipleEdgesPerWindow) {
+  DecayedGraphAccumulator acc(3, 0.9);
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(0, 2, 3.0);
+  b.AddEdge(1, 2, 4.0);
+  acc.AddWindow(std::move(b).Build());
+  CommGraph g = acc.Current();
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 9.0);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,110 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace commsig {
+namespace {
+
+CommGraph MakePath(size_t n) {
+  // 0 -> 1 -> 2 -> ... -> n-1
+  GraphBuilder b(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 1.0);
+  }
+  return std::move(b).Build();
+}
+
+TEST(GraphStatsTest, SummaryOfPath) {
+  CommGraph g = MakePath(5);
+  GraphSummary s = Summarize(g);
+  EXPECT_EQ(s.num_nodes, 5u);
+  EXPECT_EQ(s.num_active_nodes, 5u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_DOUBLE_EQ(s.total_weight, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_out_degree_active, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_out_degree, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_in_degree, 1.0);
+}
+
+TEST(GraphStatsTest, SummaryCountsInactiveNodes) {
+  GraphBuilder b(10);
+  b.AddEdge(0, 1, 1.0);
+  CommGraph g = std::move(b).Build();
+  GraphSummary s = Summarize(g);
+  EXPECT_EQ(s.num_active_nodes, 2u);
+}
+
+TEST(GraphStatsTest, DegreeHistograms) {
+  // Star: 0 -> {1,2,3}
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(0, 2, 1.0);
+  b.AddEdge(0, 3, 1.0);
+  CommGraph g = std::move(b).Build();
+  auto out_hist = OutDegreeHistogram(g);
+  ASSERT_EQ(out_hist.size(), 4u);
+  EXPECT_EQ(out_hist[0], 3u);  // leaves have out-degree 0
+  EXPECT_EQ(out_hist[3], 1u);  // hub
+  auto in_hist = InDegreeHistogram(g);
+  EXPECT_EQ(in_hist[1], 3u);
+  EXPECT_EQ(in_hist[0], 1u);
+}
+
+TEST(GraphStatsTest, HopDistancesTreatEdgesUndirected) {
+  CommGraph g = MakePath(4);
+  auto dist = UndirectedHopDistances(g, 3);  // last node, only in-edges
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[0], 3u);
+}
+
+TEST(GraphStatsTest, DisconnectedNodesUnreachable) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  CommGraph g = std::move(b).Build();
+  auto dist = UndirectedHopDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(GraphStatsTest, EccentricityOfPathEnd) {
+  CommGraph g = MakePath(6);
+  EXPECT_EQ(UndirectedEccentricity(g, 0), 5u);
+  EXPECT_EQ(UndirectedEccentricity(g, 2), 3u);
+}
+
+TEST(GraphStatsTest, DiameterOfPathIsExact) {
+  CommGraph g = MakePath(7);
+  // Double sweep is exact on trees.
+  EXPECT_EQ(EstimateDiameter(g, 3), 6u);
+}
+
+TEST(GraphStatsTest, DiameterOfEmptyGraphIsZero) {
+  GraphBuilder b(3);
+  CommGraph g = std::move(b).Build();
+  EXPECT_EQ(EstimateDiameter(g), 0u);
+}
+
+TEST(GraphStatsTest, DiameterOfStarIsTwo) {
+  GraphBuilder b(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) b.AddEdge(0, leaf, 1.0);
+  CommGraph g = std::move(b).Build();
+  EXPECT_EQ(EstimateDiameter(g), 2u);
+}
+
+TEST(GraphStatsTest, BipartiteDoubleStarDiameter) {
+  // Two hubs sharing one destination: diameter 0-h-x-h'-y = 4.
+  GraphBuilder b(7);
+  b.SetBipartiteLeftSize(2);
+  // hub 0 -> {2,3,4}; hub 1 -> {4,5,6}
+  for (NodeId d : {2, 3, 4}) b.AddEdge(0, d, 1.0);
+  for (NodeId d : {4, 5, 6}) b.AddEdge(1, d, 1.0);
+  CommGraph g = std::move(b).Build();
+  EXPECT_EQ(EstimateDiameter(g), 4u);
+}
+
+}  // namespace
+}  // namespace commsig

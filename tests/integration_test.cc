@@ -1,0 +1,217 @@
+// End-to-end tests reproducing the paper's qualitative findings in miniature:
+// generate a synthetic enterprise-flow workload, compute TT / UT / RWR^3
+// signatures per window, and verify the property orderings and application
+// results the paper reports (Sections IV-V).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "apps/masquerade_detector.h"
+#include "apps/multiusage.h"
+#include "core/distance.h"
+#include "core/scheme.h"
+#include "data/flow_generator.h"
+#include "data/query_log_generator.h"
+#include "eval/masquerade_sim.h"
+#include "eval/perturb.h"
+#include "eval/properties.h"
+
+namespace commsig {
+namespace {
+
+constexpr size_t kK = 10;
+
+struct FlowFixture {
+  FlowDataset dataset;
+  std::vector<CommGraph> windows;
+  std::unique_ptr<SignatureScheme> tt, ut, rwr;
+
+  FlowFixture() {
+    FlowGeneratorConfig cfg;
+    cfg.num_local_hosts = 60;
+    cfg.num_external_hosts = 3000;
+    cfg.num_windows = 3;
+    cfg.seed = 2024;
+    dataset = FlowTraceGenerator(cfg).Generate();
+    windows = dataset.Windows();
+    SchemeOptions opts{.k = kK, .restrict_to_opposite_partition = true};
+    tt = *CreateScheme("tt", opts);
+    ut = *CreateScheme("ut", opts);
+    rwr = *CreateScheme("rwr(c=0.1,h=3)", opts);
+  }
+
+  PropertyEllipse Ellipse(const SignatureScheme& scheme,
+                          DistanceKind kind) const {
+    auto s0 = scheme.ComputeAll(windows[0], dataset.local_hosts);
+    auto s1 = scheme.ComputeAll(windows[1], dataset.local_hosts);
+    return SummarizeProperties(s0, s1, SignatureDistance(kind));
+  }
+
+  double SelfMatchAuc(const SignatureScheme& scheme,
+                      DistanceKind kind) const {
+    auto s0 = scheme.ComputeAll(windows[0], dataset.local_hosts);
+    auto s1 = scheme.ComputeAll(windows[1], dataset.local_hosts);
+    return MeanAuc(SelfMatchRoc(s0, s1, SignatureDistance(kind)));
+  }
+};
+
+FlowFixture& Fixture() {
+  static FlowFixture* fixture = new FlowFixture();
+  return *fixture;
+}
+
+// --- Figure 1 shape: UT most unique, RWR most persistent, TT between. ----
+
+TEST(IntegrationFlowTest, UtIsMoreUniqueThanRwr) {
+  auto& f = Fixture();
+  PropertyEllipse ut = f.Ellipse(*f.ut, DistanceKind::kScaledHellinger);
+  PropertyEllipse rwr = f.Ellipse(*f.rwr, DistanceKind::kScaledHellinger);
+  EXPECT_GT(ut.mean_uniqueness, rwr.mean_uniqueness);
+}
+
+TEST(IntegrationFlowTest, RwrIsMorePersistentThanUt) {
+  auto& f = Fixture();
+  PropertyEllipse ut = f.Ellipse(*f.ut, DistanceKind::kScaledHellinger);
+  PropertyEllipse rwr = f.Ellipse(*f.rwr, DistanceKind::kScaledHellinger);
+  EXPECT_GT(rwr.mean_persistence, ut.mean_persistence);
+}
+
+TEST(IntegrationFlowTest, TtLiesBetweenUtAndRwr) {
+  auto& f = Fixture();
+  for (DistanceKind kind :
+       {DistanceKind::kJaccard, DistanceKind::kScaledHellinger}) {
+    PropertyEllipse tt = f.Ellipse(*f.tt, kind);
+    PropertyEllipse ut = f.Ellipse(*f.ut, kind);
+    PropertyEllipse rwr = f.Ellipse(*f.rwr, kind);
+    EXPECT_LE(rwr.mean_uniqueness, tt.mean_uniqueness + 0.05);
+    EXPECT_LE(tt.mean_uniqueness, ut.mean_uniqueness + 0.05);
+    EXPECT_LE(ut.mean_persistence, tt.mean_persistence + 0.05);
+    EXPECT_LE(tt.mean_persistence, rwr.mean_persistence + 0.05);
+  }
+}
+
+TEST(IntegrationFlowTest, UniquenessIsHighOverall) {
+  // Distinct users should look distinct under every scheme.
+  auto& f = Fixture();
+  for (auto* scheme : {f.tt.get(), f.ut.get(), f.rwr.get()}) {
+    PropertyEllipse e = f.Ellipse(*scheme, DistanceKind::kJaccard);
+    EXPECT_GT(e.mean_uniqueness, 0.8) << scheme->name();
+  }
+}
+
+// --- Figure 2/3(a) shape: good self-match AUC, multi-hop competitive. ----
+
+TEST(IntegrationFlowTest, AllSchemesBeatRandomMatching) {
+  auto& f = Fixture();
+  for (auto* scheme : {f.tt.get(), f.ut.get(), f.rwr.get()}) {
+    double auc = f.SelfMatchAuc(*scheme, DistanceKind::kScaledHellinger);
+    EXPECT_GT(auc, 0.8) << scheme->name();
+  }
+}
+
+TEST(IntegrationFlowTest, RwrAucCompetitiveWithOneHop) {
+  auto& f = Fixture();
+  double rwr = f.SelfMatchAuc(*f.rwr, DistanceKind::kScaledHellinger);
+  double ut = f.SelfMatchAuc(*f.ut, DistanceKind::kScaledHellinger);
+  EXPECT_GT(rwr, ut - 0.05);
+}
+
+// --- Figure 4 shape: TT most robust, UT least. --------------------------
+
+TEST(IntegrationFlowTest, RobustnessOrderingUnderPerturbation) {
+  auto& f = Fixture();
+  CommGraph perturbed = Perturb(
+      f.windows[0],
+      {.insert_fraction = 0.4, .delete_fraction = 0.4, .seed = 5});
+  SignatureDistance dist(DistanceKind::kScaledHellinger);
+  auto auc = [&](const SignatureScheme& scheme) {
+    auto original = scheme.ComputeAll(f.windows[0], f.dataset.local_hosts);
+    auto shaken = scheme.ComputeAll(perturbed, f.dataset.local_hosts);
+    return MeanAuc(MatchRoc(original, shaken, dist));
+  };
+  double tt = auc(*f.tt);
+  double ut = auc(*f.ut);
+  EXPECT_GT(tt, 0.9);
+  EXPECT_GE(tt, ut - 0.02);  // TT at least as robust as UT
+}
+
+// --- Figure 5 shape: TT wins multiusage detection. -----------------------
+
+TEST(IntegrationFlowTest, MultiusageDetectionRanksSiblingsHigh) {
+  auto& f = Fixture();
+  // Queries: every host belonging to a multi-IP user.
+  std::vector<size_t> query_indices;
+  std::vector<std::vector<size_t>> relevant_sets;
+  for (size_t i = 0; i < f.dataset.local_hosts.size(); ++i) {
+    NodeId host = f.dataset.local_hosts[i];
+    const auto& siblings =
+        f.dataset.hosts_of_user.at(f.dataset.user_of_host[host]);
+    if (siblings.size() < 2) continue;
+    std::vector<size_t> rel;
+    for (NodeId s : siblings) {
+      if (s != host) rel.push_back(s);  // host ids == indices here
+    }
+    query_indices.push_back(i);
+    relevant_sets.push_back(std::move(rel));
+  }
+  ASSERT_FALSE(query_indices.empty());
+
+  SignatureDistance dist(DistanceKind::kScaledHellinger);
+  auto auc_for = [&](const SignatureScheme& scheme) {
+    auto sigs = scheme.ComputeAll(f.windows[0], f.dataset.local_hosts);
+    std::vector<Signature> queries;
+    for (size_t qi : query_indices) queries.push_back(sigs[qi]);
+    return MeanAuc(
+        SetMatchRoc(queries, query_indices, sigs, relevant_sets, dist));
+  };
+  double tt = auc_for(*f.tt);
+  double rwr = auc_for(*f.rwr);
+  EXPECT_GT(tt, 0.85);
+  EXPECT_GT(tt, rwr - 0.05);  // TT leads (or ties) as in Fig. 5
+}
+
+// --- Figure 6 shape: masquerade detection works, RWR strong at low f. ----
+
+TEST(IntegrationFlowTest, MasqueradeDetectionRecoversSwaps) {
+  auto& f = Fixture();
+  MasqueradePlan plan =
+      PlanMasquerade(f.dataset.local_hosts, /*fraction=*/0.1, /*seed=*/3);
+  ASSERT_GE(plan.mapping.size(), 2u);
+  CommGraph masked = ApplyMasquerade(f.windows[1], plan);
+
+  SignatureDistance dist(DistanceKind::kScaledHellinger);
+  auto accuracy_for = [&](const SignatureScheme& scheme) {
+    auto s0 = scheme.ComputeAll(f.windows[0], f.dataset.local_hosts);
+    auto s1 = scheme.ComputeAll(masked, f.dataset.local_hosts);
+    MasqueradeDetector detector(dist, {.top_ell = 3, .delta_divisor = 5.0});
+    auto detection = detector.Detect(f.dataset.local_hosts, s0, s1);
+    return MasqueradeAccuracy(detection, plan, f.dataset.local_hosts);
+  };
+  double rwr = accuracy_for(*f.rwr);
+  EXPECT_GT(rwr, 0.7);
+}
+
+// --- Query logs (Figure 3(b)): everything is near-perfect. ---------------
+
+TEST(IntegrationQueryLogTest, AllSchemesNearPerfect) {
+  QueryLogConfig cfg;
+  cfg.num_users = 120;
+  cfg.num_tables = 200;
+  cfg.num_windows = 2;
+  cfg.seed = 11;
+  QueryLogDataset ds = QueryLogGenerator(cfg).Generate();
+  auto windows = ds.Windows();
+  SchemeOptions opts{.k = 3, .restrict_to_opposite_partition = true};
+  for (const char* spec : {"tt", "ut", "rwr(c=0.1,h=3)"}) {
+    auto scheme = *CreateScheme(spec, opts);
+    auto s0 = scheme->ComputeAll(windows[0], ds.users);
+    auto s1 = scheme->ComputeAll(windows[1], ds.users);
+    double auc = MeanAuc(
+        SelfMatchRoc(s0, s1, SignatureDistance(DistanceKind::kJaccard)));
+    EXPECT_GT(auc, 0.95) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,137 @@
+#include "lsh/lsh_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace commsig {
+namespace {
+
+Signature SigOfNodes(std::vector<NodeId> nodes) {
+  std::vector<Signature::Entry> entries;
+  for (NodeId v : nodes) entries.push_back({v, 1.0});
+  return Signature::FromTopK(std::move(entries), 10000);
+}
+
+TEST(LshIndexTest, SelfQueryRetrievesSelf) {
+  LshIndex index;
+  Signature s = SigOfNodes({1, 2, 3, 4, 5});
+  index.Insert(42, s);
+  auto candidates = index.Query(s);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 42u);
+}
+
+TEST(LshIndexTest, NearDuplicateRetrieved) {
+  LshIndex index;
+  Signature a = SigOfNodes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  Signature b = SigOfNodes({1, 2, 3, 4, 5, 6, 7, 8, 9, 11});  // jac 9/11
+  index.Insert(1, a);
+  auto candidates = index.Query(b);
+  EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), 1u) !=
+              candidates.end());
+}
+
+TEST(LshIndexTest, DissimilarUsuallyNotRetrieved) {
+  LshIndex index;
+  Rng rng(5);
+  // Index 50 random signatures over a large universe.
+  for (NodeId id = 0; id < 50; ++id) {
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 10; ++i) {
+      nodes.push_back(static_cast<NodeId>(rng.UniformInt(100000)));
+    }
+    index.Insert(id, SigOfNodes(nodes));
+  }
+  // A fresh random signature should collide with almost nothing.
+  std::vector<NodeId> probe_nodes;
+  for (int i = 0; i < 10; ++i) {
+    probe_nodes.push_back(static_cast<NodeId>(rng.UniformInt(100000)));
+  }
+  auto candidates = index.Query(SigOfNodes(probe_nodes));
+  EXPECT_LE(candidates.size(), 2u);
+}
+
+TEST(LshIndexTest, SimilarPairsFindsPlantedPair) {
+  LshIndex index;
+  Rng rng(6);
+  // 100 random signatures plus one planted near-duplicate pair.
+  for (NodeId id = 0; id < 100; ++id) {
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 10; ++i) {
+      nodes.push_back(static_cast<NodeId>(rng.UniformInt(100000)));
+    }
+    index.Insert(id, SigOfNodes(nodes));
+  }
+  index.Insert(1000, SigOfNodes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  index.Insert(1001, SigOfNodes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  auto pairs = index.SimilarPairs(0.5);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_EQ(pairs[0].a, 1000u);
+  EXPECT_EQ(pairs[0].b, 1001u);
+  EXPECT_GT(pairs[0].estimated_similarity, 0.9);
+}
+
+TEST(LshIndexTest, SimilarPairsThresholdFilters) {
+  LshIndex index;
+  index.Insert(1, SigOfNodes({1, 2, 3, 4}));
+  index.Insert(2, SigOfNodes({1, 2, 3, 4}));
+  EXPECT_FALSE(index.SimilarPairs(0.99).empty());
+  // Raising the threshold above 1 filters even identical pairs.
+  EXPECT_TRUE(index.SimilarPairs(1.01).empty());
+}
+
+TEST(LshIndexTest, RecallOnSimilarPopulation) {
+  // Plant 20 pairs with Jaccard ~0.8 among noise; banding at 32x4 should
+  // recall nearly all of them.
+  LshIndex index({.bands = 32, .rows_per_band = 4, .seed = 9});
+  Rng rng(7);
+  for (NodeId pair = 0; pair < 20; ++pair) {
+    std::vector<NodeId> base;
+    for (int i = 0; i < 9; ++i) {
+      base.push_back(static_cast<NodeId>(rng.UniformInt(1000000)));
+    }
+    std::vector<NodeId> twin = base;
+    base.push_back(static_cast<NodeId>(rng.UniformInt(1000000)));
+    twin.push_back(static_cast<NodeId>(rng.UniformInt(1000000)));
+    index.Insert(2 * pair, SigOfNodes(base));
+    index.Insert(2 * pair + 1, SigOfNodes(twin));
+  }
+  auto pairs = index.SimilarPairs(0.3);
+  size_t recalled = 0;
+  for (NodeId pair = 0; pair < 20; ++pair) {
+    for (const auto& p : pairs) {
+      if (p.a == 2 * pair && p.b == 2 * pair + 1) {
+        ++recalled;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(recalled, 18u);
+}
+
+TEST(LshIndexTest, SizeCounts) {
+  LshIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  index.Insert(1, SigOfNodes({1}));
+  index.Insert(2, SigOfNodes({2}));
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(LshIndexTest, PairsSortedByDescendingSimilarity) {
+  LshIndex index;
+  index.Insert(1, SigOfNodes({1, 2, 3, 4, 5, 6, 7, 8}));
+  index.Insert(2, SigOfNodes({1, 2, 3, 4, 5, 6, 7, 8}));        // identical
+  index.Insert(3, SigOfNodes({1, 2, 3, 4, 5, 6, 7, 100}));      // near
+  auto pairs = index.SimilarPairs(0.0);
+  ASSERT_GE(pairs.size(), 2u);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_GE(pairs[i - 1].estimated_similarity,
+              pairs[i].estimated_similarity);
+  }
+}
+
+}  // namespace
+}  // namespace commsig

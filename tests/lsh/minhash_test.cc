@@ -1,0 +1,98 @@
+#include "lsh/minhash.h"
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+Signature SigOfRange(NodeId begin, NodeId end) {
+  std::vector<Signature::Entry> entries;
+  for (NodeId v = begin; v < end; ++v) entries.push_back({v, 1.0});
+  return Signature::FromTopK(std::move(entries), 10000);
+}
+
+TEST(MinHashTest, IdenticalSetsAgreeFully) {
+  MinHasher hasher(128);
+  Signature s = SigOfRange(0, 50);
+  auto a = hasher.Sketch(s);
+  auto b = hasher.Sketch(s);
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccardSimilarity(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsAgreeAlmostNever) {
+  MinHasher hasher(256);
+  auto a = hasher.Sketch(SigOfRange(0, 50));
+  auto b = hasher.Sketch(SigOfRange(1000, 1050));
+  EXPECT_LT(MinHasher::EstimateJaccardSimilarity(a, b), 0.05);
+}
+
+TEST(MinHashTest, SketchLengthMatchesNumHashes) {
+  MinHasher hasher(64);
+  EXPECT_EQ(hasher.Sketch(SigOfRange(0, 5)).size(), 64u);
+}
+
+TEST(MinHashTest, EmptySignatureNeverCollides) {
+  MinHasher hasher(64);
+  auto empty = hasher.Sketch(Signature());
+  auto nonempty = hasher.Sketch(SigOfRange(0, 10));
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccardSimilarity(empty, nonempty),
+                   0.0);
+  // Two empties agree fully (vacuously identical sets).
+  auto empty2 = hasher.Sketch(Signature());
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccardSimilarity(empty, empty2), 1.0);
+}
+
+struct OverlapCase {
+  size_t shared;
+  size_t each_extra;
+  double true_jaccard() const {
+    return static_cast<double>(shared) /
+           static_cast<double>(shared + 2 * each_extra);
+  }
+};
+
+class MinHashAccuracyTest : public ::testing::TestWithParam<OverlapCase> {};
+
+TEST_P(MinHashAccuracyTest, EstimateNearTrueJaccard) {
+  const OverlapCase& c = GetParam();
+  std::vector<Signature::Entry> ea, eb;
+  for (NodeId v = 0; v < c.shared; ++v) {
+    ea.push_back({v, 1.0});
+    eb.push_back({v, 1.0});
+  }
+  for (NodeId v = 0; v < c.each_extra; ++v) {
+    ea.push_back({10000 + v, 1.0});
+    eb.push_back({20000 + v, 1.0});
+  }
+  Signature a = Signature::FromTopK(std::move(ea), 100000);
+  Signature b = Signature::FromTopK(std::move(eb), 100000);
+
+  MinHasher hasher(1024);  // stderr ~ 1/32
+  double est = MinHasher::EstimateJaccardSimilarity(hasher.Sketch(a),
+                                                    hasher.Sketch(b));
+  EXPECT_NEAR(est, c.true_jaccard(), 0.07);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Overlaps, MinHashAccuracyTest,
+    ::testing::Values(OverlapCase{50, 50}, OverlapCase{80, 20},
+                      OverlapCase{20, 80}, OverlapCase{100, 0},
+                      OverlapCase{10, 10}));
+
+TEST(MinHashTest, WeightsAreIgnored) {
+  MinHasher hasher(128);
+  Signature a = Signature::FromTopK({{1, 0.001}, {2, 100.0}}, 10);
+  Signature b = Signature::FromTopK({{1, 50.0}, {2, 0.5}}, 10);
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccardSimilarity(hasher.Sketch(a),
+                                                        hasher.Sketch(b)),
+                   1.0);
+}
+
+TEST(MinHashTest, DifferentSeedsGiveDifferentSketches) {
+  MinHasher h1(64, 1), h2(64, 2);
+  Signature s = SigOfRange(0, 20);
+  EXPECT_NE(h1.Sketch(s), h2.Sketch(s));
+}
+
+}  // namespace
+}  // namespace commsig

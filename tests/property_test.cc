@@ -1,0 +1,294 @@
+// Randomized property tests: invariants that must hold on *any* input,
+// checked over seeded random graphs and traces (TEST_P over seeds).
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/distance.h"
+#include "core/rwr.h"
+#include "core/scheme.h"
+#include "core/top_talkers.h"
+#include "core/unexpected_talkers.h"
+#include "eval/masquerade_sim.h"
+#include "eval/perturb.h"
+#include "graph/graph_builder.h"
+#include "graph/windower.h"
+#include "sketch/streaming_signatures.h"
+
+namespace commsig {
+namespace {
+
+/// A random weighted digraph over n nodes with ~density*n^2 edges.
+CommGraph RandomGraph(size_t n, double density, Rng& rng) {
+  GraphBuilder b(n);
+  size_t edges = static_cast<size_t>(density * static_cast<double>(n * n));
+  for (size_t e = 0; e < edges; ++e) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId dst = static_cast<NodeId>(rng.UniformInt(n));
+    if (src == dst) continue;
+    b.AddEdge(src, dst, 1.0 + static_cast<double>(rng.UniformInt(9)));
+  }
+  return std::move(b).Build();
+}
+
+class SeededPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Graph invariants.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededPropertyTest, BuilderTotalsMatchInsertedWeight) {
+  Rng rng(GetParam());
+  GraphBuilder b(30);
+  double total = 0.0;
+  for (int e = 0; e < 200; ++e) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(30));
+    NodeId dst = static_cast<NodeId>(rng.UniformInt(30));
+    double w = rng.UniformDouble() + 0.1;
+    b.AddEdge(src, dst, w);
+    total += w;
+  }
+  CommGraph g = std::move(b).Build();
+  EXPECT_NEAR(g.TotalWeight(), total, 1e-9);
+  double out_sum = 0.0, in_sum = 0.0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    out_sum += g.OutWeight(v);
+    in_sum += g.InWeight(v);
+  }
+  EXPECT_NEAR(out_sum, total, 1e-9);
+  EXPECT_NEAR(in_sum, total, 1e-9);
+}
+
+TEST_P(SeededPropertyTest, TransposeConsistency) {
+  Rng rng(GetParam());
+  CommGraph g = RandomGraph(25, 0.1, rng);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const Edge& e : g.OutEdges(v)) {
+      EXPECT_DOUBLE_EQ(g.EdgeWeight(v, e.node), e.weight);
+      bool found = false;
+      for (const Edge& r : g.InEdges(e.node)) {
+        if (r.node == v && r.weight == e.weight) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheme invariants.
+// ---------------------------------------------------------------------------
+
+/// Applies a node-id permutation to a graph.
+CommGraph PermuteGraph(const CommGraph& g, const std::vector<NodeId>& perm) {
+  GraphBuilder b(g.NumNodes());
+  for (const auto& e : g.Edges()) {
+    b.AddEdge(perm[e.src], perm[e.dst], e.weight);
+  }
+  return std::move(b).Build();
+}
+
+TEST_P(SeededPropertyTest, OneHopSchemesAreLabelEquivariant) {
+  // scheme(perm(G), perm(v)) == perm(scheme(G, v)) when no top-k cut is in
+  // play (k >= degree), for both one-hop schemes.
+  Rng rng(GetParam());
+  CommGraph g = RandomGraph(20, 0.15, rng);
+  std::vector<NodeId> perm(20);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  CommGraph pg = PermuteGraph(g, perm);
+
+  TopTalkersScheme tt({.k = 100});
+  UnexpectedTalkersScheme ut({.k = 100}, UtWeighting::kInverseInDegree);
+  for (const SignatureScheme* scheme :
+       {static_cast<const SignatureScheme*>(&tt),
+        static_cast<const SignatureScheme*>(&ut)}) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      Signature original = scheme->Compute(g, v);
+      Signature permuted = scheme->Compute(pg, perm[v]);
+      ASSERT_EQ(original.size(), permuted.size());
+      for (const auto& entry : original.entries()) {
+        EXPECT_NEAR(permuted.WeightOf(perm[entry.node]), entry.weight,
+                    1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, RwrMassConservationOnRandomGraphs) {
+  Rng rng(GetParam());
+  CommGraph g = RandomGraph(40, 0.08, rng);
+  for (TraversalMode mode :
+       {TraversalMode::kDirected, TraversalMode::kSymmetric}) {
+    for (size_t hops : {0u, 1u, 4u}) {
+      RwrScheme rwr({.k = 10},
+                    {.reset = 0.15, .max_hops = hops, .traversal = mode});
+      NodeId start = static_cast<NodeId>(rng.UniformInt(40));
+      auto r = rwr.StationaryVector(g, start);
+      double total = std::accumulate(r.begin(), r.end(), 0.0);
+      EXPECT_NEAR(total, 1.0, 1e-8)
+          << "mode " << static_cast<int>(mode) << " hops " << hops;
+      for (double p : r) EXPECT_GE(p, -1e-15);
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, SignatureNeverContainsFocalNode) {
+  Rng rng(GetParam());
+  CommGraph g = RandomGraph(25, 0.2, rng);
+  SchemeOptions opts{.k = 50};
+  for (const char* spec : {"tt", "ut", "rwr(c=0.1,h=3)"}) {
+    auto scheme = *CreateScheme(spec, opts);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_FALSE(scheme->Compute(g, v).Contains(v)) << spec;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distance invariants.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededPropertyTest, GraphDerivedDistancesStayInRange) {
+  Rng rng(GetParam());
+  CommGraph g = RandomGraph(30, 0.1, rng);
+  TopTalkersScheme tt({.k = 5});
+  std::vector<Signature> sigs;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) sigs.push_back(tt.Compute(g, v));
+  for (DistanceKind kind : AllDistanceKindsExtended()) {
+    for (size_t i = 0; i < sigs.size(); i += 3) {
+      for (size_t j = 0; j < sigs.size(); j += 5) {
+        double d = Distance(kind, sigs[i], sigs[j]);
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 1.0);
+        EXPECT_DOUBLE_EQ(d, Distance(kind, sigs[j], sigs[i]));
+      }
+      EXPECT_DOUBLE_EQ(Distance(kind, sigs[i], sigs[i]), 0.0);
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, JaccardTriangleInequality) {
+  // Jaccard distance is a metric; spot-check the triangle inequality on
+  // random signature triples.
+  Rng rng(GetParam());
+  auto random_sig = [&rng]() {
+    std::vector<Signature::Entry> entries;
+    size_t size = 1 + rng.UniformInt(8);
+    for (size_t i = 0; i < size; ++i) {
+      entries.push_back({static_cast<NodeId>(rng.UniformInt(15)), 1.0});
+    }
+    return Signature::FromTopK(std::move(entries), 100);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    Signature a = random_sig(), b = random_sig(), c = random_sig();
+    double ab = Distance(DistanceKind::kJaccard, a, b);
+    double bc = Distance(DistanceKind::kJaccard, b, c);
+    double ac = Distance(DistanceKind::kJaccard, a, c);
+    EXPECT_LE(ac, ab + bc + 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Eval invariants.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededPropertyTest, PerturbKeepsWeightAccounting) {
+  Rng rng(GetParam());
+  CommGraph g = RandomGraph(30, 0.1, rng);
+  if (g.NumEdges() == 0) return;
+  const double alpha = 0.3;
+  CommGraph p = Perturb(g, {.insert_fraction = alpha,
+                            .delete_fraction = alpha,
+                            .seed = GetParam() * 31});
+  // Deletions remove ~alpha*|E| units; insertions add ~alpha*|E| draws
+  // from the weight pool (mean = mean edge weight). Bound loosely.
+  const double mean_w = g.TotalWeight() / static_cast<double>(g.NumEdges());
+  const double delta = p.TotalWeight() - g.TotalWeight();
+  const double budget = alpha * static_cast<double>(g.NumEdges());
+  EXPECT_GE(delta, -budget * 1.1 - 1.0);
+  EXPECT_LE(delta, budget * mean_w * 2.0 + 1.0);
+  EXPECT_EQ(p.NumNodes(), g.NumNodes());
+}
+
+TEST_P(SeededPropertyTest, MasqueradePreservesDegreeMultiset) {
+  // Relabelling is a bijection, so the multiset of (out-degree, in-degree)
+  // pairs is invariant.
+  Rng rng(GetParam());
+  CommGraph g = RandomGraph(30, 0.1, rng);
+  std::vector<NodeId> pool(30);
+  std::iota(pool.begin(), pool.end(), 0);
+  MasqueradePlan plan = PlanMasquerade(pool, 0.5, GetParam());
+  CommGraph m = ApplyMasquerade(g, plan);
+  std::multiset<std::pair<size_t, size_t>> before, after;
+  for (NodeId v = 0; v < 30; ++v) {
+    before.emplace(g.OutDegree(v), g.InDegree(v));
+    after.emplace(m.OutDegree(v), m.InDegree(v));
+  }
+  EXPECT_EQ(before, after);
+  EXPECT_DOUBLE_EQ(m.TotalWeight(), g.TotalWeight());
+}
+
+TEST_P(SeededPropertyTest, WindowerPartitionsEventWeight) {
+  Rng rng(GetParam());
+  std::vector<TraceEvent> events;
+  double total = 0.0;
+  for (int e = 0; e < 300; ++e) {
+    TraceEvent ev{static_cast<NodeId>(rng.UniformInt(10)),
+                  static_cast<NodeId>(rng.UniformInt(10)),
+                  rng.UniformInt(1000), rng.UniformDouble() + 0.1};
+    total += ev.weight;
+    events.push_back(ev);
+  }
+  TraceWindower windower(10, 100);
+  auto windows = windower.Split(events);
+  double window_total = 0.0;
+  for (const auto& g : windows) window_total += g.TotalWeight();
+  EXPECT_NEAR(window_total, total, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming invariants.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededPropertyTest, StreamingTtExactWhenCapacitySuffices) {
+  // With SpaceSaving capacity >= a node's distinct destinations, the
+  // streaming TT signature equals the exact one.
+  Rng rng(GetParam());
+  std::vector<TraceEvent> events;
+  GraphBuilder b(50);
+  std::vector<NodeId> focal = {0, 1, 2};
+  for (int e = 0; e < 400; ++e) {
+    NodeId src = focal[rng.UniformInt(3)];
+    NodeId dst = static_cast<NodeId>(10 + rng.UniformInt(20));
+    double w = 1.0 + static_cast<double>(rng.UniformInt(5));
+    events.push_back({src, dst, 0, w});
+    b.AddEdge(src, dst, w);
+  }
+  CommGraph g = std::move(b).Build();
+
+  StreamingSignatureBuilder::Options opts;
+  opts.heavy_hitter_capacity = 64;  // > 20 distinct destinations
+  StreamingSignatureBuilder builder(focal, opts);
+  builder.ObserveAll(events);
+
+  TopTalkersScheme tt({.k = 10});
+  for (NodeId host : focal) {
+    Signature exact = tt.Compute(g, host);
+    Signature approx = builder.TopTalkers(host, 10);
+    ASSERT_EQ(exact.size(), approx.size());
+    for (const auto& entry : exact.entries()) {
+      EXPECT_NEAR(approx.WeightOf(entry.node), entry.weight, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,96 @@
+#include "sketch/count_min.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace commsig {
+namespace {
+
+TEST(CountMinTest, ExactForFewKeys) {
+  CountMinSketch cm(1024, 4);
+  cm.Add(1, 5.0);
+  cm.Add(2, 3.0);
+  cm.Add(1, 2.0);
+  EXPECT_DOUBLE_EQ(cm.Estimate(1), 7.0);
+  EXPECT_DOUBLE_EQ(cm.Estimate(2), 3.0);
+  EXPECT_DOUBLE_EQ(cm.TotalCount(), 10.0);
+}
+
+TEST(CountMinTest, UnseenKeyMayBeZero) {
+  CountMinSketch cm(1024, 4);
+  cm.Add(1, 5.0);
+  // With one key in a wide sketch, an unseen key almost surely maps to
+  // empty counters somewhere.
+  EXPECT_DOUBLE_EQ(cm.Estimate(999), 0.0);
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  Rng rng(1);
+  CountMinSketch cm(128, 4);
+  std::vector<double> truth(500, 0.0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.UniformInt(500);
+    double w = 1.0 + static_cast<double>(rng.UniformInt(3));
+    truth[key] += w;
+    cm.Add(key, w);
+  }
+  for (uint64_t key = 0; key < 500; ++key) {
+    EXPECT_GE(cm.Estimate(key) + 1e-9, truth[key]) << "key " << key;
+  }
+}
+
+TEST(CountMinTest, EpsilonGuaranteeHoldsForMostKeys) {
+  const double epsilon = 0.01, delta = 0.01;
+  CountMinSketch cm = CountMinSketch::WithGuarantee(epsilon, delta);
+  Rng rng(2);
+  std::vector<double> truth(2000, 0.0);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t key = rng.UniformInt(2000);
+    truth[key] += 1.0;
+    cm.Add(key);
+  }
+  size_t violations = 0;
+  for (uint64_t key = 0; key < 2000; ++key) {
+    if (cm.Estimate(key) > truth[key] + epsilon * cm.TotalCount()) {
+      ++violations;
+    }
+  }
+  // P(violation) <= delta per key; allow generous slack.
+  EXPECT_LE(violations, 2000 * delta * 5);
+}
+
+TEST(CountMinTest, WithGuaranteeSizesSensibly) {
+  CountMinSketch cm = CountMinSketch::WithGuarantee(0.001, 0.01);
+  EXPECT_GE(cm.width(), 2718u);
+  EXPECT_GE(cm.depth(), 4u);
+}
+
+TEST(CountMinTest, MergeEqualsCombinedStream) {
+  CountMinSketch a(256, 4, 7), b(256, 4, 7), combined(256, 4, 7);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.UniformInt(100);
+    (i % 2 == 0 ? a : b).Add(key);
+    combined.Add(key);
+  }
+  a.Merge(b);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_DOUBLE_EQ(a.Estimate(key), combined.Estimate(key));
+  }
+  EXPECT_DOUBLE_EQ(a.TotalCount(), combined.TotalCount());
+}
+
+TEST(CountMinTest, EdgeKeyIsInjective) {
+  EXPECT_NE(CountMinSketch::EdgeKey(1, 2), CountMinSketch::EdgeKey(2, 1));
+  EXPECT_EQ(CountMinSketch::EdgeKey(7, 9),
+            (uint64_t{7} << 32) | uint64_t{9});
+}
+
+TEST(CountMinTest, MemoryBytesTracksDimensions) {
+  CountMinSketch cm(100, 5);
+  EXPECT_EQ(cm.MemoryBytes(), 100 * 5 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace commsig

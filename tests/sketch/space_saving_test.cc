@@ -1,0 +1,102 @@
+#include "sketch/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace commsig {
+namespace {
+
+TEST(SpaceSavingTest, ExactBelowCapacity) {
+  SpaceSaving ss(10);
+  ss.Add(1, 5.0);
+  ss.Add(2, 3.0);
+  ss.Add(1, 2.0);
+  EXPECT_DOUBLE_EQ(ss.Estimate(1), 7.0);
+  EXPECT_DOUBLE_EQ(ss.Estimate(2), 3.0);
+  auto items = ss.Items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].key, 1u);
+  EXPECT_DOUBLE_EQ(items[0].error, 0.0);
+}
+
+TEST(SpaceSavingTest, EvictsMinimumOnOverflow) {
+  SpaceSaving ss(2);
+  ss.Add(1, 10.0);
+  ss.Add(2, 1.0);
+  ss.Add(3, 1.0);  // evicts key 2, inherits count 1
+  EXPECT_DOUBLE_EQ(ss.Estimate(2), 0.0);
+  EXPECT_DOUBLE_EQ(ss.Estimate(3), 2.0);
+  auto items = ss.Items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[1].key, 3u);
+  EXPECT_DOUBLE_EQ(items[1].error, 1.0);
+}
+
+TEST(SpaceSavingTest, OverestimatesNeverUnder) {
+  Rng rng(1);
+  SpaceSaving ss(20);
+  std::vector<double> truth(200, 0.0);
+  for (int i = 0; i < 20000; ++i) {
+    // Zipf-ish stream: low keys much more frequent.
+    uint64_t key = rng.UniformInt(rng.UniformInt(199) + 1);
+    truth[key] += 1.0;
+    ss.Add(key);
+  }
+  for (const auto& item : ss.Items()) {
+    EXPECT_GE(item.count + 1e-9, truth[item.key]);
+    EXPECT_GE(truth[item.key] + 1e-9, item.count - item.error);
+  }
+}
+
+TEST(SpaceSavingTest, HeavyHittersAreRetained) {
+  // Any key with count > total/capacity must be tracked.
+  Rng rng(2);
+  SpaceSaving ss(50);
+  std::vector<double> truth(1000, 0.0);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t key;
+    if (rng.Bernoulli(0.5)) {
+      key = rng.UniformInt(10);  // heavy head
+    } else {
+      key = 10 + rng.UniformInt(990);
+    }
+    truth[key] += 1.0;
+    ss.Add(key);
+  }
+  const double threshold = ss.TotalWeight() / 50.0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (truth[key] > threshold) {
+      EXPECT_GT(ss.Estimate(key), 0.0) << "heavy key " << key << " lost";
+    }
+  }
+}
+
+TEST(SpaceSavingTest, ItemsSortedHeaviestFirst) {
+  SpaceSaving ss(5);
+  ss.Add(1, 1.0);
+  ss.Add(2, 5.0);
+  ss.Add(3, 3.0);
+  auto items = ss.Items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].key, 2u);
+  EXPECT_EQ(items[1].key, 3u);
+  EXPECT_EQ(items[2].key, 1u);
+}
+
+TEST(SpaceSavingTest, TotalWeightAccumulates) {
+  SpaceSaving ss(2);
+  ss.Add(1, 2.0);
+  ss.Add(2, 3.0);
+  ss.Add(3, 4.0);  // eviction does not change the total
+  EXPECT_DOUBLE_EQ(ss.TotalWeight(), 9.0);
+}
+
+TEST(SpaceSavingTest, CapacityRespected) {
+  SpaceSaving ss(3);
+  for (uint64_t key = 0; key < 100; ++key) ss.Add(key);
+  EXPECT_LE(ss.size(), 3u);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,126 @@
+#include "sketch/streaming_signatures.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/top_talkers.h"
+#include "core/unexpected_talkers.h"
+#include "data/flow_generator.h"
+
+namespace commsig {
+namespace {
+
+FlowDataset SmallFlows() {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 30;
+  cfg.num_external_hosts = 500;
+  cfg.num_windows = 2;
+  cfg.seed = 77;
+  return FlowTraceGenerator(cfg).Generate();
+}
+
+std::vector<TraceEvent> WindowEvents(const FlowDataset& ds, size_t window) {
+  std::vector<TraceEvent> events;
+  for (const TraceEvent& e : ds.events) {
+    if (e.time / ds.window_length == window) events.push_back(e);
+  }
+  return events;
+}
+
+TEST(StreamingSignaturesTest, ObservesEverything) {
+  FlowDataset ds = SmallFlows();
+  StreamingSignatureBuilder builder(ds.local_hosts, {});
+  builder.ObserveAll(ds.events);
+  EXPECT_EQ(builder.events_observed(), ds.events.size());
+}
+
+TEST(StreamingSignaturesTest, UnknownFocalYieldsEmptySignature) {
+  StreamingSignatureBuilder builder({1, 2}, {});
+  EXPECT_TRUE(builder.TopTalkers(999, 10).empty());
+  EXPECT_TRUE(builder.UnexpectedTalkers(999, 10).empty());
+}
+
+TEST(StreamingSignaturesTest, NoTrafficYieldsEmptySignature) {
+  StreamingSignatureBuilder builder({1}, {});
+  EXPECT_TRUE(builder.TopTalkers(1, 10).empty());
+}
+
+TEST(StreamingSignaturesTest, StreamingTopTalkersMatchesExact) {
+  // On a single window, the streaming TT signature should be close (in
+  // Jaccard distance) to the exact TT signature for every focal host.
+  FlowDataset ds = SmallFlows();
+  auto windows = ds.Windows();
+  auto events = WindowEvents(ds, 0);
+
+  StreamingSignatureBuilder builder(ds.local_hosts, {});
+  builder.ObserveAll(events);
+
+  TopTalkersScheme exact({.k = 10});
+  double total_distance = 0.0;
+  for (NodeId host : ds.local_hosts) {
+    Signature approx = builder.TopTalkers(host, 10);
+    Signature truth = exact.Compute(windows[0], host);
+    total_distance +=
+        Distance(DistanceKind::kJaccard, approx, truth);
+  }
+  double mean_distance = total_distance / ds.local_hosts.size();
+  EXPECT_LT(mean_distance, 0.15);
+}
+
+TEST(StreamingSignaturesTest, StreamingUtRanksNicheAboveGlobal) {
+  // Build a stream where every focal node hits one global service and one
+  // private destination harder in UT terms.
+  std::vector<NodeId> focal = {0, 1, 2, 3};
+  StreamingSignatureBuilder builder(focal, {});
+  const NodeId global = 100;
+  for (NodeId host : focal) {
+    // Heavy traffic to the shared service...
+    for (int s = 0; s < 20; ++s) builder.Observe({host, global, 0, 1.0});
+    // ...moderate traffic to a private destination.
+    NodeId priv = 200 + host;
+    for (int s = 0; s < 10; ++s) builder.Observe({host, priv, 0, 1.0});
+  }
+  Signature ut = builder.UnexpectedTalkers(0, 1);
+  ASSERT_EQ(ut.size(), 1u);
+  EXPECT_TRUE(ut.Contains(200));  // niche beats the 4x-shared service
+
+  Signature tt = builder.TopTalkers(0, 1);
+  ASSERT_EQ(tt.size(), 1u);
+  EXPECT_TRUE(tt.Contains(global));  // TT ranks by raw volume
+}
+
+TEST(StreamingSignaturesTest, StreamingUtApproximatesExact) {
+  FlowDataset ds = SmallFlows();
+  auto windows = ds.Windows();
+  auto events = WindowEvents(ds, 0);
+
+  StreamingSignatureBuilder::Options opts;
+  opts.heavy_hitter_capacity = 128;
+  opts.cm_width = 8192;
+  StreamingSignatureBuilder builder(ds.local_hosts, opts);
+  builder.ObserveAll(events);
+
+  // Exact UT on the aggregated graph. Note: the streaming in-degree is per
+  // *event source occurrence set*, matching |I(j)| on the aggregated graph.
+  UnexpectedTalkersScheme exact({.k = 10}, UtWeighting::kInverseInDegree);
+  double total_distance = 0.0;
+  for (NodeId host : ds.local_hosts) {
+    Signature approx = builder.UnexpectedTalkers(host, 10);
+    Signature truth = exact.Compute(windows[0], host);
+    total_distance += Distance(DistanceKind::kJaccard, approx, truth);
+  }
+  EXPECT_LT(total_distance / ds.local_hosts.size(), 0.45);
+}
+
+TEST(StreamingSignaturesTest, MemoryIsBounded) {
+  FlowDataset ds = SmallFlows();
+  StreamingSignatureBuilder builder(ds.local_hosts, {});
+  builder.ObserveAll(ds.events);
+  // O(1) per node: generous bound of ~2 KB per distinct node + CM.
+  size_t nodes = ds.interner.size();
+  EXPECT_LT(builder.MemoryBytes(), nodes * 2048 + (1u << 22));
+  EXPECT_GT(builder.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace commsig

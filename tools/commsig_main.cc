@@ -1,0 +1,326 @@
+// commsig command-line tool: run the library's signature pipeline on a
+// trace CSV (rows `src,dst,time,weight`) without writing any code.
+//
+// Subcommands:
+//   signatures  print per-node signatures for one window
+//   selfmatch   cross-window self-match AUC per scheme (paper Fig. 2/3)
+//   multiusage  similar-signature pairs within one window (paper Fig. 5)
+//   masquerade  Algorithm-1 masquerade detection across two windows
+//   anomalies   nodes whose behaviour broke between two windows
+//
+// Common flags:
+//   --trace PATH        input trace CSV (this or --netflow is required)
+//   --netflow PATH      input NetFlow v5 binary export (TCP flows only
+//                       unless --protocol 0)
+//   --window-length N   window length in trace time units (default 86400)
+//   --scheme SPEC       tt | ut | ut-tfidf | rwr(c=..,h=..) |
+//                       rwr-push(c=..,eps=..) (default tt)
+//   --dist NAME         jac | dice | sdice | shel | cos | overlap
+//                       (default shel)
+//   --k N               signature length (default 10)
+//   --window I          window index (default 0)
+//   --window2 J         second window for cross-window commands (default 1)
+//   --decay THETA       accumulate windows as C'_t = theta*C'_{t-1} + C_t
+//                       before computing signatures (default 0 = off)
+//   --threads N         worker threads for signature computation (default 1)
+//
+// Example:
+//   commsig selfmatch --trace flows.csv --window-length 432000
+//       --scheme 'rwr(c=0.1,h=3)' --dist shel     (one line)
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/anomaly.h"
+#include "apps/masquerade_detector.h"
+#include "apps/multiusage.h"
+#include "common/thread_pool.h"
+#include "core/distance.h"
+#include "core/parallel.h"
+#include "core/scheme.h"
+#include "data/netflow.h"
+#include "data/trace_io.h"
+#include "eval/properties.h"
+#include "graph/decayed_accumulator.h"
+#include "graph/graph_stats.h"
+#include "graph/windower.h"
+
+namespace commsig {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::strtoull(it->second.c_str(),
+                                                        nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::strtod(it->second.c_str(),
+                                                      nullptr);
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: commsig <signatures|selfmatch|multiusage|masquerade|"
+               "anomalies> --trace PATH [flags]\n"
+               "see the header of tools/commsig_main.cc for all flags\n");
+  return 2;
+}
+
+/// Everything loaded from the trace that the subcommands share.
+struct Workspace {
+  Interner interner;
+  std::vector<CommGraph> windows;
+  std::vector<NodeId> focal;  // nodes with outgoing traffic in any window
+  std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(1);
+
+  std::vector<Signature> Signatures(const SignatureScheme& scheme,
+                                    size_t window) {
+    return ComputeAllParallel(scheme, windows[window], focal, *pool);
+  }
+};
+
+bool Load(const Args& args, Workspace& ws) {
+  std::string trace_path = args.Get("trace", "");
+  std::string netflow_path = args.Get("netflow", "");
+  if (trace_path.empty() == netflow_path.empty()) {
+    std::fprintf(stderr, "exactly one of --trace / --netflow is required\n");
+    return false;
+  }
+  std::vector<TraceEvent> events;
+  if (!trace_path.empty()) {
+    auto loaded = ReadTraceCsv(trace_path, ws.interner);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load trace: %s\n",
+                   loaded.status().ToString().c_str());
+      return false;
+    }
+    events = std::move(*loaded);
+  } else {
+    auto records = ReadNetflowV5File(netflow_path);
+    if (!records.ok()) {
+      std::fprintf(stderr, "cannot load netflow: %s\n",
+                   records.status().ToString().c_str());
+      return false;
+    }
+    NetflowReadOptions opts;
+    opts.protocol_filter =
+        static_cast<uint8_t>(args.GetInt("protocol", 6));
+    events = NetflowToEvents(*records, ws.interner, opts);
+  }
+  uint64_t window_length = args.GetInt("window-length", 86400);
+  TraceWindower windower(ws.interner.size(), window_length);
+  ws.windows = windower.Split(events);
+  if (ws.windows.empty()) {
+    std::fprintf(stderr, "trace produced no windows\n");
+    return false;
+  }
+  // Optional COI-style decayed accumulation: window i becomes the decayed
+  // sum of windows 0..i.
+  double theta = args.GetDouble("decay", 0.0);
+  if (theta > 0.0) {
+    if (theta >= 1.0) {
+      std::fprintf(stderr, "--decay must be in [0, 1)\n");
+      return false;
+    }
+    DecayedGraphAccumulator acc(ws.interner.size(), theta);
+    std::vector<CommGraph> decayed;
+    decayed.reserve(ws.windows.size());
+    for (const CommGraph& g : ws.windows) {
+      acc.AddWindow(g);
+      decayed.push_back(acc.Current());
+    }
+    ws.windows = std::move(decayed);
+  }
+  std::vector<bool> has_out(ws.interner.size(), false);
+  for (const auto& g : ws.windows) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (g.OutDegree(v) > 0) has_out[v] = true;
+    }
+  }
+  for (NodeId v = 0; v < has_out.size(); ++v) {
+    if (has_out[v]) ws.focal.push_back(v);
+  }
+  size_t threads = args.GetInt("threads", 1);
+  if (threads > 1) ws.pool = std::make_unique<ThreadPool>(threads);
+  std::fprintf(stderr, "loaded %zu events, %zu nodes, %zu windows, %zu "
+               "focal nodes\n",
+               events.size(), ws.interner.size(), ws.windows.size(),
+               ws.focal.size());
+  return true;
+}
+
+Result<std::unique_ptr<SignatureScheme>> SchemeFor(const Args& args) {
+  SchemeOptions opts;
+  opts.k = args.GetInt("k", 10);
+  return CreateScheme(args.Get("scheme", "tt"), opts);
+}
+
+Result<DistanceKind> DistFor(const Args& args) {
+  return ParseDistanceName(args.Get("dist", "shel"));
+}
+
+int RunSignatures(const Args& args, Workspace& ws) {
+  size_t window = args.GetInt("window", 0);
+  if (window >= ws.windows.size()) {
+    std::fprintf(stderr, "window %zu out of range\n", window);
+    return 1;
+  }
+  auto scheme = SchemeFor(args);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+    return 1;
+  }
+  for (NodeId v : ws.focal) {
+    Signature sig = (*scheme)->Compute(ws.windows[window], v);
+    if (sig.empty()) continue;
+    std::printf("%s\t%s\n", ws.interner.LabelOf(v).c_str(),
+                sig.ToString(ws.interner).c_str());
+  }
+  return 0;
+}
+
+int RunSelfMatch(const Args& args, Workspace& ws) {
+  size_t w0 = args.GetInt("window", 0);
+  size_t w1 = args.GetInt("window2", 1);
+  if (w0 >= ws.windows.size() || w1 >= ws.windows.size()) {
+    std::fprintf(stderr, "window index out of range\n");
+    return 1;
+  }
+  auto scheme = SchemeFor(args);
+  auto dist = DistFor(args);
+  if (!scheme.ok() || !dist.ok()) {
+    std::fprintf(stderr, "bad scheme or distance\n");
+    return 1;
+  }
+  auto s0 = ws.Signatures(**scheme, w0);
+  auto s1 = ws.Signatures(**scheme, w1);
+  SignatureDistance d(*dist);
+  auto rocs = SelfMatchRoc(s0, s1, d);
+  PropertyEllipse e = SummarizeProperties(s0, s1, d, 50000);
+  std::printf("scheme=%s dist=%s windows=%zu->%zu\n",
+              (*scheme)->name().c_str(), std::string(DistanceName(*dist)).c_str(),
+              w0, w1);
+  std::printf("self-match AUC  %.4f\n", MeanAuc(rocs));
+  std::printf("persistence     %.4f +- %.4f\n", e.mean_persistence,
+              e.std_persistence);
+  std::printf("uniqueness      %.4f +- %.4f\n", e.mean_uniqueness,
+              e.std_uniqueness);
+  return 0;
+}
+
+int RunMultiusage(const Args& args, Workspace& ws) {
+  size_t window = args.GetInt("window", 0);
+  if (window >= ws.windows.size()) {
+    std::fprintf(stderr, "window %zu out of range\n", window);
+    return 1;
+  }
+  auto scheme = SchemeFor(args);
+  auto dist = DistFor(args);
+  if (!scheme.ok() || !dist.ok()) return 1;
+  auto sigs = ws.Signatures(**scheme, window);
+  MultiusageDetector detector(
+      SignatureDistance(*dist),
+      {.threshold = args.GetDouble("threshold", 0.5),
+       .max_pairs = args.GetInt("max-pairs", 50)});
+  auto pairs = detector.Detect(ws.focal, sigs);
+  std::printf("%zu candidate alias pair(s)\n", pairs.size());
+  for (const auto& p : pairs) {
+    std::printf("%.4f\t%s\t%s\n", p.distance,
+                ws.interner.LabelOf(p.a).c_str(),
+                ws.interner.LabelOf(p.b).c_str());
+  }
+  return 0;
+}
+
+int RunMasquerade(const Args& args, Workspace& ws) {
+  size_t w0 = args.GetInt("window", 0);
+  size_t w1 = args.GetInt("window2", 1);
+  if (w0 >= ws.windows.size() || w1 >= ws.windows.size()) {
+    std::fprintf(stderr, "window index out of range\n");
+    return 1;
+  }
+  auto scheme = SchemeFor(args);
+  auto dist = DistFor(args);
+  if (!scheme.ok() || !dist.ok()) return 1;
+  auto s0 = ws.Signatures(**scheme, w0);
+  auto s1 = ws.Signatures(**scheme, w1);
+  MasqueradeDetector detector(
+      SignatureDistance(*dist),
+      {.top_ell = args.GetInt("ell", 3),
+       .delta_divisor = args.GetDouble("delta-divisor", 5.0)});
+  auto detection = detector.Detect(ws.focal, s0, s1);
+  std::printf("delta=%.4f, cleared=%zu, suspected pairs=%zu\n",
+              detection.delta, detection.non_suspects.size(),
+              detection.detected.size());
+  for (const auto& [v, u] : detection.detected) {
+    std::printf("%s\t-> now appears as\t%s\n",
+                ws.interner.LabelOf(v).c_str(),
+                ws.interner.LabelOf(u).c_str());
+  }
+  return 0;
+}
+
+int RunAnomalies(const Args& args, Workspace& ws) {
+  size_t w0 = args.GetInt("window", 0);
+  size_t w1 = args.GetInt("window2", 1);
+  if (w0 >= ws.windows.size() || w1 >= ws.windows.size()) {
+    std::fprintf(stderr, "window index out of range\n");
+    return 1;
+  }
+  auto scheme = SchemeFor(args);
+  auto dist = DistFor(args);
+  if (!scheme.ok() || !dist.ok()) return 1;
+  auto s0 = ws.Signatures(**scheme, w0);
+  auto s1 = ws.Signatures(**scheme, w1);
+  auto anomalies =
+      DetectAnomalies(ws.focal, s0, s1, SignatureDistance(*dist),
+                      args.GetDouble("threshold", 2.0));
+  std::printf("%zu anomalies between windows %zu and %zu\n",
+              anomalies.size(), w0, w1);
+  for (const Anomaly& a : anomalies) {
+    std::printf("%s\tpersistence=%.4f\t%.1f sigma below mean\n",
+                ws.interner.LabelOf(a.node).c_str(), a.persistence,
+                a.deviations_below_mean);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) return Usage();
+    args.flags[flag.substr(2)] = argv[i + 1];
+  }
+
+  Workspace ws;
+  if (!Load(args, ws)) return 1;
+
+  if (args.command == "signatures") return RunSignatures(args, ws);
+  if (args.command == "selfmatch") return RunSelfMatch(args, ws);
+  if (args.command == "multiusage") return RunMultiusage(args, ws);
+  if (args.command == "masquerade") return RunMasquerade(args, ws);
+  if (args.command == "anomalies") return RunAnomalies(args, ws);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace commsig
+
+int main(int argc, char** argv) { return commsig::Main(argc, argv); }
