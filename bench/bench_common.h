@@ -14,6 +14,7 @@
 #include "core/scheme.h"
 #include "data/flow_generator.h"
 #include "data/query_log_generator.h"
+#include "obs/metrics.h"
 
 namespace commsig::bench {
 
@@ -83,6 +84,21 @@ inline std::string Fmt(double value, const char* format = "%.4f") {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Dumps the global metrics registry (bench gauges plus whatever the
+/// instrumented library recorded during the run) to BENCH_<name>.json in
+/// the working directory — one snapshot per bench binary, the raw material
+/// of the perf trajectory.
+inline void WriteBenchSnapshot(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  Status s = obs::MetricsRegistry::Global().WriteJsonFile(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "perf snapshot written to %s\n", path.c_str());
+  }
 }
 
 }  // namespace commsig::bench

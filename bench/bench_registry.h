@@ -1,0 +1,54 @@
+#ifndef COMMSIG_BENCH_BENCH_REGISTRY_H_
+#define COMMSIG_BENCH_BENCH_REGISTRY_H_
+
+// Bridges google-benchmark results into the obs metrics registry so the
+// perf binaries emit machine-readable BENCH_<name>.json snapshots instead
+// of (only) console tables. Kept separate from bench_common.h because the
+// figure benches do not link against google-benchmark.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "obs/metrics.h"
+
+namespace commsig::bench {
+
+/// Console reporter that additionally records each benchmark run's timing
+/// and throughput as gauges ("bench/<run name>/real_time_ns",
+/// ".../cpu_time_ns", ".../items_per_sec") in the global registry.
+class RegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const std::string base = "bench/" + run.benchmark_name();
+      reg.GetGauge(base + "/real_time_ns").Set(run.GetAdjustedRealTime());
+      reg.GetGauge(base + "/cpu_time_ns").Set(run.GetAdjustedCPUTime());
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        reg.GetGauge(base + "/items_per_sec").Set(it->second);
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN() that routes results through
+/// RegistryReporter and writes BENCH_<snapshot_name>.json on exit.
+inline int BenchMain(int argc, char** argv,
+                     const std::string& snapshot_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  WriteBenchSnapshot(snapshot_name);
+  return 0;
+}
+
+}  // namespace commsig::bench
+
+#endif  // COMMSIG_BENCH_BENCH_REGISTRY_H_

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_registry.h"
 #include "common/random.h"
 #include "core/distance.h"
 
@@ -65,4 +66,6 @@ BENCHMARK(BM_PairwiseUniquenessScan)->Arg(100)->Arg(300)->ArgNames({"n"});
 }  // namespace
 }  // namespace commsig
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return commsig::bench::BenchMain(argc, argv, "distance");
+}

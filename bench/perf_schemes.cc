@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "bench/bench_registry.h"
 #include "core/rwr.h"
 #include "core/rwr_push.h"
 #include "core/top_talkers.h"
@@ -114,4 +115,8 @@ BENCHMARK(BM_RwrUnbounded);
 }  // namespace
 }  // namespace commsig::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Ops/sec lands in the metrics registry and BENCH_schemes.json (perf
+  // trajectory) instead of only the console table.
+  return commsig::bench::BenchMain(argc, argv, "schemes");
+}

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace commsig {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : created_at_(std::chrono::steady_clock::now()) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -26,8 +29,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (shutting_down_) return;  // documented no-op after shutdown begins
     queue_.push_back(std::move(task));
     ++in_flight_;
+    COMMSIG_GAUGE_SET("threadpool/queue_depth", queue_.size());
   }
   work_available_.notify_one();
 }
@@ -35,6 +40,23 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  // A full wave just drained: refresh the lifetime-utilization gauge
+  // (fraction of worker wall time spent running tasks).
+  const double elapsed_us =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - created_at_)
+                              .count());
+  if (elapsed_us > 0.0 && !workers_.empty()) {
+    COMMSIG_GAUGE_SET(
+        "threadpool/utilization",
+        static_cast<double>(busy_micros_.load(std::memory_order_relaxed)) /
+            (elapsed_us * static_cast<double>(workers_.size())));
+  }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -50,8 +72,17 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      COMMSIG_GAUGE_SET("threadpool/queue_depth", queue_.size());
     }
+    const auto task_start = std::chrono::steady_clock::now();
     task();
+    busy_micros_.fetch_add(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - task_start)
+            .count(),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    COMMSIG_COUNTER_ADD("threadpool/tasks_executed", 1);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

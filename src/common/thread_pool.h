@@ -1,8 +1,11 @@
 #ifndef COMMSIG_COMMON_THREAD_POOL_H_
 #define COMMSIG_COMMON_THREAD_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -20,13 +23,17 @@ class ThreadPool {
   /// `num_threads` 0 uses the hardware concurrency (at least 1).
   explicit ThreadPool(size_t num_threads = 0);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Drains outstanding tasks, then joins the workers. Tasks submitted
+  /// while the drain is in progress are dropped (see Submit).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues one task.
+  /// Enqueues one task. Once shutdown has begun (the destructor is
+  /// running), Submit is a documented no-op: the task is dropped rather
+  /// than enqueued, so a task that resubmits work during destruction
+  /// cannot race the worker join.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
@@ -34,16 +41,28 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Number of tasks currently enqueued and not yet picked up by a worker
+  /// (excludes tasks being executed right now).
+  size_t queue_depth() const;
+
+  /// Total tasks completed over the pool's lifetime.
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> busy_micros_{0};
+  std::chrono::steady_clock::time_point created_at_;
 };
 
 /// Runs fn(i) for i in [0, count) across the pool and blocks until all

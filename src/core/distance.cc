@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace commsig {
 
 std::span<const DistanceKind> AllDistanceKinds() {
@@ -47,6 +49,8 @@ Result<DistanceKind> ParseDistanceName(std::string_view name) {
 }
 
 double Distance(DistanceKind kind, const Signature& a, const Signature& b) {
+  // Striped relaxed increment: cheap enough for the O(n^2) scan hot loop.
+  COMMSIG_COUNTER_ADD("distance/evaluations", 1);
   const auto ea = a.entries();
   const auto eb = b.entries();
   if (ea.empty() && eb.empty()) return 0.0;

@@ -1,6 +1,7 @@
 #include "core/parallel.h"
 
 #include "core/distance.h"
+#include "obs/obs.h"
 
 namespace commsig {
 
@@ -8,6 +9,7 @@ std::vector<Signature> ComputeAllParallel(const SignatureScheme& scheme,
                                           const CommGraph& g,
                                           std::span<const NodeId> nodes,
                                           ThreadPool& pool) {
+  COMMSIG_SPAN("signature/compute_all");
   std::vector<Signature> out(nodes.size());
   ParallelFor(pool, nodes.size(), [&](size_t i) {
     out[i] = scheme.Compute(g, nodes[i]);
@@ -18,7 +20,9 @@ std::vector<Signature> ComputeAllParallel(const SignatureScheme& scheme,
 std::vector<double> PairwiseDistancesParallel(
     std::span<const Signature> sigs, SignatureDistance dist,
     ThreadPool& pool) {
+  COMMSIG_SPAN("distance/pairwise_scan");
   const size_t n = sigs.size();
+  COMMSIG_COUNTER_ADD("distance/pairwise_pairs", n * (n - 1) / 2);
   std::vector<double> matrix(n * n, 0.0);
   ParallelFor(pool, n, [&](size_t i) {
     for (size_t j = i + 1; j < n; ++j) {

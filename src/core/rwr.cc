@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace commsig {
 
 std::string RwrScheme::name() const {
@@ -45,9 +47,13 @@ std::vector<double> RwrScheme::StationaryVector(const CommGraph& g,
   std::vector<double> r(n, 0.0), next(n, 0.0);
   r[v] = 1.0;
 
+  COMMSIG_SPAN("rwr/iterate");
   const size_t iterations =
       rwr_.max_hops > 0 ? rwr_.max_hops : rwr_.max_iterations;
+  size_t iterations_run = 0;
+  double last_residual = 0.0;
   for (size_t iter = 0; iter < iterations; ++iter) {
+    ++iterations_run;
     std::fill(next.begin(), next.end(), 0.0);
     double dangling = 0.0;
     for (NodeId x = 0; x < n; ++x) {
@@ -81,10 +87,16 @@ std::vector<double> RwrScheme::StationaryVector(const CommGraph& g,
       double delta = 0.0;
       for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - r[i]);
       r.swap(next);
+      last_residual = delta;
       if (delta < rwr_.tolerance) break;
     } else {
       r.swap(next);
     }
+  }
+  COMMSIG_COUNTER_ADD("rwr/calls", 1);
+  COMMSIG_COUNTER_ADD("rwr/iterations", iterations_run);
+  if (rwr_.max_hops == 0) {
+    COMMSIG_HISTOGRAM_OBSERVE("rwr/residual_at_convergence", last_residual);
   }
   return r;
 }

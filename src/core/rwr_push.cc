@@ -4,6 +4,8 @@
 #include <deque>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace commsig {
 
 std::string RwrPushScheme::name() const {
@@ -16,6 +18,7 @@ std::string RwrPushScheme::name() const {
 std::vector<double> RwrPushScheme::ApproximateVector(const CommGraph& g,
                                                      NodeId v,
                                                      size_t* pushes) const {
+  COMMSIG_SPAN("rwr_push/approximate");
   const size_t n = g.NumNodes();
   const bool symmetric = push_.traversal == TraversalMode::kSymmetric;
   const double c = push_.reset;
@@ -76,6 +79,8 @@ std::vector<double> RwrPushScheme::ApproximateVector(const CommGraph& g,
       }
     }
   }
+  COMMSIG_COUNTER_ADD("rwr_push/calls", 1);
+  COMMSIG_COUNTER_ADD("rwr_push/pushes", push_count);
   if (pushes != nullptr) *pushes = push_count;
   return p;
 }

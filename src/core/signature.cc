@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace commsig {
 
 Signature Signature::FromTopK(std::vector<Entry> candidates, size_t k) {
@@ -11,6 +13,8 @@ Signature Signature::FromTopK(std::vector<Entry> candidates, size_t k) {
       std::remove_if(candidates.begin(), candidates.end(),
                      [](const Entry& e) { return !(e.weight > 0.0); }),
       candidates.end());
+  COMMSIG_COUNTER_ADD("signature/built", 1);
+  COMMSIG_HISTOGRAM_OBSERVE("signature/candidates", candidates.size());
 
   if (candidates.size() > k) {
     // Rank by (weight desc, node asc) so the cut at k is deterministic.

@@ -2,9 +2,12 @@
 
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace commsig {
 
 Signature TopTalkersScheme::Compute(const CommGraph& g, NodeId v) const {
+  COMMSIG_SPAN("top_talkers/compute");
   const double total = g.OutWeight(v);
   if (total <= 0.0) return Signature();
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "graph/graph_builder.h"
+#include "obs/obs.h"
 
 namespace commsig {
 
@@ -22,6 +23,7 @@ size_t TraceWindower::WindowOf(uint64_t time) const {
 
 std::vector<CommGraph> TraceWindower::Split(
     const std::vector<TraceEvent>& events) const {
+  COMMSIG_SPAN("windower/split");
   size_t num_windows = 0;
   for (const TraceEvent& e : events) {
     size_t w = WindowOf(e.time);
@@ -30,6 +32,7 @@ std::vector<CommGraph> TraceWindower::Split(
   }
 
   std::vector<GraphBuilder> builders;
+  std::vector<size_t> events_per_window(num_windows, 0);
   builders.reserve(num_windows);
   for (size_t w = 0; w < num_windows; ++w) {
     builders.emplace_back(num_nodes_);
@@ -39,12 +42,17 @@ std::vector<CommGraph> TraceWindower::Split(
     size_t w = WindowOf(e.time);
     if (w == static_cast<size_t>(-1)) continue;
     builders[w].AddEdge(e.src, e.dst, e.weight);
+    ++events_per_window[w];
   }
 
   std::vector<CommGraph> graphs;
   graphs.reserve(num_windows);
   for (auto& b : builders) {
     graphs.push_back(std::move(b).Build());
+  }
+  COMMSIG_COUNTER_ADD("windower/windows_built", num_windows);
+  for (size_t w = 0; w < num_windows; ++w) {
+    COMMSIG_HISTOGRAM_OBSERVE("windower/window_events", events_per_window[w]);
   }
   return graphs;
 }

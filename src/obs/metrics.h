@@ -1,0 +1,168 @@
+#ifndef COMMSIG_OBS_METRICS_H_
+#define COMMSIG_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace commsig::obs {
+
+/// Monotonic counter. Increments are relaxed atomics striped across cache
+/// lines so the hottest call sites (one increment per distance evaluation in
+/// the O(n^2) uniqueness scan, running on every pool worker) do not contend
+/// on a single line.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    stripes_[StripeIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes the counter (bench/test isolation). Not atomic with respect to
+  /// concurrent Add; callers quiesce writers first.
+  void Reset() {
+    for (Stripe& s : stripes_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kStripes = 8;
+
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t StripeIndex();
+
+  Stripe stripes_[kStripes];
+};
+
+/// Last-write-wins instantaneous value (queue depth, utilization, error
+/// bounds). Stored as the bit pattern of a double so reads and writes stay
+/// lock-free.
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit pattern of 0.0
+};
+
+/// Point-in-time view of one histogram: RunningStats summary plus the
+/// occupied log-scale buckets.
+struct HistogramSnapshot {
+  struct Bucket {
+    double upper_bound;  // values v satisfy lower <= v < upper_bound
+    uint64_t count;
+  };
+
+  uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<Bucket> buckets;  // only non-empty buckets, ascending
+};
+
+/// Log-scale (powers of two) histogram with a RunningStats summary. Bucket i
+/// covers [2^(i-kOffset), 2^(i-kOffset+1)); values below the range land in
+/// the first bucket, values above in the last. Observations take a mutex —
+/// intended for per-call-site timings and sizes (thousands of observations),
+/// not per-element inner loops (use Counter there).
+class Histogram {
+ public:
+  void Observe(double v);
+
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kOffset = 31;  // bucket 31 covers [1, 2)
+
+  static int BucketIndex(double v);
+
+  mutable std::mutex mutex_;
+  RunningStats stats_;
+  uint64_t buckets_[kNumBuckets] = {};
+};
+
+/// Full registry snapshot, serializable to JSON and Prometheus text.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  std::string ToJson() const;
+  std::string ToPrometheus() const;
+};
+
+/// Process-wide, thread-safe registry of named metrics.
+///
+/// Metric objects are created on first use and live for the remainder of the
+/// process, so returned references may be cached (the COMMSIG_* macros cache
+/// them in function-local statics). Reset() zeroes values but never
+/// invalidates references. Names use '/'-separated paths by convention
+/// ("rwr/iterations"); Prometheus export sanitizes them.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+  std::string ToPrometheus() const { return Snapshot().ToPrometheus(); }
+
+  /// Writes the JSON snapshot to `path` (overwrites).
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every registered metric; registrations themselves persist.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Registers the standard hot-path metric names (value 0) so every snapshot
+/// contains them even when a run never exercises the corresponding path —
+/// downstream trajectory tooling relies on stable keys.
+void PreRegisterCoreMetrics();
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared with the trace exporter.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace commsig::obs
+
+#endif  // COMMSIG_OBS_METRICS_H_

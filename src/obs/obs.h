@@ -1,0 +1,70 @@
+#ifndef COMMSIG_OBS_OBS_H_
+#define COMMSIG_OBS_OBS_H_
+
+// Umbrella header for instrumented code. Hot paths use only the macros
+// below; defining COMMSIG_OBS_DISABLED (CMake: -DCOMMSIG_OBS_DISABLED=ON)
+// compiles every call site to a no-op with zero runtime cost. The registry
+// and collector classes themselves remain available either way, so code
+// that consumes snapshots (CLI, benches, tests) builds in both modes.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef COMMSIG_OBS_DISABLED
+
+#define COMMSIG_OBS_CONCAT_INNER(a, b) a##b
+#define COMMSIG_OBS_CONCAT(a, b) COMMSIG_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope under `name` (a string literal). Duration feeds
+/// the histogram "span/<name>_us" and, when trace collection is enabled, the
+/// exported Chrome trace.
+#define COMMSIG_SPAN(name)                                       \
+  ::commsig::obs::ScopedSpan COMMSIG_OBS_CONCAT(commsig_span_,   \
+                                                __COUNTER__)(name)
+
+/// Adds `n` to the named counter. The registry lookup happens once per call
+/// site (function-local static); the steady-state cost is one relaxed
+/// striped fetch_add.
+#define COMMSIG_COUNTER_ADD(name, n)                                    \
+  do {                                                                  \
+    static ::commsig::obs::Counter& commsig_obs_counter =               \
+        ::commsig::obs::MetricsRegistry::Global().GetCounter(name);     \
+    commsig_obs_counter.Add(static_cast<uint64_t>(n));                  \
+  } while (0)
+
+/// Sets the named gauge to `v`.
+#define COMMSIG_GAUGE_SET(name, v)                                      \
+  do {                                                                  \
+    static ::commsig::obs::Gauge& commsig_obs_gauge =                   \
+        ::commsig::obs::MetricsRegistry::Global().GetGauge(name);       \
+    commsig_obs_gauge.Set(static_cast<double>(v));                      \
+  } while (0)
+
+/// Records `v` into the named log-scale histogram.
+#define COMMSIG_HISTOGRAM_OBSERVE(name, v)                              \
+  do {                                                                  \
+    static ::commsig::obs::Histogram& commsig_obs_histogram =           \
+        ::commsig::obs::MetricsRegistry::Global().GetHistogram(name);   \
+    commsig_obs_histogram.Observe(static_cast<double>(v));              \
+  } while (0)
+
+#else  // COMMSIG_OBS_DISABLED
+
+// The dead branch keeps the operands syntactically checked and counted as
+// "used" (no -Wunused-but-set-variable on values computed only for
+// metrics) while the optimizer removes the call site entirely.
+#define COMMSIG_OBS_NOOP(...)                  \
+  do {                                         \
+    if (false) {                               \
+      (void)(__VA_ARGS__);                     \
+    }                                          \
+  } while (0)
+
+#define COMMSIG_SPAN(name) COMMSIG_OBS_NOOP(name)
+#define COMMSIG_COUNTER_ADD(name, n) COMMSIG_OBS_NOOP((name), (n))
+#define COMMSIG_GAUGE_SET(name, v) COMMSIG_OBS_NOOP((name), (v))
+#define COMMSIG_HISTOGRAM_OBSERVE(name, v) COMMSIG_OBS_NOOP((name), (v))
+
+#endif  // COMMSIG_OBS_DISABLED
+
+#endif  // COMMSIG_OBS_OBS_H_

@@ -1,0 +1,84 @@
+#ifndef COMMSIG_OBS_TRACE_H_
+#define COMMSIG_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace commsig::obs {
+
+/// One completed span — a Chrome trace_event "X" (complete) event.
+struct SpanEvent {
+  const char* name;  // string literal supplied at the call site
+  uint64_t ts_us;    // start, microseconds since the collector epoch
+  uint64_t dur_us;
+  uint32_t tid;    // small dense per-thread id
+  uint32_t depth;  // nesting depth on that thread (0 = top level)
+};
+
+/// Process-wide span buffer. Collection is off by default: spans always feed
+/// their duration histogram ("span/<name>_us" in the MetricsRegistry), but
+/// events are buffered for trace export only while enabled — keeping the
+/// steady-state cost of instrumentation to two clock reads per span.
+///
+/// The exported file is the Chrome trace_event JSON format; open it at
+/// chrome://tracing or https://ui.perfetto.dev.
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the collector epoch (process start), steady clock.
+  uint64_t NowMicros() const;
+
+  /// Small dense id of the calling thread, stable for the thread's lifetime.
+  static uint32_t CurrentThreadId();
+
+  void Record(const SpanEvent& event);
+
+  std::vector<SpanEvent> Events() const;
+  void Clear();
+
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+};
+
+/// RAII wall-time span. On destruction the duration is recorded into the
+/// histogram "span/<name>_us" and, when the collector is enabled, appended
+/// to the trace buffer. Use through COMMSIG_SPAN so the whole call site
+/// compiles away under COMMSIG_OBS_DISABLED. `name` must outlive the span
+/// (pass a string literal).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_us_;
+  uint32_t depth_;
+};
+
+}  // namespace commsig::obs
+
+#endif  // COMMSIG_OBS_TRACE_H_

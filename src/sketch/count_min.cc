@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "obs/obs.h"
 
 namespace commsig {
 
@@ -36,9 +37,15 @@ void CountMinSketch::Add(uint64_t key, double count) {
   for (size_t row = 0; row < depth_; ++row) {
     table_[Index(row, key)] += count;
   }
+  COMMSIG_COUNTER_ADD("sketch/cm_updates", 1);
+  // The one-sided error guarantee at the current fill level:
+  // estimate - truth <= (e / width) * total with probability 1 - delta.
+  COMMSIG_GAUGE_SET("sketch/cm_error_bound",
+                    (M_E / static_cast<double>(width_)) * total_);
 }
 
 double CountMinSketch::Estimate(uint64_t key) const {
+  COMMSIG_COUNTER_ADD("sketch/cm_queries", 1);
   double best = table_[Index(0, key)];
   for (size_t row = 1; row < depth_; ++row) {
     best = std::min(best, table_[Index(row, key)]);

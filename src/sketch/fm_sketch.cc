@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "obs/obs.h"
 
 namespace commsig {
 
@@ -18,6 +19,7 @@ FmSketch::FmSketch(size_t num_bitmaps, uint64_t seed) : seed_(seed) {
 }
 
 void FmSketch::Add(uint64_t item) {
+  COMMSIG_COUNTER_ADD("sketch/fm_updates", 1);
   uint64_t h = SplitMix64(item ^ seed_);
   size_t bucket = static_cast<size_t>(h % bitmaps_.size());
   uint64_t h2 = SplitMix64(h);
@@ -27,6 +29,7 @@ void FmSketch::Add(uint64_t item) {
 }
 
 double FmSketch::Estimate() const {
+  COMMSIG_COUNTER_ADD("sketch/fm_queries", 1);
   double sum_r = 0.0;
   size_t empty = 0;
   for (uint64_t bitmap : bitmaps_) {

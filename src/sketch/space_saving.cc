@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace commsig {
 
 SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
@@ -12,6 +14,7 @@ SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
 
 void SpaceSaving::Add(uint64_t key, double weight) {
   assert(weight > 0.0);
+  COMMSIG_COUNTER_ADD("sketch/ss_updates", 1);
   total_ += weight;
 
   auto it = counters_.find(key);
@@ -29,6 +32,7 @@ void SpaceSaving::Add(uint64_t key, double weight) {
   for (auto i = counters_.begin(); i != counters_.end(); ++i) {
     if (i->second.count < min_it->second.count) min_it = i;
   }
+  COMMSIG_COUNTER_ADD("sketch/ss_evictions", 1);
   Counter evicted = min_it->second;
   counters_.erase(min_it);
   counters_.emplace(key, Counter{evicted.count + weight, evicted.count});

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <future>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -39,6 +40,37 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
     pool.Wait();
     EXPECT_EQ(counter.load(), (wave + 1) * 20);
   }
+}
+
+TEST(ThreadPoolTest, TasksExecutedCountsCompletedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+  for (int i = 0; i < 25; ++i) {
+    pool.Submit([] {});
+  }
+  pool.Wait();
+  EXPECT_EQ(pool.tasks_executed(), 25u);
+}
+
+TEST(ThreadPoolTest, QueueDepthReflectsPendingTasks) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<bool> started{false};
+  // Occupy the single worker, then stack tasks behind it.
+  pool.Submit([&started, gate] {
+    started.store(true);
+    gate.wait();
+  });
+  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([gate] { gate.wait(); });
+  }
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  release.set_value();
+  pool.Wait();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.tasks_executed(), 6u);
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {

@@ -1,0 +1,138 @@
+#ifndef COMMSIG_TESTS_OBS_JSON_CHECK_H_
+#define COMMSIG_TESTS_OBS_JSON_CHECK_H_
+
+// Tiny recursive-descent JSON validity checker for the obs tests: the
+// metrics and trace exporters hand-serialize JSON, so the tests verify the
+// output actually parses. Validation only — no DOM is built.
+
+#include <cctype>
+#include <string>
+
+namespace commsig::obs_test {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  /// True iff the whole input is one valid JSON value.
+  bool Valid() {
+    pos_ = 0;
+    bool ok = Value();
+    SkipWs();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  bool Object() {
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    do {
+      SkipWs();
+      if (!String()) return false;
+      if (!Consume(':')) return false;
+      if (!Value()) return false;
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  bool Array() {
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    do {
+      if (!Value()) return false;
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline bool IsValidJson(const std::string& text) {
+  return JsonChecker(text).Valid();
+}
+
+}  // namespace commsig::obs_test
+
+#endif  // COMMSIG_TESTS_OBS_JSON_CHECK_H_

@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rwr.h"
+#include "graph/graph_builder.h"
+#include "obs/obs.h"
+#include "json_check.h"
+
+namespace commsig::obs {
+namespace {
+
+using commsig::obs_test::IsValidJson;
+
+TEST(CounterTest, SingleThreadedAdds) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsFromManyThreadsAreExact) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test/concurrent");
+  c.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(3.25);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.25);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.0);
+}
+
+TEST(HistogramTest, LogScaleBucketing) {
+  Histogram h;
+  h.Observe(1.0);   // [1, 2)
+  h.Observe(1.5);   // [1, 2)
+  h.Observe(3.0);   // [2, 4)
+  h.Observe(100.0); // [64, 128)
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_NEAR(snap.mean, (1.0 + 1.5 + 3.0 + 100.0) / 4.0, 1e-12);
+  ASSERT_EQ(snap.buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap.buckets[0].upper_bound, 2.0);
+  EXPECT_EQ(snap.buckets[0].count, 2u);
+  EXPECT_DOUBLE_EQ(snap.buckets[1].upper_bound, 4.0);
+  EXPECT_EQ(snap.buckets[1].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.buckets[2].upper_bound, 128.0);
+  EXPECT_EQ(snap.buckets[2].count, 1u);
+}
+
+TEST(HistogramTest, NonPositiveAndExtremeValuesLandInEdgeBuckets) {
+  Histogram h;
+  h.Observe(0.0);
+  h.Observe(-5.0);
+  h.Observe(1e300);  // far above the top bucket
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  ASSERT_EQ(snap.buckets.size(), 2u);
+  EXPECT_EQ(snap.buckets.front().count, 2u);  // underflow bucket
+  EXPECT_EQ(snap.buckets.back().count, 1u);   // overflow bucket
+}
+
+TEST(HistogramTest, ConcurrentObservesKeepExactCount) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test/hist");
+  h.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObservations; ++i) {
+        h.Observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Snapshot().count,
+            static_cast<uint64_t>(kThreads) * kObservations);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& a = reg.GetCounter("test/same");
+  Counter& b = reg.GetCounter("test/same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsReferencesValid) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("test/reset");
+  c.Add(7);
+  reg.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(2);  // reference still usable after Reset
+  EXPECT_EQ(c.Value(), 2u);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotIsValidAndComplete) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test/json_counter").Add(3);
+  reg.GetGauge("test/json_gauge").Set(1.5);
+  reg.GetHistogram("test/json_hist").Observe(10.0);
+  std::string json = reg.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"test/json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("test/json_gauge"), std::string::npos);
+  EXPECT_NE(json.find("test/json_hist"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportSanitizesNames) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test/prom-metric").Add(1);
+  std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("commsig_test_prom_metric"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE commsig_test_prom_metric counter"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PreRegisterCoreMetricsGuaranteesStableKeys) {
+  PreRegisterCoreMetrics();
+  std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_NE(json.find("rwr/iterations"), std::string::npos);
+  EXPECT_NE(json.find("threadpool/tasks_executed"), std::string::npos);
+  EXPECT_NE(json.find("distance/evaluations"), std::string::npos);
+}
+
+#ifndef COMMSIG_OBS_DISABLED
+TEST(InstrumentationTest, MacrosFeedTheGlobalRegistry) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test/macro_counter");
+  c.Reset();
+  COMMSIG_COUNTER_ADD("test/macro_counter", 5);
+  COMMSIG_COUNTER_ADD("test/macro_counter", 2);
+  EXPECT_EQ(c.Value(), 7u);
+
+  COMMSIG_GAUGE_SET("test/macro_gauge", 0.5);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Global().GetGauge("test/macro_gauge")
+                       .Value(), 0.5);
+}
+
+TEST(InstrumentationTest, RwrComputeRecordsIterations) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& iters = reg.GetCounter("rwr/iterations");
+  Counter& calls = reg.GetCounter("rwr/calls");
+  const uint64_t iters_before = iters.Value();
+  const uint64_t calls_before = calls.Value();
+
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 2.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(2, 0, 1.0);
+  builder.AddEdge(0, 3, 1.0);
+  CommGraph g = std::move(builder).Build();
+  RwrScheme rwr({.k = 3}, {.reset = 0.1, .max_hops = 3});
+  rwr.Compute(g, 0);
+
+  EXPECT_EQ(calls.Value(), calls_before + 1);
+  EXPECT_EQ(iters.Value(), iters_before + 3);  // h = 3 power iterations
+}
+#endif  // COMMSIG_OBS_DISABLED
+
+}  // namespace
+}  // namespace commsig::obs

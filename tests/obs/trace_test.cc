@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "json_check.h"
+
+namespace commsig::obs {
+namespace {
+
+using commsig::obs_test::IsValidJson;
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Global().Clear();
+    TraceCollector::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    TraceCollector::Global().SetEnabled(false);
+    TraceCollector::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsWallTime) {
+  {
+    ScopedSpan span("test/sleepy");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  auto events = TraceCollector::Global().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test/sleepy");
+  EXPECT_GE(events[0].dur_us, 1000u);  // slept >= 2ms, generous slack
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  {
+    ScopedSpan outer("test/outer");
+    {
+      ScopedSpan inner("test/inner");
+    }
+  }
+  auto events = TraceCollector::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete innermost-first.
+  const SpanEvent& inner = events[0];
+  const SpanEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "test/inner");
+  EXPECT_STREQ(outer.name, "test/outer");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+}
+
+TEST_F(TraceTest, SpansFeedDurationHistogramEvenWhenCollectionDisabled) {
+  TraceCollector::Global().SetEnabled(false);
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("span/test/quiet_us");
+  h.Reset();
+  {
+    ScopedSpan span("test/quiet");
+  }
+  EXPECT_TRUE(TraceCollector::Global().Events().empty());
+  EXPECT_EQ(h.Snapshot().count, 1u);
+}
+
+TEST_F(TraceTest, ChromeTraceExportIsValidTraceEventJson) {
+  {
+    ScopedSpan a("test/export_a");
+    ScopedSpan b("test/export \"quoted\\name\"");  // exercises escaping
+  }
+  std::string json = TraceCollector::Global().ToChromeTraceJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // Structural requirements of the trace_event format.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeTraceFileRoundTrips) {
+  {
+    ScopedSpan span("test/file");
+  }
+  std::string path =
+      ::testing::TempDir() + "/commsig_trace_test.json";
+  ASSERT_TRUE(
+      TraceCollector::Global().WriteChromeTraceFile(path).ok());
+  std::string json = ReadWholeFile(path);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("test/file"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, EmptyCollectorExportsValidEmptyTrace) {
+  std::string json = TraceCollector::Global().ToChromeTraceJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+#ifndef COMMSIG_OBS_DISABLED
+TEST_F(TraceTest, SpanMacroRecordsEvents) {
+  {
+    COMMSIG_SPAN("test/macro_span");
+  }
+  auto events = TraceCollector::Global().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test/macro_span");
+}
+#endif  // COMMSIG_OBS_DISABLED
+
+}  // namespace
+}  // namespace commsig::obs

@@ -23,11 +23,18 @@
 //   --decay THETA       accumulate windows as C'_t = theta*C'_{t-1} + C_t
 //                       before computing signatures (default 0 = off)
 //   --threads N         worker threads for signature computation (default 1)
+//   --metrics-out PATH  write a JSON snapshot of the metrics registry
+//                       (counters/gauges/histograms) after the command
+//   --trace-out PATH    record scoped spans and write a Chrome trace_event
+//                       JSON file (open at chrome://tracing or
+//                       https://ui.perfetto.dev)
 //
 // Example:
 //   commsig selfmatch --trace flows.csv --window-length 432000
 //       --scheme 'rwr(c=0.1,h=3)' --dist shel     (one line)
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -48,9 +55,22 @@
 #include "graph/decayed_accumulator.h"
 #include "graph/graph_stats.h"
 #include "graph/windower.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace commsig {
 namespace {
+
+/// Rejects a malformed flag value with a message naming the flag. Exits
+/// rather than returning: every caller would otherwise have to thread a
+/// Status through, and a CLI flag error has exactly one sensible outcome.
+[[noreturn]] void DieInvalidFlag(const std::string& key,
+                                 const std::string& value,
+                                 const char* expected) {
+  std::fprintf(stderr, "invalid value for --%s: '%s' (expected %s)\n",
+               key.c_str(), value.c_str(), expected);
+  std::exit(2);
+}
 
 struct Args {
   std::string command;
@@ -62,13 +82,31 @@ struct Args {
   }
   uint64_t GetInt(const std::string& key, uint64_t fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::strtoull(it->second.c_str(),
-                                                        nullptr, 10);
+    if (it == flags.end()) return fallback;
+    const std::string& s = it->second;
+    char* end = nullptr;
+    errno = 0;
+    uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    // strtoull silently wraps negatives and stops at the first bad char;
+    // require the whole token to be a non-negative in-range integer.
+    if (s.empty() || s[0] == '-' || end != s.c_str() + s.size() ||
+        errno == ERANGE) {
+      DieInvalidFlag(key, s, "a non-negative integer");
+    }
+    return v;
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::strtod(it->second.c_str(),
-                                                      nullptr);
+    if (it == flags.end()) return fallback;
+    const std::string& s = it->second;
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
+        !std::isfinite(v)) {
+      DieInvalidFlag(key, s, "a finite number");
+    }
+    return v;
   }
 };
 
@@ -184,11 +222,11 @@ int RunSignatures(const Args& args, Workspace& ws) {
     std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
     return 1;
   }
-  for (NodeId v : ws.focal) {
-    Signature sig = (*scheme)->Compute(ws.windows[window], v);
-    if (sig.empty()) continue;
-    std::printf("%s\t%s\n", ws.interner.LabelOf(v).c_str(),
-                sig.ToString(ws.interner).c_str());
+  auto sigs = ws.Signatures(**scheme, window);
+  for (size_t i = 0; i < ws.focal.size(); ++i) {
+    if (sigs[i].empty()) continue;
+    std::printf("%s\t%s\n", ws.interner.LabelOf(ws.focal[i]).c_str(),
+                sigs[i].ToString(ws.interner).c_str());
   }
   return 0;
 }
@@ -299,6 +337,29 @@ int RunAnomalies(const Args& args, Workspace& ws) {
   return 0;
 }
 
+/// Writes the requested observability artifacts after a command ran.
+void ExportObservability(const Args& args) {
+  std::string metrics_out = args.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    Status s = obs::MetricsRegistry::Global().WriteJsonFile(metrics_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write metrics: %s\n", s.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+    }
+  }
+  std::string trace_out = args.Get("trace-out", "");
+  if (!trace_out.empty()) {
+    Status s = obs::TraceCollector::Global().WriteChromeTraceFile(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n", s.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "trace written to %s (open in chrome://tracing "
+                   "or ui.perfetto.dev)\n", trace_out.c_str());
+    }
+  }
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args;
@@ -309,15 +370,25 @@ int Main(int argc, char** argv) {
     args.flags[flag.substr(2)] = argv[i + 1];
   }
 
+  // Stable snapshot keys even for paths this run never exercises.
+  obs::PreRegisterCoreMetrics();
+  if (!args.Get("trace-out", "").empty()) {
+    obs::TraceCollector::Global().SetEnabled(true);
+  }
+
   Workspace ws;
   if (!Load(args, ws)) return 1;
 
-  if (args.command == "signatures") return RunSignatures(args, ws);
-  if (args.command == "selfmatch") return RunSelfMatch(args, ws);
-  if (args.command == "multiusage") return RunMultiusage(args, ws);
-  if (args.command == "masquerade") return RunMasquerade(args, ws);
-  if (args.command == "anomalies") return RunAnomalies(args, ws);
-  return Usage();
+  int rc;
+  if (args.command == "signatures") rc = RunSignatures(args, ws);
+  else if (args.command == "selfmatch") rc = RunSelfMatch(args, ws);
+  else if (args.command == "multiusage") rc = RunMultiusage(args, ws);
+  else if (args.command == "masquerade") rc = RunMasquerade(args, ws);
+  else if (args.command == "anomalies") rc = RunAnomalies(args, ws);
+  else return Usage();
+
+  ExportObservability(args);
+  return rc;
 }
 
 }  // namespace
