@@ -1,0 +1,44 @@
+// libFuzzer harness for the NetFlow v5 lenient reader. The reader is
+// file-based, so each input is staged through a per-process temp file; the
+// property under test is "no crash / no sanitizer report under any
+// ErrorPolicy", not any particular parse result.
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "data/netflow.h"
+#include "robust/record_errors.h"
+
+namespace {
+
+std::string StageInput(const uint8_t* data, size_t size) {
+  static std::string path = "/tmp/commsig_fuzz_netflow_" +
+                            std::to_string(::getpid()) + ".bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return {};
+  if (size > 0) std::fwrite(data, 1, size, f);
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string path = StageInput(data, size);
+  if (path.empty()) return 0;
+
+  for (commsig::ErrorPolicy policy :
+       {commsig::ErrorPolicy::kFail, commsig::ErrorPolicy::kSkip,
+        commsig::ErrorPolicy::kQuarantine}) {
+    commsig::RecordErrorLog log;
+    commsig::IngestOptions options;
+    options.policy = policy;
+    options.error_log = &log;
+    (void)commsig::ReadNetflowV5File(path, options);
+  }
+  return 0;
+}

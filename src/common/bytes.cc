@@ -1,0 +1,107 @@
+#include "common/bytes.h"
+
+#include <array>
+#include <bit>
+
+namespace commsig {
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  buffer_.append(s);
+}
+
+Status ByteReader::Need(size_t n) const {
+  if (remaining() < n) {
+    return Status::Corruption("byte buffer truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::U8() {
+  Status s = Need(1);
+  if (!s.ok()) return s;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::U32() {
+  Status s = Need(4);
+  if (!s.ok()) return s;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::U64() {
+  Status s = Need(8);
+  if (!s.ok()) return s;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> ByteReader::Double() {
+  Result<uint64_t> bits = U64();
+  if (!bits.ok()) return bits.status();
+  return std::bit_cast<double>(*bits);
+}
+
+Result<std::string> ByteReader::String() {
+  Result<uint64_t> len = U64();
+  if (!len.ok()) return len.status();
+  Status s = Need(*len);
+  if (!s.ok()) return s;
+  std::string out(data_.substr(pos_, *len));
+  pos_ += *len;
+  return out;
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xffffffffu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace commsig

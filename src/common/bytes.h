@@ -1,0 +1,65 @@
+#ifndef COMMSIG_COMMON_BYTES_H_
+#define COMMSIG_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace commsig {
+
+/// Appends fixed-width little-endian primitives to a growing byte buffer.
+/// The encoding is the wire format of commsig checkpoints (robust/checkpoint)
+/// — explicit widths and byte order so checkpoints written on one host
+/// restore on any other.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Doubles travel as the IEEE-754 bit pattern of the value.
+  void PutDouble(double v);
+  /// Length-prefixed (u64) raw bytes.
+  void PutString(std::string_view s);
+
+  const std::string& bytes() const { return buffer_; }
+  std::string Take() && { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Cursor over a byte buffer, decoding what ByteWriter encoded. Every read
+/// is bounds-checked and returns Corruption on overrun — checkpoint payloads
+/// are untrusted input (they may be torn, truncated, or bit-flipped on
+/// disk), so nothing here may index past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<double> Double();
+  /// Length-prefixed bytes; rejects lengths past the end of the buffer.
+  Result<std::string> String();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) of `data`.
+/// Protects checkpoint payloads against torn writes and bit rot.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_BYTES_H_

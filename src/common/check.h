@@ -1,0 +1,37 @@
+#ifndef COMMSIG_COMMON_CHECK_H_
+#define COMMSIG_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace commsig {
+namespace internal {
+
+/// Prints a fatal-check diagnostic and aborts. Out-of-line-ish (still inline
+/// for header-only use) so the failure path stays cold at call sites.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "COMMSIG_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : ": ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace commsig
+
+/// Aborts with a diagnostic when `cond` is false — in every build mode,
+/// unlike assert(). For contract violations on paths fed by untrusted input
+/// or by callers outside the module, where silently continuing would corrupt
+/// state; internal invariants may keep using assert().
+#define COMMSIG_CHECK(cond, message)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::commsig::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                       (message));                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // COMMSIG_COMMON_CHECK_H_

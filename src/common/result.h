@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace commsig {
@@ -12,8 +13,10 @@ namespace commsig {
 /// Holds either a value of type `T` or a non-OK `Status` explaining why the
 /// value is absent — the usual `StatusOr` idiom.
 ///
-/// Accessing the value of a failed Result aborts in debug builds; callers
-/// must check `ok()` first.
+/// Accessing the value of a failed Result aborts with the status message in
+/// every build mode; callers must check `ok()` first. (An assert here would
+/// compile out in Release and dereference an empty optional — UB on exactly
+/// the corrupt-input paths where failed Results actually occur.)
 template <typename T>
 class Result {
  public:
@@ -32,15 +35,15 @@ class Result {
 
   /// Value accessors. Only valid when `ok()`.
   const T& value() const& {
-    assert(ok());
+    COMMSIG_CHECK(ok(), status_.ToString());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    COMMSIG_CHECK(ok(), status_.ToString());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    COMMSIG_CHECK(ok(), status_.ToString());
     return std::move(*value_);
   }
 

@@ -34,6 +34,10 @@ SchemeTraits RwrScheme::traits() const {
 
 std::vector<double> RwrScheme::StationaryVector(const CommGraph& g,
                                                 NodeId v) const {
+  return Solve(g, v).probabilities;
+}
+
+RwrScheme::RwrSolve RwrScheme::Solve(const CommGraph& g, NodeId v) const {
   const size_t n = g.NumNodes();
   const bool symmetric = rwr_.traversal == TraversalMode::kSymmetric;
   const double c = rwr_.reset;
@@ -52,6 +56,7 @@ std::vector<double> RwrScheme::StationaryVector(const CommGraph& g,
       rwr_.max_hops > 0 ? rwr_.max_hops : rwr_.max_iterations;
   size_t iterations_run = 0;
   double last_residual = 0.0;
+  bool converged = rwr_.max_hops > 0;  // truncated walks converge by fiat
   for (size_t iter = 0; iter < iterations; ++iter) {
     ++iterations_run;
     std::fill(next.begin(), next.end(), 0.0);
@@ -88,7 +93,10 @@ std::vector<double> RwrScheme::StationaryVector(const CommGraph& g,
       for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - r[i]);
       r.swap(next);
       last_residual = delta;
-      if (delta < rwr_.tolerance) break;
+      if (delta < rwr_.tolerance) {
+        converged = true;
+        break;
+      }
     } else {
       r.swap(next);
     }
@@ -98,11 +106,22 @@ std::vector<double> RwrScheme::StationaryVector(const CommGraph& g,
   if (rwr_.max_hops == 0) {
     COMMSIG_HISTOGRAM_OBSERVE("rwr/residual_at_convergence", last_residual);
   }
-  return r;
+  return {std::move(r), converged, last_residual, iterations_run};
 }
 
 Signature RwrScheme::Compute(const CommGraph& g, NodeId v) const {
-  std::vector<double> r = StationaryVector(g, v);
+  RwrSolve solve = Solve(g, v);
+  if (!solve.converged && rwr_.fallback_hops > 0) {
+    // Degradation ladder (RWR -> RWR^h): an unconverged vector has no
+    // accuracy guarantee at any rank, while the truncated walk is exact for
+    // its restricted h-hop semantics — a defined approximation beats an
+    // undefined one.
+    COMMSIG_COUNTER_ADD("robust/rwr_fallbacks", 1);
+    RwrOptions truncated = rwr_;
+    truncated.max_hops = rwr_.fallback_hops;
+    solve = RwrScheme(options_, truncated).Solve(g, v);
+  }
+  const std::vector<double>& r = solve.probabilities;
 
   std::vector<Signature::Entry> candidates;
   for (NodeId u = 0; u < g.NumNodes(); ++u) {

@@ -24,6 +24,17 @@ namespace commsig {
 /// local -> external -> local transitivity.
 class RwrScheme final : public SignatureScheme {
  public:
+  /// Outcome of one power iteration, including whether the unbounded walk
+  /// actually met its tolerance. Callers that need trustworthy
+  /// probabilities (anomaly scoring, drift bounds) must check `converged`
+  /// rather than assume the cap was never hit.
+  struct RwrSolve {
+    std::vector<double> probabilities;  // sums to 1; index = node id
+    bool converged = false;  // always true for truncated RWR^h walks
+    double residual = 0.0;   // last L1 step change (unbounded walks only)
+    size_t iterations = 0;
+  };
+
   RwrScheme(SchemeOptions options, RwrOptions rwr_options)
       : SignatureScheme(options), rwr_(rwr_options) {}
 
@@ -31,11 +42,19 @@ class RwrScheme final : public SignatureScheme {
 
   SchemeTraits traits() const override;
 
+  /// Computes the signature. If the unbounded walk fails to converge within
+  /// max_iterations, degrades to the truncated RWR^h walk with
+  /// rwr_options().fallback_hops hops (counted under
+  /// `robust/rwr_fallbacks`) instead of using the unconverged vector.
   Signature Compute(const CommGraph& g, NodeId v) const override;
+
+  /// Runs the power iteration and reports convergence explicitly.
+  RwrSolve Solve(const CommGraph& g, NodeId v) const;
 
   /// Exposes the full occupancy-probability vector for node `v` (before
   /// top-k truncation). Probabilities sum to 1; index = node id. Used by
-  /// tests and by ablation benches.
+  /// tests and by ablation benches. Convenience over Solve() that discards
+  /// the convergence report.
   std::vector<double> StationaryVector(const CommGraph& g, NodeId v) const;
 
   const RwrOptions& rwr_options() const { return rwr_; }

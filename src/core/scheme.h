@@ -143,8 +143,19 @@ struct RwrOptions {
   /// used only when max_hops == 0.
   double tolerance = 1e-10;
 
-  /// Iteration cap for the unbounded walk.
-  size_t max_iterations = 200;
+  /// Iteration cap for the unbounded walk. The per-iteration contraction
+  /// factor is (1 - reset), so reaching `tolerance` needs roughly
+  /// ln(tolerance) / ln(1 - reset) iterations — about 220 at the defaults.
+  /// The cap must stay above that or the walk can never converge and the
+  /// fallback ladder fires on every call.
+  size_t max_iterations = 500;
+
+  /// Degradation ladder: when the unbounded walk hits max_iterations
+  /// without meeting `tolerance`, Compute falls back to the truncated
+  /// RWR^h walk with this hop bound instead of silently using the
+  /// unconverged vector. 0 disables the fallback (the unconverged vector
+  /// is used as-is). Fallbacks are counted under `robust/rwr_fallbacks`.
+  size_t fallback_hops = 4;
 
   TraversalMode traversal = TraversalMode::kSymmetric;
 };

@@ -8,10 +8,14 @@
 namespace commsig {
 
 Signature Signature::FromTopK(std::vector<Entry> candidates, size_t k) {
-  // Drop non-positive weights first; Definition 1 takes weights in R+.
+  // Drop non-positive and non-finite weights first; Definition 1 takes
+  // weights in R+, and a +Inf weight (e.g. from a corrupted volume) would
+  // otherwise outrank every legitimate entry and poison normalization.
   candidates.erase(
       std::remove_if(candidates.begin(), candidates.end(),
-                     [](const Entry& e) { return !(e.weight > 0.0); }),
+                     [](const Entry& e) {
+                       return !(e.weight > 0.0) || !std::isfinite(e.weight);
+                     }),
       candidates.end());
   COMMSIG_COUNTER_ADD("signature/built", 1);
   COMMSIG_HISTOGRAM_OBSERVE("signature/candidates", candidates.size());

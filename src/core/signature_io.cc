@@ -1,5 +1,6 @@
 #include "core/signature_io.h"
 
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 
@@ -38,6 +39,12 @@ Status WriteSignatureSetCsv(const SignatureSet& set, const Interner& interner,
 
 Result<SignatureSet> ReadSignatureSetCsv(const std::string& path,
                                          Interner& interner) {
+  return ReadSignatureSetCsv(path, interner, IngestOptions{});
+}
+
+Result<SignatureSet> ReadSignatureSetCsv(const std::string& path,
+                                         Interner& interner,
+                                         const IngestOptions& options) {
   CsvReader reader(path);
   if (!reader.status().ok()) return reader.status();
 
@@ -45,25 +52,52 @@ Result<SignatureSet> ReadSignatureSetCsv(const std::string& path,
   std::vector<NodeId> order;
   std::unordered_map<NodeId, std::vector<Signature::Entry>> entries;
   std::vector<std::string> fields;
+  uint64_t errors = 0;
   while (reader.Next(fields)) {
+    const uint64_t line = reader.line_number();
+    // Validate the full row before interning anything, so a quarantined row
+    // neither grows the node universe nor registers its owner.
+    RecordErrorReason reason;
+    std::string detail;
+    double weight = 0.0;
+    bool bad = true;
+    const bool marker_row = fields.size() == 3 && fields[1].empty();
     if (fields.size() != 3) {
-      return Status::InvalidArgument(
-          "signature row needs 3 fields at line " +
-          std::to_string(reader.line_number()));
+      reason = RecordErrorReason::kBadField;
+      detail = "signature row needs 3 fields, got " +
+               std::to_string(fields.size());
+    } else if (fields[0].empty()) {
+      reason = RecordErrorReason::kZeroNode;
+      detail = "empty owner label";
+    } else if (marker_row) {
+      bad = false;  // empty-signature marker: owner only
+    } else if (Result<double> w = ParseDouble(fields[2]); !w.ok()) {
+      reason = RecordErrorReason::kBadField;
+      detail = w.status().message();
+    } else if (!std::isfinite(*w)) {
+      reason = RecordErrorReason::kNonFiniteWeight;
+      detail = "weight " + fields[2];
+    } else if (*w <= 0.0) {
+      reason = RecordErrorReason::kNonPositiveWeight;
+      detail = "non-positive weight " + fields[2];
+    } else {
+      bad = false;
+      weight = *w;
+    }
+    if (bad) {
+      Status s = robust_internal::HandleBadRecord(
+          options, &errors, reason, line, std::move(detail),
+          /*invalid_argument_on_fail=*/true);
+      if (!s.ok()) return s;
+      continue;
     }
     NodeId owner = interner.Intern(fields[0]);
     if (!entries.contains(owner)) {
       order.push_back(owner);
       entries.emplace(owner, std::vector<Signature::Entry>{});
     }
-    if (fields[1].empty()) continue;  // empty-signature marker
-    Result<double> weight = ParseDouble(fields[2]);
-    if (!weight.ok()) return weight.status();
-    if (*weight <= 0.0) {
-      return Status::InvalidArgument("non-positive weight at line " +
-                                     std::to_string(reader.line_number()));
-    }
-    entries[owner].push_back({interner.Intern(fields[1]), *weight});
+    if (marker_row) continue;
+    entries[owner].push_back({interner.Intern(fields[1]), weight});
   }
 
   SignatureSet set;

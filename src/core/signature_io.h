@@ -9,6 +9,7 @@
 #include "common/interner.h"
 #include "common/result.h"
 #include "core/signature.h"
+#include "robust/record_errors.h"
 
 namespace commsig {
 
@@ -37,6 +38,13 @@ Status WriteSignatureSetCsv(const SignatureSet& set, const Interner& interner,
 /// malformed rows or non-positive entry weights.
 Result<SignatureSet> ReadSignatureSetCsv(const std::string& path,
                                          Interner& interner);
+
+/// Lenient variant: malformed rows (wrong field count, empty owner labels,
+/// unparseable / NaN / Inf / non-positive entry weights) are handled per
+/// `options.policy`; labels of rejected rows are never interned.
+Result<SignatureSet> ReadSignatureSetCsv(const std::string& path,
+                                         Interner& interner,
+                                         const IngestOptions& options);
 
 }  // namespace commsig
 

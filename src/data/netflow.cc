@@ -1,8 +1,10 @@
 #include "data/netflow.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 
 namespace commsig {
 
@@ -43,28 +45,84 @@ std::string Ipv4ToString(uint32_t addr) {
 
 Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
     const std::string& path) {
+  return ReadNetflowV5File(path, IngestOptions{});
+}
+
+Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
+    const std::string& path, const IngestOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::IOError("cannot open " + path);
+  // Whole-file buffering keeps byte offsets exact for quarantine reports and
+  // makes header resynchronization a plain scan; one export file covers one
+  // observation window, so the buffer is bounded by window size.
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read error on " + path);
+
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(data.data());
+  const size_t size = data.size();
+
+  // First offset >= `from` holding a plausible v5 header, or `size`.
+  auto resync = [&](size_t from) {
+    for (size_t o = from; o + kHeaderBytes <= size; ++o) {
+      if (ReadU16(bytes + o) != 5) continue;
+      const uint16_t count = ReadU16(bytes + o + 2);
+      if (count >= 1 && count <= kMaxRecordsPerPacket) return o;
+    }
+    return size;
+  };
 
   std::vector<NetflowV5Record> records;
-  unsigned char header[kHeaderBytes];
-  while (in.read(reinterpret_cast<char*>(header), kHeaderBytes)) {
-    const uint16_t version = ReadU16(header);
-    const uint16_t count = ReadU16(header + 2);
-    const uint32_t unix_secs = ReadU32(header + 8);
+  uint64_t errors = 0;
+  uint32_t last_secs = 0;
+  bool have_last_secs = false;
+  size_t offset = 0;
+  while (offset < size) {
+    if (size - offset < kHeaderBytes) {
+      Status s = robust_internal::HandleBadRecord(
+          options, &errors, RecordErrorReason::kTruncated, offset,
+          "trailing partial header");
+      if (!s.ok()) return s;
+      break;
+    }
+    const uint16_t version = ReadU16(bytes + offset);
+    const uint16_t count = ReadU16(bytes + offset + 2);
+    const uint32_t unix_secs = ReadU32(bytes + offset + 8);
     if (version != 5) {
-      return Status::Corruption("not a NetFlow v5 header (version " +
-                                std::to_string(version) + ")");
+      Status s = robust_internal::HandleBadRecord(
+          options, &errors, RecordErrorReason::kBadMagic, offset,
+          "not a NetFlow v5 header (version " + std::to_string(version) +
+              ")");
+      if (!s.ok()) return s;
+      offset = resync(offset + 1);
+      continue;
     }
     if (count == 0 || count > kMaxRecordsPerPacket) {
-      return Status::Corruption("invalid record count " +
-                                std::to_string(count));
+      Status s = robust_internal::HandleBadRecord(
+          options, &errors, RecordErrorReason::kBadRecordCount, offset,
+          "invalid record count " + std::to_string(count));
+      if (!s.ok()) return s;
+      offset = resync(offset + 1);
+      continue;
     }
-    for (uint16_t i = 0; i < count; ++i) {
-      unsigned char rec[kRecordBytes];
-      if (!in.read(reinterpret_cast<char*>(rec), kRecordBytes)) {
-        return Status::Corruption("truncated NetFlow packet");
-      }
+    const size_t body = offset + kHeaderBytes;
+    if (options.require_monotonic_time && have_last_secs &&
+        unix_secs < last_secs) {
+      Status s = robust_internal::HandleBadRecord(
+          options, &errors, RecordErrorReason::kTimestampRegression, offset,
+          "export time " + std::to_string(unix_secs) + " precedes " +
+              std::to_string(last_secs));
+      if (!s.ok()) return s;
+      offset = std::min(size, body + count * kRecordBytes);
+      continue;
+    }
+    // Whole records present in the buffer; a short final packet salvages
+    // these and reports the cut as truncation.
+    const size_t whole =
+        std::min<size_t>(count, (size - body) / kRecordBytes);
+    for (size_t i = 0; i < whole; ++i) {
+      const unsigned char* rec = bytes + body + i * kRecordBytes;
       NetflowV5Record r;
       r.src_addr = ReadU32(rec);
       r.dst_addr = ReadU32(rec + 4);
@@ -79,11 +137,17 @@ Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
       r.unix_secs = unix_secs;
       records.push_back(r);
     }
+    if (whole < count) {
+      Status s = robust_internal::HandleBadRecord(
+          options, &errors, RecordErrorReason::kTruncated,
+          body + whole * kRecordBytes, "truncated NetFlow packet");
+      if (!s.ok()) return s;
+      break;
+    }
+    have_last_secs = true;
+    last_secs = unix_secs;
+    offset = body + count * kRecordBytes;
   }
-  if (in.bad()) return Status::IOError("read error on " + path);
-  // A trailing partial header is corruption; eof exactly at a packet
-  // boundary is success.
-  if (in.gcount() != 0) return Status::Corruption("trailing partial header");
   return records;
 }
 

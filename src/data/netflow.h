@@ -8,6 +8,7 @@
 #include "common/interner.h"
 #include "common/result.h"
 #include "graph/windower.h"
+#include "robust/record_errors.h"
 
 namespace commsig {
 
@@ -50,6 +51,16 @@ std::string Ipv4ToString(uint32_t addr);
 /// Fails with Corruption on truncated packets or non-v5 headers.
 Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
     const std::string& path);
+
+/// Lenient variant: under ErrorPolicy::kSkip/kQuarantine, corrupt headers
+/// are rejected (kBadMagic / kBadRecordCount) and the reader resynchronizes
+/// by scanning forward for the next plausible v5 packet header; a truncated
+/// final packet salvages its whole records (kTruncated). With
+/// `require_monotonic_time`, a packet whose export timestamp precedes the
+/// previous accepted packet's is rejected (kTimestampRegression). Rejections
+/// beyond `options.max_errors` fail the read with Corruption.
+Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
+    const std::string& path, const IngestOptions& options);
 
 /// Converts flow records to TraceEvents, interning dotted-decimal labels.
 /// Records filtered out by `options` are skipped; zero-weight records are

@@ -1,5 +1,7 @@
 #include "data/trace_io.h"
 
+#include <cmath>
+
 #include "common/csv.h"
 
 namespace commsig {
@@ -18,27 +20,69 @@ Status WriteTraceCsv(const std::vector<TraceEvent>& events,
 
 Result<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path,
                                              Interner& interner) {
+  return ReadTraceCsv(path, interner, IngestOptions{});
+}
+
+Result<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path,
+                                             Interner& interner,
+                                             const IngestOptions& options) {
   CsvReader reader(path);
   if (!reader.status().ok()) return reader.status();
 
   std::vector<TraceEvent> events;
   std::vector<std::string> fields;
+  uint64_t errors = 0;
+  uint64_t last_time = 0;
+  bool have_last_time = false;
   while (reader.Next(fields)) {
+    const uint64_t line = reader.line_number();
+    // Validation happens fully before interning: a quarantined row must not
+    // grow the node universe.
+    RecordErrorReason reason;
+    std::string detail;
+    uint64_t time = 0;
+    double weight = 0.0;
+    bool bad = true;
     if (fields.size() != 4) {
-      return Status::InvalidArgument(
-          "trace row needs 4 fields at line " +
-          std::to_string(reader.line_number()));
+      reason = RecordErrorReason::kBadField;
+      detail = "trace row needs 4 fields, got " +
+               std::to_string(fields.size());
+    } else if (fields[0].empty() || fields[1].empty()) {
+      reason = RecordErrorReason::kZeroNode;
+      detail = "empty node label";
+    } else if (Result<uint64_t> t = ParseUint(fields[2]); !t.ok()) {
+      reason = RecordErrorReason::kBadField;
+      detail = t.status().message();
+    } else if (Result<double> w = ParseDouble(fields[3]); !w.ok()) {
+      reason = RecordErrorReason::kBadField;
+      detail = w.status().message();
+    } else if (!std::isfinite(*w)) {
+      reason = RecordErrorReason::kNonFiniteWeight;
+      detail = "weight " + fields[3];
+    } else if (*w <= 0.0) {
+      reason = RecordErrorReason::kNonPositiveWeight;
+      detail = "non-positive weight " + fields[3];
+    } else if (options.require_monotonic_time && have_last_time &&
+               *t < last_time) {
+      reason = RecordErrorReason::kTimestampRegression;
+      detail = "time " + fields[2] + " precedes " +
+               std::to_string(last_time);
+    } else {
+      bad = false;
+      time = *t;
+      weight = *w;
     }
-    Result<uint64_t> time = ParseUint(fields[2]);
-    if (!time.ok()) return time.status();
-    Result<double> weight = ParseDouble(fields[3]);
-    if (!weight.ok()) return weight.status();
-    if (*weight <= 0.0) {
-      return Status::InvalidArgument("non-positive weight at line " +
-                                     std::to_string(reader.line_number()));
+    if (bad) {
+      Status s = robust_internal::HandleBadRecord(
+          options, &errors, reason, line, std::move(detail),
+          /*invalid_argument_on_fail=*/true);
+      if (!s.ok()) return s;
+      continue;
     }
+    last_time = time;
+    have_last_time = true;
     events.push_back({interner.Intern(fields[0]), interner.Intern(fields[1]),
-                      *time, *weight});
+                      time, weight});
   }
   return events;
 }

@@ -7,6 +7,7 @@
 #include "common/interner.h"
 #include "common/result.h"
 #include "graph/windower.h"
+#include "robust/record_errors.h"
 
 namespace commsig {
 
@@ -21,6 +22,14 @@ Status WriteTraceCsv(const std::vector<TraceEvent>& events,
 /// InvalidArgument on malformed rows.
 Result<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path,
                                              Interner& interner);
+
+/// Lenient variant: malformed rows (wrong field count, empty labels,
+/// unparseable numbers, NaN/Inf or non-positive weights, and — with
+/// `require_monotonic_time` — timestamp regressions) are handled per
+/// `options.policy`. Labels of rejected rows are never interned.
+Result<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path,
+                                             Interner& interner,
+                                             const IngestOptions& options);
 
 }  // namespace commsig
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace commsig {
 
@@ -13,6 +14,13 @@ void GraphBuilder::AddEdge(NodeId src, NodeId dst, double weight) {
   assert(src < num_nodes_ && dst < num_nodes_);
   assert(weight > 0.0);
   adjacency_[src][dst] += weight;
+}
+
+bool GraphBuilder::TryAddEdge(NodeId src, NodeId dst, double weight) {
+  if (src >= num_nodes_ || dst >= num_nodes_) return false;
+  if (!std::isfinite(weight) || weight <= 0.0) return false;
+  adjacency_[src][dst] += weight;
+  return true;
 }
 
 CommGraph GraphBuilder::Build() && {

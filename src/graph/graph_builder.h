@@ -22,7 +22,16 @@ class GraphBuilder {
 
   /// Adds `weight` (> 0) to edge (src, dst). Self-loops are permitted at
   /// this layer; signature schemes ignore the focal node per Definition 1.
+  /// Ids and weight must already be validated — this is the trusted-caller
+  /// fast path (asserts in Debug only).
   void AddEdge(NodeId src, NodeId dst, double weight = 1.0);
+
+  /// Validating variant for the ingest path: returns false (and adds
+  /// nothing) if an id is >= num_nodes or the weight is NaN/Inf/<= 0.
+  /// Use this when the edge comes from untrusted input that may have been
+  /// corrupted downstream of the readers (e.g. fault injection, stale
+  /// checkpoints).
+  bool TryAddEdge(NodeId src, NodeId dst, double weight = 1.0);
 
   /// Marks the first `left_size` node ids as partition V1 of a bipartite
   /// graph (see CommGraph::Bipartite).

@@ -1,5 +1,6 @@
 #include "graph/graph_io.h"
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,12 @@ Status WriteEdgeListCsv(const CommGraph& g, const Interner& interner,
 
 Result<CommGraph> ReadEdgeListCsv(const std::string& path, Interner& interner,
                                   NodeId bipartite_left_size) {
+  return ReadEdgeListCsv(path, interner, bipartite_left_size, IngestOptions{});
+}
+
+Result<CommGraph> ReadEdgeListCsv(const std::string& path, Interner& interner,
+                                  NodeId bipartite_left_size,
+                                  const IngestOptions& options) {
   CsvReader reader(path);
   if (!reader.status().ok()) return reader.status();
 
@@ -36,20 +43,42 @@ Result<CommGraph> ReadEdgeListCsv(const std::string& path, Interner& interner,
   };
   std::vector<Row> rows;
   std::vector<std::string> fields;
+  uint64_t errors = 0;
   while (reader.Next(fields)) {
+    const uint64_t line = reader.line_number();
+    RecordErrorReason reason;
+    std::string detail;
+    bool bad = true;
+    double weight = 0.0;
     if (fields.size() != 3) {
-      return Status::InvalidArgument(
-          "edge row needs 3 fields at line " +
-          std::to_string(reader.line_number()));
+      reason = RecordErrorReason::kBadField;
+      detail =
+          "edge row needs 3 fields, got " + std::to_string(fields.size());
+    } else if (fields[0].empty() || fields[1].empty()) {
+      reason = RecordErrorReason::kZeroNode;
+      detail = "empty node label";
+    } else if (Result<double> w = ParseDouble(fields[2]); !w.ok()) {
+      reason = RecordErrorReason::kBadField;
+      detail = w.status().message();
+    } else if (!std::isfinite(*w)) {
+      reason = RecordErrorReason::kNonFiniteWeight;
+      detail = "weight " + fields[2];
+    } else if (*w <= 0.0) {
+      reason = RecordErrorReason::kNonPositiveWeight;
+      detail = "non-positive weight " + fields[2];
+    } else {
+      bad = false;
+      weight = *w;
     }
-    Result<double> w = ParseDouble(fields[2]);
-    if (!w.ok()) return w.status();
-    if (*w <= 0.0) {
-      return Status::InvalidArgument("non-positive weight at line " +
-                                     std::to_string(reader.line_number()));
+    if (bad) {
+      Status s = robust_internal::HandleBadRecord(
+          options, &errors, reason, line, std::move(detail),
+          /*invalid_argument_on_fail=*/true);
+      if (!s.ok()) return s;
+      continue;
     }
     rows.push_back(
-        {interner.Intern(fields[0]), interner.Intern(fields[1]), *w});
+        {interner.Intern(fields[0]), interner.Intern(fields[1]), weight});
   }
 
   GraphBuilder builder(interner.size());

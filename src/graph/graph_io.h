@@ -6,6 +6,7 @@
 #include "common/interner.h"
 #include "common/result.h"
 #include "graph/comm_graph.h"
+#include "robust/record_errors.h"
 
 namespace commsig {
 
@@ -22,6 +23,13 @@ Status WriteEdgeListCsv(const CommGraph& g, const Interner& interner,
 /// InvalidArgument on malformed rows.
 Result<CommGraph> ReadEdgeListCsv(const std::string& path, Interner& interner,
                                   NodeId bipartite_left_size = 0);
+
+/// Lenient variant: malformed rows (wrong field count, empty labels,
+/// unparseable / NaN / Inf / non-positive weights) are handled per
+/// `options.policy`; labels of rejected rows are never interned.
+Result<CommGraph> ReadEdgeListCsv(const std::string& path, Interner& interner,
+                                  NodeId bipartite_left_size,
+                                  const IngestOptions& options);
 
 }  // namespace commsig
 

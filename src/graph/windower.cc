@@ -1,6 +1,6 @@
 #include "graph/windower.h"
 
-#include <cassert>
+#include <algorithm>
 
 #include "graph/graph_builder.h"
 #include "obs/obs.h"
@@ -10,11 +10,9 @@ namespace commsig {
 TraceWindower::TraceWindower(size_t num_nodes, uint64_t window_length,
                              uint64_t start_time, NodeId bipartite_left_size)
     : num_nodes_(num_nodes),
-      window_length_(window_length),
+      window_length_(std::max<uint64_t>(window_length, 1)),
       start_time_(start_time),
-      bipartite_left_size_(bipartite_left_size) {
-  assert(window_length_ > 0);
-}
+      bipartite_left_size_(bipartite_left_size) {}
 
 size_t TraceWindower::WindowOf(uint64_t time) const {
   if (time < start_time_) return static_cast<size_t>(-1);
@@ -38,11 +36,21 @@ std::vector<CommGraph> TraceWindower::Split(
     builders.emplace_back(num_nodes_);
     builders.back().SetBipartiteLeftSize(bipartite_left_size_);
   }
+  size_t dropped = 0;
   for (const TraceEvent& e : events) {
     size_t w = WindowOf(e.time);
     if (w == static_cast<size_t>(-1)) continue;
-    builders[w].AddEdge(e.src, e.dst, e.weight);
+    // TryAddEdge rejects out-of-range ids and NaN/Inf/non-positive weights
+    // — the windower sits on the ingest path, where such events mean a
+    // corrupt upstream record, not a programming error.
+    if (!builders[w].TryAddEdge(e.src, e.dst, e.weight)) {
+      ++dropped;
+      continue;
+    }
     ++events_per_window[w];
+  }
+  if (dropped > 0) {
+    COMMSIG_COUNTER_ADD("robust/windower_dropped_events", dropped);
   }
 
   std::vector<CommGraph> graphs;
@@ -55,6 +63,28 @@ std::vector<CommGraph> TraceWindower::Split(
     COMMSIG_HISTOGRAM_OBSERVE("windower/window_events", events_per_window[w]);
   }
   return graphs;
+}
+
+void TraceWindower::AppendTo(ByteWriter& out) const {
+  out.PutU64(num_nodes_);
+  out.PutU64(window_length_);
+  out.PutU64(start_time_);
+  out.PutU32(bipartite_left_size_);
+}
+
+Result<TraceWindower> TraceWindower::FromBytes(ByteReader& in) {
+  Result<uint64_t> num_nodes = in.U64();
+  if (!num_nodes.ok()) return num_nodes.status();
+  Result<uint64_t> window_length = in.U64();
+  if (!window_length.ok()) return window_length.status();
+  Result<uint64_t> start_time = in.U64();
+  if (!start_time.ok()) return start_time.status();
+  Result<uint32_t> left = in.U32();
+  if (!left.ok()) return left.status();
+  if (*window_length == 0) {
+    return Status::Corruption("zero window length in TraceWindower bytes");
+  }
+  return TraceWindower(*num_nodes, *window_length, *start_time, *left);
 }
 
 }  // namespace commsig

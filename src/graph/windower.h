@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/interner.h"
 #include "graph/comm_graph.h"
 
@@ -30,7 +31,9 @@ struct TraceEvent {
 class TraceWindower {
  public:
   /// `num_nodes`: size of the shared node universe.
-  /// `window_length`: must be > 0.
+  /// `window_length`: window extent; 0 (meaningless) is clamped to 1 —
+  /// window configuration can come from untrusted flags or checkpoints, so
+  /// a bad value must not be UB (division by zero in WindowOf).
   /// `start_time`: timestamp where window 0 begins.
   /// `bipartite_left_size`: forwarded to every window graph (0 = general).
   TraceWindower(size_t num_nodes, uint64_t window_length,
@@ -38,11 +41,24 @@ class TraceWindower {
 
   /// Buckets `events` (any order) and builds one graph per window, from
   /// window 0 through the last window containing an event. Windows with no
-  /// events yield empty graphs over the same universe.
+  /// events yield empty graphs over the same universe. Events with invalid
+  /// node ids (>= num_nodes) or NaN/Inf/non-positive weights are dropped
+  /// and counted under `robust/windower_dropped_events` — corrupt upstream
+  /// records must not index out of bounds or poison edge weights.
   std::vector<CommGraph> Split(const std::vector<TraceEvent>& events) const;
 
   /// Window index for a timestamp, or SIZE_MAX if before start.
   size_t WindowOf(uint64_t time) const;
+
+  /// Serializes the windower configuration (checkpoint wire format).
+  void AppendTo(ByteWriter& out) const;
+
+  /// Inverse of AppendTo. Corruption on malformed bytes.
+  static Result<TraceWindower> FromBytes(ByteReader& in);
+
+  size_t num_nodes() const { return num_nodes_; }
+  uint64_t window_length() const { return window_length_; }
+  uint64_t start_time() const { return start_time_; }
 
  private:
   size_t num_nodes_;

@@ -244,7 +244,10 @@ void PreRegisterCoreMetrics() {
         "signature/built", "distance/evaluations", "sketch/cm_updates",
         "sketch/cm_queries", "sketch/fm_updates", "sketch/ss_updates",
         "sketch/ss_evictions", "threadpool/tasks_executed",
-        "windower/windows_built"}) {
+        "windower/windows_built", "robust/records_rejected",
+        "robust/windower_dropped_events", "robust/rwr_fallbacks",
+        "robust/faults_injected", "robust/checkpoints_saved",
+        "robust/checkpoints_loaded", "robust/checkpoints_corrupt"}) {
     reg.GetCounter(name);
   }
   reg.GetGauge("threadpool/queue_depth");

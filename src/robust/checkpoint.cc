@@ -1,0 +1,193 @@
+#include "robust/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace commsig {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kMagic = 0x43534350;  // "PCSC" little-endian: CSCP
+constexpr uint32_t kFormatVersion = 1;
+
+/// Extracts the sequence number from `<stem>.<seq>.ckpt`, or returns false.
+bool ParseSequence(const std::string& name, const std::string& stem,
+                   uint64_t* sequence) {
+  const std::string prefix = stem + ".";
+  const std::string suffix = ".ckpt";
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.rfind(prefix, 0) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return false;
+  uint64_t seq = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *sequence = seq;
+  return true;
+}
+
+Result<CheckpointData> ParseCheckpointFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path.string());
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read error on " + path.string());
+
+  ByteReader reader(bytes);
+  Result<uint32_t> magic = reader.U32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) {
+    return Status::Corruption("bad checkpoint magic in " + path.string());
+  }
+  Result<uint32_t> version = reader.U32();
+  if (!version.ok()) return version.status();
+  if (*version != kFormatVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(*version));
+  }
+  Result<uint64_t> sequence = reader.U64();
+  if (!sequence.ok()) return sequence.status();
+  Result<uint64_t> length = reader.U64();
+  if (!length.ok()) return length.status();
+  Result<uint32_t> crc = reader.U32();
+  if (!crc.ok()) return crc.status();
+  if (*length != reader.remaining()) {
+    return Status::Corruption("checkpoint payload truncated in " +
+                              path.string());
+  }
+  std::string payload = bytes.substr(bytes.size() - *length);
+  if (Crc32(payload) != *crc) {
+    return Status::Corruption("checkpoint CRC mismatch in " + path.string());
+  }
+  CheckpointData data;
+  data.sequence = *sequence;
+  data.payload = std::move(payload);
+  return data;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(std::move(options)) {
+  options_.keep = std::max<size_t>(options_.keep, 2);
+}
+
+std::string CheckpointManager::FileName(uint64_t sequence) const {
+  // Zero-padded so lexicographic and numeric order agree in `ls`.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(sequence));
+  return options_.stem + "." + buf + ".ckpt";
+}
+
+Status CheckpointManager::Save(uint64_t sequence, std::string_view payload) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir " + dir_ + ": " +
+                           ec.message());
+  }
+
+  ByteWriter frame;
+  frame.PutU32(kMagic);
+  frame.PutU32(kFormatVersion);
+  frame.PutU64(sequence);
+  frame.PutU64(payload.size());
+  frame.PutU32(Crc32(payload));
+
+  const fs::path final_path = fs::path(dir_) / FileName(sequence);
+  const fs::path tmp_path = fs::path(dir_) / (options_.stem + ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IOError("cannot open " + tmp_path.string() +
+                             " for writing");
+    }
+    out.write(frame.bytes().data(),
+              static_cast<std::streamsize>(frame.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out.good()) {
+      return Status::IOError("write failed on " + tmp_path.string());
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::IOError("cannot rename checkpoint into place: " +
+                           ec.message());
+  }
+  COMMSIG_COUNTER_ADD("robust/checkpoints_saved", 1);
+  COMMSIG_HISTOGRAM_OBSERVE("robust/checkpoint_bytes",
+                            frame.size() + payload.size());
+
+  // Prune: keep the newest `keep` checkpoints.
+  std::vector<uint64_t> sequences;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    uint64_t seq = 0;
+    if (ParseSequence(entry.path().filename().string(), options_.stem,
+                      &seq)) {
+      sequences.push_back(seq);
+    }
+  }
+  std::sort(sequences.begin(), sequences.end());
+  while (sequences.size() > options_.keep) {
+    fs::remove(fs::path(dir_) / FileName(sequences.front()), ec);
+    sequences.erase(sequences.begin());
+  }
+  return Status::OK();
+}
+
+Result<CheckpointData> CheckpointManager::LoadLatest() const {
+  std::error_code ec;
+  std::vector<uint64_t> sequences;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    uint64_t seq = 0;
+    if (ParseSequence(entry.path().filename().string(), options_.stem,
+                      &seq)) {
+      sequences.push_back(seq);
+    }
+  }
+  if (ec || sequences.empty()) {
+    return Status::NotFound("no checkpoints under " + dir_);
+  }
+  std::sort(sequences.begin(), sequences.end(),
+            [](uint64_t a, uint64_t b) { return a > b; });
+
+  size_t corrupt_skipped = 0;
+  for (uint64_t seq : sequences) {
+    Result<CheckpointData> data =
+        ParseCheckpointFile(fs::path(dir_) / FileName(seq));
+    if (data.ok()) {
+      CheckpointData out = std::move(*data);
+      out.recovered_from_fallback = corrupt_skipped > 0;
+      out.corrupt_skipped = corrupt_skipped;
+      COMMSIG_COUNTER_ADD("robust/checkpoints_loaded", 1);
+      COMMSIG_COUNTER_ADD("robust/checkpoints_corrupt", corrupt_skipped);
+      return out;
+    }
+    ++corrupt_skipped;
+  }
+  COMMSIG_COUNTER_ADD("robust/checkpoints_corrupt", corrupt_skipped);
+  return Status::Corruption("all " + std::to_string(corrupt_skipped) +
+                            " checkpoint(s) under " + dir_ +
+                            " failed validation");
+}
+
+}  // namespace commsig

@@ -1,0 +1,70 @@
+#ifndef COMMSIG_ROBUST_CHECKPOINT_H_
+#define COMMSIG_ROBUST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace commsig {
+
+/// A checkpoint recovered from disk.
+struct CheckpointData {
+  uint64_t sequence = 0;
+  std::string payload;
+  /// True when the newest on-disk checkpoint failed validation and an older
+  /// one was used instead.
+  bool recovered_from_fallback = false;
+  /// Number of corrupt/unreadable checkpoint files skipped over.
+  size_t corrupt_skipped = 0;
+};
+
+/// Durable checkpoint store for streaming pipelines.
+///
+/// Files are framed as  magic | format version | sequence | payload length |
+/// CRC32(payload) | payload  (all little-endian, see ByteWriter), written to
+/// a temporary name and atomically renamed into place — a crash mid-write
+/// leaves at most a stray .tmp, never a half-written checkpoint under the
+/// live name. LoadLatest walks checkpoints newest-first and returns the
+/// first that passes framing + CRC validation, so a torn or bit-flipped
+/// newest file falls back to the previous good one instead of killing the
+/// restore.
+///
+/// The payload is opaque application state (for the `commsig stream`
+/// pipeline: the serialized StreamingSignatureBuilder plus stream cursor).
+class CheckpointManager {
+ public:
+  struct Options {
+    /// Filename stem: checkpoints are `<stem>.<seq>.ckpt`.
+    std::string stem = "ckpt";
+    /// Good checkpoints retained on disk; older ones are pruned after each
+    /// Save. Minimum 2 — the fallback guarantee needs a predecessor.
+    size_t keep = 2;
+  };
+
+  explicit CheckpointManager(std::string dir) : CheckpointManager(std::move(dir), Options()) {}
+  CheckpointManager(std::string dir, Options options);
+
+  /// Atomically persists `payload` as checkpoint `sequence` (monotonically
+  /// increasing, caller-chosen; the event count works well). Creates the
+  /// directory if needed and prunes checkpoints beyond `keep`.
+  Status Save(uint64_t sequence, std::string_view payload);
+
+  /// Newest checkpoint that validates, or NotFound when the directory holds
+  /// none (including the fresh-start case of a missing directory).
+  Result<CheckpointData> LoadLatest() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string FileName(uint64_t sequence) const;
+
+  std::string dir_;
+  Options options_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_ROBUST_CHECKPOINT_H_

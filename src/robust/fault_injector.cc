@@ -1,0 +1,118 @@
+#include "robust/fault_injector.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace commsig {
+
+std::string FaultInjector::Report::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "dropped=%llu duplicated=%llu weights_corrupted=%llu "
+                "times_corrupted=%llu swapped=%llu",
+                static_cast<unsigned long long>(dropped),
+                static_cast<unsigned long long>(duplicated),
+                static_cast<unsigned long long>(weights_corrupted),
+                static_cast<unsigned long long>(times_corrupted),
+                static_cast<unsigned long long>(swapped));
+  return buf;
+}
+
+FaultInjector::FaultInjector(Options options)
+    : options_(options), rng_(SplitMix64(options.seed ^ 0xfa017)) {}
+
+std::vector<TraceEvent> FaultInjector::PerturbEvents(
+    const std::vector<TraceEvent>& events) {
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    TraceEvent e = events[i];
+    if (rng_.Bernoulli(options_.p_drop)) {
+      ++report_.dropped;
+      continue;
+    }
+    if (rng_.Bernoulli(options_.p_duplicate)) {
+      ++report_.duplicated;
+      out.push_back(e);
+      out.push_back(e);
+      continue;
+    }
+    if (rng_.Bernoulli(options_.p_corrupt_weight)) {
+      ++report_.weights_corrupted;
+      // Rotate through the ways a weight field goes bad in practice.
+      switch (rng_.UniformInt(4)) {
+        case 0: e.weight = std::numeric_limits<double>::quiet_NaN(); break;
+        case 1: e.weight = std::numeric_limits<double>::infinity(); break;
+        case 2: e.weight = -e.weight; break;
+        default: e.weight *= 1e12; break;
+      }
+      out.push_back(e);
+      continue;
+    }
+    if (rng_.Bernoulli(options_.p_corrupt_time)) {
+      ++report_.times_corrupted;
+      if (rng_.Bernoulli(0.5) && e.time > 0) {
+        // Regression: jump backwards by up to the full current timestamp.
+        e.time -= rng_.UniformInt(e.time) + 1;
+      } else {
+        e.time += rng_.UniformInt(1u << 20) + 1;
+      }
+      out.push_back(e);
+      continue;
+    }
+    if (rng_.Bernoulli(options_.p_swap) && i + 1 < events.size()) {
+      ++report_.swapped;
+      out.push_back(events[i + 1]);
+      out.push_back(e);
+      ++i;
+      continue;
+    }
+    out.push_back(e);
+  }
+  COMMSIG_COUNTER_ADD("robust/faults_injected", report_.Total());
+  return out;
+}
+
+Status FaultInjector::CorruptFileBits(const std::string& path,
+                                      size_t num_flips) {
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("stat " + path + ": " + ec.message());
+  if (size == 0) return Status::InvalidArgument("cannot corrupt empty file");
+
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) return Status::IOError("open " + path);
+  for (size_t i = 0; i < num_flips; ++i) {
+    const uint64_t offset = rng_.UniformInt(size);
+    const int bit = static_cast<int>(rng_.UniformInt(8));
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    if (!file.read(&byte, 1)) return Status::IOError("read " + path);
+    byte = static_cast<char>(byte ^ (1 << bit));
+    file.seekp(static_cast<std::streamoff>(offset));
+    if (!file.write(&byte, 1)) return Status::IOError("write " + path);
+  }
+  file.flush();
+  if (!file) return Status::IOError("flush " + path);
+  return Status::OK();
+}
+
+Status FaultInjector::TruncateFileRandomly(const std::string& path,
+                                           uint64_t* new_size) {
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("stat " + path + ": " + ec.message());
+  const uint64_t keep = size == 0 ? 0 : rng_.UniformInt(size);
+  std::filesystem::resize_file(path, keep, ec);
+  if (ec) return Status::IOError("truncate " + path + ": " + ec.message());
+  if (new_size != nullptr) *new_size = keep;
+  return Status::OK();
+}
+
+}  // namespace commsig

@@ -53,6 +53,45 @@ double CountMinSketch::Estimate(uint64_t key) const {
   return best;
 }
 
+void CountMinSketch::AppendTo(ByteWriter& out) const {
+  out.PutU64(width_);
+  out.PutU64(depth_);
+  out.PutU64(seed_);
+  out.PutDouble(total_);
+  for (double v : table_) out.PutDouble(v);
+}
+
+Result<CountMinSketch> CountMinSketch::FromBytes(ByteReader& in) {
+  Result<uint64_t> width = in.U64();
+  if (!width.ok()) return width.status();
+  Result<uint64_t> depth = in.U64();
+  if (!depth.ok()) return depth.status();
+  Result<uint64_t> seed = in.U64();
+  if (!seed.ok()) return seed.status();
+  Result<double> total = in.Double();
+  if (!total.ok()) return total.status();
+  if (*width == 0 || *depth == 0 || !std::isfinite(*total) || *total < 0.0) {
+    return Status::Corruption("invalid CountMinSketch header");
+  }
+  // Reject dimensions the remaining bytes cannot back before allocating
+  // width*depth counters (also catches width*depth overflow).
+  if (*depth > in.remaining() / sizeof(double) ||
+      *width > in.remaining() / sizeof(double) / *depth) {
+    return Status::Corruption("CountMinSketch dimensions exceed payload");
+  }
+  CountMinSketch sketch(*width, *depth, *seed);
+  sketch.total_ = *total;
+  for (double& cell : sketch.table_) {
+    Result<double> v = in.Double();
+    if (!v.ok()) return v.status();
+    if (!std::isfinite(*v) || *v < 0.0) {
+      return Status::Corruption("non-finite CountMinSketch counter");
+    }
+    cell = *v;
+  }
+  return sketch;
+}
+
 void CountMinSketch::Merge(const CountMinSketch& other) {
   assert(width_ == other.width_ && depth_ == other.depth_ &&
          seed_ == other.seed_);

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
+
 namespace commsig {
 
 /// Count-Min sketch [Cormode & Muthukrishnan, LATIN 2004] over 64-bit keys
@@ -47,6 +49,13 @@ class CountMinSketch {
   static uint64_t EdgeKey(uint32_t src, uint32_t dst) {
     return (static_cast<uint64_t>(src) << 32) | dst;
   }
+
+  /// Serializes the full sketch state (checkpoint wire format).
+  void AppendTo(ByteWriter& out) const;
+
+  /// Inverse of AppendTo. Corruption on truncated bytes or inconsistent
+  /// dimensions — checkpoint payloads are untrusted.
+  static Result<CountMinSketch> FromBytes(ByteReader& in);
 
  private:
   size_t Index(size_t row, uint64_t key) const;

@@ -52,6 +52,30 @@ double FmSketch::Estimate() const {
   return raw;
 }
 
+void FmSketch::AppendTo(ByteWriter& out) const {
+  out.PutU64(bitmaps_.size());
+  out.PutU64(seed_);
+  for (uint64_t bitmap : bitmaps_) out.PutU64(bitmap);
+}
+
+Result<FmSketch> FmSketch::FromBytes(ByteReader& in) {
+  Result<uint64_t> num_bitmaps = in.U64();
+  if (!num_bitmaps.ok()) return num_bitmaps.status();
+  Result<uint64_t> seed = in.U64();
+  if (!seed.ok()) return seed.status();
+  if (*num_bitmaps == 0 ||
+      *num_bitmaps > in.remaining() / sizeof(uint64_t)) {
+    return Status::Corruption("invalid FmSketch bitmap count");
+  }
+  FmSketch sketch(*num_bitmaps, *seed);
+  for (uint64_t& bitmap : sketch.bitmaps_) {
+    Result<uint64_t> v = in.U64();
+    if (!v.ok()) return v.status();
+    bitmap = *v;
+  }
+  return sketch;
+}
+
 void FmSketch::Merge(const FmSketch& other) {
   assert(bitmaps_.size() == other.bitmaps_.size() && seed_ == other.seed_);
   for (size_t i = 0; i < bitmaps_.size(); ++i) {

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
+
 namespace commsig {
 
 /// Flajolet-Martin probabilistic distinct counter (PCSA variant, FOCS'83):
@@ -32,6 +34,12 @@ class FmSketch {
 
   size_t num_bitmaps() const { return bitmaps_.size(); }
   size_t MemoryBytes() const { return bitmaps_.size() * sizeof(uint64_t); }
+
+  /// Serializes the full sketch state (checkpoint wire format).
+  void AppendTo(ByteWriter& out) const;
+
+  /// Inverse of AppendTo. Corruption on malformed bytes.
+  static Result<FmSketch> FromBytes(ByteReader& in);
 
  private:
   uint64_t seed_;

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.h"
+
 namespace commsig {
 
 /// SpaceSaving heavy-hitters summary [Metwally et al.]: tracks at most
@@ -39,6 +41,14 @@ class SpaceSaving {
   double TotalWeight() const { return total_; }
   size_t capacity() const { return capacity_; }
   size_t size() const { return counters_.size(); }
+
+  /// Serializes the full summary state (checkpoint wire format). Entries
+  /// are emitted in ascending key order so equal summaries serialize to
+  /// identical bytes.
+  void AppendTo(ByteWriter& out) const;
+
+  /// Inverse of AppendTo. Corruption on malformed bytes.
+  static Result<SpaceSaving> FromBytes(ByteReader& in);
 
  private:
   struct Counter {

@@ -1,6 +1,7 @@
 #include "sketch/streaming_signatures.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace commsig {
 
@@ -67,6 +68,118 @@ Signature StreamingSignatureBuilder::UnexpectedTalkers(NodeId focal,
     candidates.push_back({dst, volume / degree});
   }
   return Signature::FromTopK(std::move(candidates), k);
+}
+
+namespace {
+
+// Key-sorted iteration order for deterministic checkpoint bytes.
+template <typename Map>
+std::vector<NodeId> SortedKeys(const Map& map) {
+  std::vector<NodeId> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+void StreamingSignatureBuilder::AppendTo(ByteWriter& out) const {
+  out.PutU64(options_.heavy_hitter_capacity);
+  out.PutU64(options_.cm_width);
+  out.PutU64(options_.cm_depth);
+  out.PutU64(options_.fm_bitmaps);
+  out.PutU64(options_.seed);
+  out.PutU64(events_observed_);
+
+  out.PutU64(per_focal_.size());
+  for (NodeId focal : SortedKeys(per_focal_)) {
+    out.PutU32(focal);
+    out.PutDouble(out_volume_.at(focal));
+    per_focal_.at(focal).AppendTo(out);
+  }
+
+  edge_volumes_.AppendTo(out);
+
+  out.PutU64(in_degree_.size());
+  for (NodeId dst : SortedKeys(in_degree_)) {
+    out.PutU32(dst);
+    in_degree_.at(dst).AppendTo(out);
+  }
+}
+
+Result<StreamingSignatureBuilder> StreamingSignatureBuilder::FromBytes(
+    ByteReader& in) {
+  Options options;
+  Result<uint64_t> capacity = in.U64();
+  if (!capacity.ok()) return capacity.status();
+  Result<uint64_t> cm_width = in.U64();
+  if (!cm_width.ok()) return cm_width.status();
+  Result<uint64_t> cm_depth = in.U64();
+  if (!cm_depth.ok()) return cm_depth.status();
+  Result<uint64_t> fm_bitmaps = in.U64();
+  if (!fm_bitmaps.ok()) return fm_bitmaps.status();
+  Result<uint64_t> seed = in.U64();
+  if (!seed.ok()) return seed.status();
+  if (*capacity == 0 || *cm_width == 0 || *cm_depth == 0 ||
+      *fm_bitmaps == 0) {
+    return Status::Corruption("invalid StreamingSignatureBuilder options");
+  }
+  // Constructing the builder below allocates the cm_width * cm_depth table
+  // immediately. The table's cells are serialized later in this same
+  // buffer, so dimensions the remaining bytes cannot back are corrupt —
+  // reject them before allocating (also catches width*depth overflow).
+  if (*cm_depth > in.remaining() / sizeof(double) ||
+      *cm_width > in.remaining() / sizeof(double) / *cm_depth ||
+      *capacity > (1ull << 20) || *fm_bitmaps > (1ull << 20)) {
+    return Status::Corruption(
+        "StreamingSignatureBuilder options exceed payload");
+  }
+  options.heavy_hitter_capacity = *capacity;
+  options.cm_width = *cm_width;
+  options.cm_depth = *cm_depth;
+  options.fm_bitmaps = *fm_bitmaps;
+  options.seed = *seed;
+
+  StreamingSignatureBuilder builder({}, options);
+  Result<uint64_t> events = in.U64();
+  if (!events.ok()) return events.status();
+  builder.events_observed_ = *events;
+
+  Result<uint64_t> num_focal = in.U64();
+  if (!num_focal.ok()) return num_focal.status();
+  for (uint64_t i = 0; i < *num_focal; ++i) {
+    Result<uint32_t> focal = in.U32();
+    if (!focal.ok()) return focal.status();
+    Result<double> volume = in.Double();
+    if (!volume.ok()) return volume.status();
+    if (!std::isfinite(*volume) || *volume < 0.0) {
+      return Status::Corruption("invalid focal out-volume");
+    }
+    Result<SpaceSaving> summary = SpaceSaving::FromBytes(in);
+    if (!summary.ok()) return summary.status();
+    if (!builder.per_focal_.emplace(*focal, *std::move(summary)).second) {
+      return Status::Corruption("duplicate focal node");
+    }
+    builder.out_volume_.emplace(*focal, *volume);
+  }
+
+  Result<CountMinSketch> edge_volumes = CountMinSketch::FromBytes(in);
+  if (!edge_volumes.ok()) return edge_volumes.status();
+  builder.edge_volumes_ = *std::move(edge_volumes);
+
+  Result<uint64_t> num_dst = in.U64();
+  if (!num_dst.ok()) return num_dst.status();
+  for (uint64_t i = 0; i < *num_dst; ++i) {
+    Result<uint32_t> dst = in.U32();
+    if (!dst.ok()) return dst.status();
+    Result<FmSketch> sketch = FmSketch::FromBytes(in);
+    if (!sketch.ok()) return sketch.status();
+    if (!builder.in_degree_.emplace(*dst, *std::move(sketch)).second) {
+      return Status::Corruption("duplicate in-degree destination");
+    }
+  }
+  return builder;
 }
 
 size_t StreamingSignatureBuilder::MemoryBytes() const {

@@ -63,6 +63,16 @@ class StreamingSignatureBuilder {
   /// Total sketch memory in bytes (diagnostics for the scalability bench).
   size_t MemoryBytes() const;
 
+  /// Serializes the complete builder state — options, all per-focal
+  /// summaries, the global Count-Min, the per-destination FM sketches —
+  /// in deterministic (key-sorted) order so two builders that observed the
+  /// same stream serialize to identical bytes. Used by the streaming
+  /// checkpoint format.
+  void AppendTo(ByteWriter& out) const;
+
+  /// Inverse of AppendTo. Corruption on malformed bytes.
+  static Result<StreamingSignatureBuilder> FromBytes(ByteReader& in);
+
   uint64_t events_observed() const { return events_observed_; }
 
  private:

@@ -54,5 +54,19 @@ TEST(ResultTest, ImplicitConversionFromStatus) {
   EXPECT_FALSE(make().ok());
 }
 
+// value() on a failed Result must abort with the status message in EVERY
+// build mode — in Release an assert would compile out and dereference an
+// empty optional (UB) on exactly the corrupt-input paths where failed
+// Results occur.
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatusMessage) {
+  Result<int> r(Status::Corruption("bad checkpoint bytes"));
+  EXPECT_DEATH((void)r.value(), "bad checkpoint bytes");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorAborts) {
+  Result<std::string> r(Status::NotFound("gone"));
+  EXPECT_DEATH((void)r->size(), "gone");
+}
+
 }  // namespace
 }  // namespace commsig

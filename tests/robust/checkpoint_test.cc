@@ -1,0 +1,171 @@
+#include "robust/checkpoint.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("commsig_ckpt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Flips one bit somewhere in the middle of a checkpoint file.
+  void FlipBit(const fs::path& path, size_t offset) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    ASSERT_TRUE(f.read(&byte, 1));
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    ASSERT_TRUE(f.write(&byte, 1));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointTest, MissingDirectoryIsNotFound) {
+  CheckpointManager manager(dir_.string());
+  auto r = manager.LoadLatest();
+  EXPECT_TRUE(r.status().IsNotFound()) << r.status().ToString();
+}
+
+TEST_F(CheckpointTest, SaveThenLoadRoundTrips) {
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(manager.Save(42, "hello checkpoint").ok());
+  auto r = manager.LoadLatest();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->sequence, 42u);
+  EXPECT_EQ(r->payload, "hello checkpoint");
+  EXPECT_FALSE(r->recovered_from_fallback);
+  EXPECT_EQ(r->corrupt_skipped, 0u);
+}
+
+TEST_F(CheckpointTest, LoadsNewestOfMany) {
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(manager.Save(10, "old").ok());
+  ASSERT_TRUE(manager.Save(20, "new").ok());
+  auto r = manager.LoadLatest();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sequence, 20u);
+  EXPECT_EQ(r->payload, "new");
+}
+
+TEST_F(CheckpointTest, BitFlippedNewestFallsBackToPreviousGood) {
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(manager.Save(10, std::string(256, 'a')).ok());
+  ASSERT_TRUE(manager.Save(20, std::string(256, 'b')).ok());
+  // Corrupt the newest file's payload region.
+  fs::path newest;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().filename().string().find("20.ckpt") !=
+        std::string::npos) {
+      newest = entry.path();
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  FlipBit(newest, 100);
+
+  auto r = manager.LoadLatest();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->sequence, 10u);
+  EXPECT_EQ(r->payload, std::string(256, 'a'));
+  EXPECT_TRUE(r->recovered_from_fallback);
+  EXPECT_EQ(r->corrupt_skipped, 1u);
+}
+
+TEST_F(CheckpointTest, TruncatedNewestFallsBack) {
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(manager.Save(1, std::string(512, 'x')).ok());
+  ASSERT_TRUE(manager.Save(2, std::string(512, 'y')).ok());
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().filename().string().find("2.ckpt") !=
+        std::string::npos) {
+      fs::resize_file(entry.path(), 64);
+    }
+  }
+  auto r = manager.LoadLatest();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sequence, 1u);
+}
+
+TEST_F(CheckpointTest, AllCorruptIsCorruption) {
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(manager.Save(1, "only").ok());
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    FlipBit(entry.path(), 30);
+  }
+  auto r = manager.LoadLatest();
+  EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+}
+
+TEST_F(CheckpointTest, PrunesBeyondKeep) {
+  CheckpointManager::Options opts;
+  opts.keep = 2;
+  CheckpointManager manager(dir_.string(), opts);
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    ASSERT_TRUE(manager.Save(seq, "p").ok());
+  }
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+  auto r = manager.LoadLatest();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sequence, 5u);
+}
+
+TEST_F(CheckpointTest, KeepIsClampedToTwo) {
+  CheckpointManager::Options opts;
+  opts.keep = 0;  // a single retained checkpoint would break the fallback
+  CheckpointManager manager(dir_.string(), opts);
+  ASSERT_TRUE(manager.Save(1, "a").ok());
+  ASSERT_TRUE(manager.Save(2, "b").ok());
+  ASSERT_TRUE(manager.Save(3, "c").ok());
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST_F(CheckpointTest, StrayTmpAndForeignFilesAreIgnored) {
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(manager.Save(7, "good").ok());
+  // Simulate a crash mid-write plus unrelated clutter.
+  std::ofstream(dir_ / "ckpt.tmp") << "half-written";
+  std::ofstream(dir_ / "notes.txt") << "unrelated";
+  std::ofstream(dir_ / "ckpt.notanumber.ckpt") << "junk";
+  auto r = manager.LoadLatest();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->sequence, 7u);
+  EXPECT_EQ(r->payload, "good");
+}
+
+TEST_F(CheckpointTest, EmptyPayloadRoundTrips) {
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(manager.Save(0, "").ok());
+  auto r = manager.LoadLatest();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->payload.empty());
+}
+
+}  // namespace
+}  // namespace commsig

@@ -1,0 +1,169 @@
+#include "robust/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace commsig {
+namespace {
+
+std::vector<TraceEvent> MakeEvents(size_t n) {
+  std::vector<TraceEvent> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    events.push_back({static_cast<NodeId>(i % 10),
+                      static_cast<NodeId>(10 + i % 20), i * 10, 1.5});
+  }
+  return events;
+}
+
+TEST(FaultInjectorTest, ZeroProbabilitiesAreIdentity) {
+  FaultInjector injector(FaultInjector::Options{});
+  auto events = MakeEvents(500);
+  auto out = injector.PerturbEvents(events);
+  EXPECT_EQ(out, events);
+  EXPECT_EQ(injector.report().Total(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaults) {
+  FaultInjector::Options opts;
+  opts.seed = 99;
+  opts.p_drop = 0.05;
+  opts.p_duplicate = 0.05;
+  opts.p_corrupt_weight = 0.05;
+  opts.p_corrupt_time = 0.05;
+  opts.p_swap = 0.05;
+  auto events = MakeEvents(2000);
+  FaultInjector a(opts), b(opts);
+  auto out_a = a.PerturbEvents(events);
+  auto out_b = b.PerturbEvents(events);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].src, out_b[i].src);
+    EXPECT_EQ(out_a[i].dst, out_b[i].dst);
+    EXPECT_EQ(out_a[i].time, out_b[i].time);
+    // NaN != NaN, so compare corrupted weights bitwise.
+    EXPECT_EQ(std::memcmp(&out_a[i].weight, &out_b[i].weight,
+                          sizeof(double)),
+              0);
+  }
+  EXPECT_EQ(a.report().Total(), b.report().Total());
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer) {
+  FaultInjector::Options opts;
+  opts.p_drop = 0.1;
+  opts.seed = 1;
+  FaultInjector a(opts);
+  opts.seed = 2;
+  FaultInjector b(opts);
+  auto events = MakeEvents(2000);
+  auto out_a = a.PerturbEvents(events);
+  auto out_b = b.PerturbEvents(events);
+  EXPECT_NE(out_a, out_b);
+}
+
+TEST(FaultInjectorTest, ReportCountsMatchOutput) {
+  FaultInjector::Options opts;
+  opts.seed = 7;
+  opts.p_drop = 0.1;
+  auto events = MakeEvents(5000);
+  FaultInjector injector(opts);
+  auto out = injector.PerturbEvents(events);
+  EXPECT_EQ(out.size(), events.size() - injector.report().dropped);
+  // ~500 expected; a 5x band catches logic inversions without flaking.
+  EXPECT_GT(injector.report().dropped, 100u);
+  EXPECT_LT(injector.report().dropped, 2500u);
+}
+
+TEST(FaultInjectorTest, DuplicatesGrowTheStream) {
+  FaultInjector::Options opts;
+  opts.seed = 7;
+  opts.p_duplicate = 0.1;
+  auto events = MakeEvents(5000);
+  FaultInjector injector(opts);
+  auto out = injector.PerturbEvents(events);
+  EXPECT_EQ(out.size(), events.size() + injector.report().duplicated);
+}
+
+TEST(FaultInjectorTest, CorruptedWeightsAreActuallyBad) {
+  FaultInjector::Options opts;
+  opts.seed = 3;
+  opts.p_corrupt_weight = 1.0;  // corrupt every event
+  auto events = MakeEvents(200);
+  FaultInjector injector(opts);
+  auto out = injector.PerturbEvents(events);
+  ASSERT_EQ(out.size(), events.size());
+  size_t bad = 0;
+  for (const TraceEvent& e : out) {
+    if (!std::isfinite(e.weight) || e.weight <= 0.0 || e.weight > 1e6) ++bad;
+  }
+  EXPECT_EQ(bad, out.size());
+  EXPECT_EQ(injector.report().weights_corrupted, events.size());
+}
+
+TEST(FaultInjectorTest, ReportToStringNamesEveryCounter) {
+  FaultInjector injector(FaultInjector::Options{});
+  std::string s = injector.report().ToString();
+  EXPECT_NE(s.find("dropped="), std::string::npos);
+  EXPECT_NE(s.find("swapped="), std::string::npos);
+}
+
+class FaultInjectorFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("commsig_faultfile_" + std::to_string(::getpid()) + ".bin");
+    std::ofstream out(path_, std::ios::binary);
+    content_.assign(4096, 'A');
+    out.write(content_.data(), static_cast<std::streamsize>(content_.size()));
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+  std::string content_;
+};
+
+TEST_F(FaultInjectorFileTest, CorruptFileBitsChangesContent) {
+  FaultInjector::Options opts;
+  opts.seed = 11;
+  FaultInjector injector(opts);
+  ASSERT_TRUE(injector.CorruptFileBits(path_.string(), 8).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string after((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(after.size(), content_.size());  // flips, not truncation
+  EXPECT_NE(after, content_);
+  size_t changed = 0;
+  for (size_t i = 0; i < after.size(); ++i) {
+    if (after[i] != content_[i]) ++changed;
+  }
+  EXPECT_LE(changed, 8u);  // at most one byte per flip
+  EXPECT_GE(changed, 1u);
+}
+
+TEST_F(FaultInjectorFileTest, TruncateShortensFile) {
+  FaultInjector::Options opts;
+  opts.seed = 11;
+  FaultInjector injector(opts);
+  uint64_t new_size = 0;
+  ASSERT_TRUE(injector.TruncateFileRandomly(path_.string(), &new_size).ok());
+  EXPECT_LT(new_size, content_.size());
+  EXPECT_EQ(std::filesystem::file_size(path_), new_size);
+}
+
+TEST_F(FaultInjectorFileTest, MissingFileIsIOError) {
+  FaultInjector injector(FaultInjector::Options{});
+  EXPECT_TRUE(
+      injector.CorruptFileBits("/no/such/file.bin", 1).IsIOError());
+  EXPECT_TRUE(
+      injector.TruncateFileRandomly("/no/such/file.bin").IsIOError());
+}
+
+}  // namespace
+}  // namespace commsig

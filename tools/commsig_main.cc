@@ -7,6 +7,10 @@
 //   multiusage  similar-signature pairs within one window (paper Fig. 5)
 //   masquerade  Algorithm-1 masquerade detection across two windows
 //   anomalies   nodes whose behaviour broke between two windows
+//   stream      one-pass streaming TT/UT signatures (Section VI) with
+//               optional crash-safe checkpointing
+//   faultcheck  inject a fixed fraction of faults into the event stream and
+//               report per-scheme signature drift (robustness gate)
 //
 // Common flags:
 //   --trace PATH        input trace CSV (this or --netflow is required)
@@ -29,6 +33,26 @@
 //                       JSON file (open at chrome://tracing or
 //                       https://ui.perfetto.dev)
 //
+// Robust ingestion flags (all commands):
+//   --on-error MODE     fail | skip | quarantine — what a reader does with
+//                       a malformed record (default fail)
+//   --error-budget N    with skip/quarantine, abort anyway after N rejected
+//                       records (default 100000; 0 = unlimited)
+//   --quarantine-out P  with quarantine, write rejected records (reason,
+//                       position, detail) to this dead-letter CSV
+//
+// stream flags:
+//   --checkpoint-dir D    durable checkpoint directory (enables restore)
+//   --checkpoint-every N  checkpoint every N events (default 10000)
+//   --kill-after N        abort (exit 3) after N events this run — crash
+//                         test hook for checkpoint/restore round-trips
+//
+// faultcheck flags:
+//   --fraction F        per-fault-type injection probability (default 0.01)
+//   --seed S            fault injector seed (default 1)
+//   --max-drift D       fail (exit 1) if any scheme's mean Jaccard drift
+//                       exceeds D (default 0.25)
+//
 // Example:
 //   commsig selfmatch --trace flows.csv --window-length 432000
 //       --scheme 'rwr(c=0.1,h=3)' --dist shel     (one line)
@@ -37,6 +61,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -45,6 +70,8 @@
 #include "apps/anomaly.h"
 #include "apps/masquerade_detector.h"
 #include "apps/multiusage.h"
+#include "common/bytes.h"
+#include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/distance.h"
 #include "core/parallel.h"
@@ -57,6 +84,10 @@
 #include "graph/windower.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injector.h"
+#include "robust/record_errors.h"
+#include "sketch/streaming_signatures.h"
 
 namespace commsig {
 namespace {
@@ -113,9 +144,77 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: commsig <signatures|selfmatch|multiusage|masquerade|"
-               "anomalies> --trace PATH [flags]\n"
+               "anomalies|stream|faultcheck> --trace PATH [flags]\n"
                "see the header of tools/commsig_main.cc for all flags\n");
   return 2;
+}
+
+/// Builds reader options from the --on-error / --error-budget flags.
+IngestOptions IngestFromArgs(const Args& args, RecordErrorLog* log) {
+  IngestOptions opts;
+  std::string policy = args.Get("on-error", "fail");
+  if (policy == "fail") {
+    opts.policy = ErrorPolicy::kFail;
+  } else if (policy == "skip") {
+    opts.policy = ErrorPolicy::kSkip;
+  } else if (policy == "quarantine") {
+    opts.policy = ErrorPolicy::kQuarantine;
+  } else {
+    DieInvalidFlag("on-error", policy, "fail | skip | quarantine");
+  }
+  opts.max_errors = args.GetInt("error-budget", 100000);
+  opts.error_log = log;
+  return opts;
+}
+
+/// Reads the input trace (CSV or NetFlow) under the requested error policy,
+/// reporting and optionally dumping quarantined records.
+bool LoadEvents(const Args& args, Interner& interner,
+                std::vector<TraceEvent>& events) {
+  std::string trace_path = args.Get("trace", "");
+  std::string netflow_path = args.Get("netflow", "");
+  if (trace_path.empty() == netflow_path.empty()) {
+    std::fprintf(stderr, "exactly one of --trace / --netflow is required\n");
+    return false;
+  }
+  RecordErrorLog error_log;
+  IngestOptions ingest = IngestFromArgs(args, &error_log);
+  if (!trace_path.empty()) {
+    auto loaded = ReadTraceCsv(trace_path, interner, ingest);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load trace: %s\n",
+                   loaded.status().ToString().c_str());
+      return false;
+    }
+    events = std::move(*loaded);
+  } else {
+    auto records = ReadNetflowV5File(netflow_path, ingest);
+    if (!records.ok()) {
+      std::fprintf(stderr, "cannot load netflow: %s\n",
+                   records.status().ToString().c_str());
+      return false;
+    }
+    NetflowReadOptions opts;
+    opts.protocol_filter =
+        static_cast<uint8_t>(args.GetInt("protocol", 6));
+    events = NetflowToEvents(*records, interner, opts);
+  }
+  if (error_log.total() > 0) {
+    std::fprintf(stderr, "rejected %llu malformed record(s)\n",
+                 static_cast<unsigned long long>(error_log.total()));
+  }
+  std::string quarantine_out = args.Get("quarantine-out", "");
+  if (!quarantine_out.empty()) {
+    Status s = error_log.WriteCsv(quarantine_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write quarantine file: %s\n",
+                   s.ToString().c_str());
+      return false;
+    }
+    std::fprintf(stderr, "quarantined records written to %s\n",
+                 quarantine_out.c_str());
+  }
+  return true;
 }
 
 /// Everything loaded from the trace that the subcommands share.
@@ -132,33 +231,8 @@ struct Workspace {
 };
 
 bool Load(const Args& args, Workspace& ws) {
-  std::string trace_path = args.Get("trace", "");
-  std::string netflow_path = args.Get("netflow", "");
-  if (trace_path.empty() == netflow_path.empty()) {
-    std::fprintf(stderr, "exactly one of --trace / --netflow is required\n");
-    return false;
-  }
   std::vector<TraceEvent> events;
-  if (!trace_path.empty()) {
-    auto loaded = ReadTraceCsv(trace_path, ws.interner);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load trace: %s\n",
-                   loaded.status().ToString().c_str());
-      return false;
-    }
-    events = std::move(*loaded);
-  } else {
-    auto records = ReadNetflowV5File(netflow_path);
-    if (!records.ok()) {
-      std::fprintf(stderr, "cannot load netflow: %s\n",
-                   records.status().ToString().c_str());
-      return false;
-    }
-    NetflowReadOptions opts;
-    opts.protocol_filter =
-        static_cast<uint8_t>(args.GetInt("protocol", 6));
-    events = NetflowToEvents(*records, ws.interner, opts);
-  }
+  if (!LoadEvents(args, ws.interner, events)) return false;
   uint64_t window_length = args.GetInt("window-length", 86400);
   TraceWindower windower(ws.interner.size(), window_length);
   ws.windows = windower.Split(events);
@@ -337,6 +411,206 @@ int RunAnomalies(const Args& args, Workspace& ws) {
   return 0;
 }
 
+/// Order-sensitive digest of the event stream. Stored in every checkpoint
+/// so a restore against a different (edited, re-generated) input is
+/// detected as stale instead of silently resuming mid-stream.
+uint64_t FingerprintEvents(const std::vector<TraceEvent>& events) {
+  uint64_t h = SplitMix64(0x5160 ^ events.size());
+  for (const TraceEvent& e : events) {
+    h = SplitMix64(h ^ e.src);
+    h = SplitMix64(h ^ e.dst);
+    h = SplitMix64(h ^ e.time);
+    uint64_t w = 0;
+    std::memcpy(&w, &e.weight, sizeof(w));
+    h = SplitMix64(h ^ w);
+  }
+  return h;
+}
+
+int RunStream(const Args& args) {
+  Interner interner;
+  std::vector<TraceEvent> events;
+  if (!LoadEvents(args, interner, events)) return 1;
+  const size_t k = args.GetInt("k", 10);
+  const uint64_t every = args.GetInt("checkpoint-every", 10000);
+  const uint64_t kill_after = args.GetInt("kill-after", 0);
+  const std::string ckpt_dir = args.Get("checkpoint-dir", "");
+
+  std::vector<NodeId> focal;
+  {
+    std::vector<bool> is_src(interner.size(), false);
+    for (const TraceEvent& e : events) {
+      if (e.src < is_src.size()) is_src[e.src] = true;
+    }
+    for (NodeId v = 0; v < is_src.size(); ++v) {
+      if (is_src[v]) focal.push_back(v);
+    }
+  }
+
+  StreamingSignatureBuilder::Options opts;
+  opts.seed = args.GetInt("seed", 0xc0de);
+  const uint64_t fingerprint = FingerprintEvents(events);
+
+  std::unique_ptr<CheckpointManager> manager;
+  std::unique_ptr<StreamingSignatureBuilder> builder;
+  uint64_t start = 0;
+  if (!ckpt_dir.empty()) {
+    manager = std::make_unique<CheckpointManager>(ckpt_dir);
+    auto loaded = manager->LoadLatest();
+    if (loaded.ok()) {
+      if (loaded->corrupt_skipped > 0) {
+        std::fprintf(stderr,
+                     "skipped %zu corrupt checkpoint(s), using seq=%llu\n",
+                     loaded->corrupt_skipped,
+                     static_cast<unsigned long long>(loaded->sequence));
+      }
+      ByteReader in(loaded->payload);
+      auto ckpt_fp = in.U64();
+      auto consumed = in.U64();
+      if (!ckpt_fp.ok() || !consumed.ok()) {
+        std::fprintf(stderr, "checkpoint payload unreadable, starting fresh\n");
+      } else if (*ckpt_fp != fingerprint || *consumed > events.size()) {
+        std::fprintf(stderr,
+                     "checkpoint is stale (input changed), starting fresh\n");
+      } else {
+        auto restored = StreamingSignatureBuilder::FromBytes(in);
+        if (restored.ok() && in.AtEnd()) {
+          builder = std::make_unique<StreamingSignatureBuilder>(
+              *std::move(restored));
+          start = *consumed;
+          std::fprintf(stderr,
+                       "restored checkpoint: resuming at event %llu/%zu\n",
+                       static_cast<unsigned long long>(start), events.size());
+        } else {
+          std::fprintf(stderr, "checkpoint payload invalid (%s), starting "
+                       "fresh\n",
+                       restored.ok() ? "trailing bytes"
+                                     : restored.status().ToString().c_str());
+        }
+      }
+    } else if (!loaded.status().IsNotFound()) {
+      std::fprintf(stderr, "checkpoint restore failed: %s — starting fresh\n",
+                   loaded.status().ToString().c_str());
+    }
+  }
+  if (builder == nullptr) {
+    builder = std::make_unique<StreamingSignatureBuilder>(focal, opts);
+  }
+
+  auto save = [&](uint64_t consumed) {
+    ByteWriter out;
+    out.PutU64(fingerprint);
+    out.PutU64(consumed);
+    builder->AppendTo(out);
+    Status s = manager->Save(consumed, out.bytes());
+    if (!s.ok()) {
+      std::fprintf(stderr, "checkpoint save failed: %s\n",
+                   s.ToString().c_str());
+    }
+  };
+
+  uint64_t processed_this_run = 0;
+  for (uint64_t i = start; i < events.size(); ++i) {
+    builder->Observe(events[i]);
+    ++processed_this_run;
+    // Cadence keyed to the absolute stream position, so a restored run
+    // checkpoints at the same offsets as an uninterrupted one.
+    if (manager != nullptr && every > 0 && (i + 1) % every == 0) {
+      save(i + 1);
+    }
+    if (kill_after > 0 && processed_this_run >= kill_after &&
+        i + 1 < events.size()) {
+      std::fprintf(stderr,
+                   "kill-after: simulated crash at event %llu/%zu\n",
+                   static_cast<unsigned long long>(i + 1), events.size());
+      return 3;
+    }
+  }
+  if (manager != nullptr && start < events.size()) {
+    save(events.size());
+  }
+
+  for (NodeId v : focal) {
+    Signature tt = builder->TopTalkers(v, k);
+    Signature ut = builder->UnexpectedTalkers(v, k);
+    std::printf("%s\ttt\t%s\n", interner.LabelOf(v).c_str(),
+                tt.ToString(interner).c_str());
+    std::printf("%s\tut\t%s\n", interner.LabelOf(v).c_str(),
+                ut.ToString(interner).c_str());
+  }
+  std::fprintf(stderr, "streamed %llu event(s) this run, %llu total\n",
+               static_cast<unsigned long long>(processed_this_run),
+               static_cast<unsigned long long>(builder->events_observed()));
+  return 0;
+}
+
+int RunFaultcheck(const Args& args) {
+  Interner interner;
+  std::vector<TraceEvent> events;
+  if (!LoadEvents(args, interner, events)) return 1;
+  const double fraction = args.GetDouble("fraction", 0.01);
+  const double max_drift = args.GetDouble("max-drift", 0.25);
+  const size_t k = args.GetInt("k", 10);
+  const uint64_t window_length = args.GetInt("window-length", 86400);
+
+  FaultInjector::Options fopts;
+  fopts.seed = args.GetInt("seed", 1);
+  fopts.p_drop = fraction;
+  fopts.p_duplicate = fraction;
+  fopts.p_corrupt_weight = fraction;
+  fopts.p_corrupt_time = fraction;
+  fopts.p_swap = fraction;
+  FaultInjector injector(fopts);
+  std::vector<TraceEvent> perturbed = injector.PerturbEvents(events);
+  std::fprintf(stderr, "injected faults: %s\n",
+               injector.report().ToString().c_str());
+
+  TraceWindower windower(interner.size(), window_length);
+  std::vector<CommGraph> clean = windower.Split(events);
+  std::vector<CommGraph> dirty = windower.Split(perturbed);
+  if (clean.empty() || dirty.empty()) {
+    std::fprintf(stderr, "trace produced no windows\n");
+    return 1;
+  }
+  const CommGraph& g0 = clean[0];
+  const CommGraph& g1 = dirty[0];
+
+  std::vector<NodeId> focal;
+  for (NodeId v = 0; v < g0.NumNodes(); ++v) {
+    if (g0.OutDegree(v) > 0) focal.push_back(v);
+  }
+
+  SignatureDistance jaccard(DistanceKind::kJaccard);
+  int rc = 0;
+  for (const char* spec : {"tt", "ut", "rwr(c=0.1,h=3)", "rwr(c=0.1)"}) {
+    SchemeOptions scheme_opts;
+    scheme_opts.k = k;
+    auto scheme = CreateScheme(spec, scheme_opts);
+    if (!scheme.ok()) {
+      std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+      return 1;
+    }
+    double sum = 0.0;
+    size_t n = 0;
+    for (NodeId v : focal) {
+      Signature a = (*scheme)->Compute(g0, v);
+      Signature b = (*scheme)->Compute(g1, v);
+      if (a.empty() && b.empty()) continue;
+      sum += jaccard(a, b);
+      ++n;
+    }
+    const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    std::printf("%-16s mean Dist_Jac drift over %zu focal node(s): %.4f\n",
+                (*scheme)->name().c_str(), n, mean);
+    if (mean > max_drift) {
+      std::printf("%-16s drift %.4f exceeds --max-drift %.4f\n",
+                  (*scheme)->name().c_str(), mean, max_drift);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 /// Writes the requested observability artifacts after a command ran.
 void ExportObservability(const Args& args) {
   std::string metrics_out = args.Get("metrics-out", "");
@@ -374,6 +648,14 @@ int Main(int argc, char** argv) {
   obs::PreRegisterCoreMetrics();
   if (!args.Get("trace-out", "").empty()) {
     obs::TraceCollector::Global().SetEnabled(true);
+  }
+
+  // stream and faultcheck manage their own event loading (they need the
+  // raw stream, not the windowed Workspace).
+  if (args.command == "stream" || args.command == "faultcheck") {
+    int rc = args.command == "stream" ? RunStream(args) : RunFaultcheck(args);
+    ExportObservability(args);
+    return rc;
   }
 
   Workspace ws;
