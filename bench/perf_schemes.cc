@@ -2,6 +2,9 @@
 // size and signature length. Uses google-benchmark; run with --benchmark_*
 // flags as usual.
 
+#include <mutex>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
@@ -14,10 +17,15 @@
 namespace commsig::bench {
 namespace {
 
-// Cache one dataset per external-population size.
+// Cache one dataset per external-population size. Mutex-guarded: benchmark
+// registration is single-threaded, but --benchmark_enable_random_interleaving
+// (and multi-threaded benchmarks generally) may run setup code concurrently,
+// and unordered_map insertion is not. Value references stay stable across
+// rehashes, so returning them from under the lock is safe.
 const FlowDataset& DatasetFor(size_t externals) {
-  static auto* cache =
-      new std::unordered_map<size_t, FlowDataset>();
+  static std::mutex mutex;
+  static auto* cache = new std::unordered_map<size_t, FlowDataset>();
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = cache->find(externals);
   if (it == cache->end()) {
     FlowGeneratorConfig cfg;
@@ -30,33 +38,33 @@ const FlowDataset& DatasetFor(size_t externals) {
   return it->second;
 }
 
-void BM_TopTalkers(benchmark::State& state) {
-  const FlowDataset& ds = DatasetFor(state.range(0));
+// The shared shape of every single-source scheme bench: rotate Compute over
+// the monitored local hosts, one signature per benchmark iteration.
+void RunSingleSourceLoop(benchmark::State& state,
+                         const SignatureScheme& scheme,
+                         const FlowDataset& ds) {
   auto windows = ds.Windows();
-  TopTalkersScheme tt({.k = static_cast<size_t>(state.range(1))});
   size_t host = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        tt.Compute(windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
+        scheme.Compute(windows[0],
+                       ds.local_hosts[host % ds.local_hosts.size()]));
     ++host;
   }
   state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TopTalkers(benchmark::State& state) {
+  TopTalkersScheme tt({.k = static_cast<size_t>(state.range(1))});
+  RunSingleSourceLoop(state, tt, DatasetFor(state.range(0)));
 }
 BENCHMARK(BM_TopTalkers)
     ->ArgsProduct({{5000, 20000}, {5, 10, 20}})
     ->ArgNames({"externals", "k"});
 
 void BM_UnexpectedTalkers(benchmark::State& state) {
-  const FlowDataset& ds = DatasetFor(state.range(0));
-  auto windows = ds.Windows();
   UnexpectedTalkersScheme ut({.k = 10}, UtWeighting::kInverseInDegree);
-  size_t host = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        ut.Compute(windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
-    ++host;
-  }
-  state.SetItemsProcessed(state.iterations());
+  RunSingleSourceLoop(state, ut, DatasetFor(state.range(0)));
 }
 BENCHMARK(BM_UnexpectedTalkers)
     ->Args({5000})
@@ -64,59 +72,98 @@ BENCHMARK(BM_UnexpectedTalkers)
     ->ArgNames({"externals"});
 
 void BM_RwrTruncated(benchmark::State& state) {
-  const FlowDataset& ds = DatasetFor(20000);
-  auto windows = ds.Windows();
   RwrScheme rwr({.k = 10},
                 {.reset = 0.1,
                  .max_hops = static_cast<size_t>(state.range(0))});
-  size_t host = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rwr.Compute(
-        windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
-    ++host;
-  }
-  state.SetItemsProcessed(state.iterations());
+  RunSingleSourceLoop(state, rwr, DatasetFor(20000));
 }
 BENCHMARK(BM_RwrTruncated)->Arg(1)->Arg(3)->Arg(5)->Arg(7)->ArgNames({"h"});
 
 void BM_RwrPush(benchmark::State& state) {
   // Local forward-push vs whole-graph power iteration (BM_RwrUnbounded):
   // work scales with 1/(c·eps), not with |V|+|E|.
-  const FlowDataset& ds = DatasetFor(20000);
-  auto windows = ds.Windows();
   double eps = 1.0;
   for (int i = 0; i < state.range(0); ++i) eps /= 10.0;
   RwrPushScheme push({.k = 10}, {.reset = 0.1, .epsilon = eps});
-  size_t host = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(push.Compute(
-        windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
-    ++host;
-  }
-  state.SetItemsProcessed(state.iterations());
+  RunSingleSourceLoop(state, push, DatasetFor(20000));
   state.SetLabel("eps=1e-" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_RwrPush)->Arg(3)->Arg(5)->Arg(7)->ArgNames({"neg_log_eps"});
 
 void BM_RwrUnbounded(benchmark::State& state) {
-  const FlowDataset& ds = DatasetFor(5000);
-  auto windows = ds.Windows();
   RwrScheme rwr({.k = 10}, {.reset = 0.1, .max_hops = 0});
-  size_t host = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rwr.Compute(
-        windows[0], ds.local_hosts[host % ds.local_hosts.size()]));
-    ++host;
-  }
-  state.SetItemsProcessed(state.iterations());
+  RunSingleSourceLoop(state, rwr, DatasetFor(5000));
 }
 BENCHMARK(BM_RwrUnbounded);
+
+// Whole-population sweep (signatures for every local host) through the
+// batched engine: one graph scan amortized over each 16-source window,
+// frontier-sparse truncated hops. items/sec counts host signatures.
+void BM_RwrBatch(benchmark::State& state) {
+  const FlowDataset& ds = DatasetFor(state.range(0));
+  auto windows = ds.Windows();
+  RwrScheme rwr({.k = 10},
+                {.reset = 0.1,
+                 .max_hops = static_cast<size_t>(state.range(1))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rwr.ComputeAll(windows[0], ds.local_hosts));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.local_hosts.size());
+}
+BENCHMARK(BM_RwrBatch)
+    ->ArgsProduct({{5000, 20000}, {1, 3, 5, 7}})
+    ->Args({5000, 0})  // unbounded walk, kept off the 20k graph for time
+    ->ArgNames({"externals", "h"});
+
+// The headline comparison, measured in one run: all-hosts RWR^3 signatures
+// on the 20k-external window, per-source baseline (batched:0, the
+// pre-batching path looping Compute) vs the batched engine (batched:1).
+// perf_schemes' main() derives the speedup gauge from these two rows.
+void BM_RwrAllNodes(benchmark::State& state) {
+  const FlowDataset& ds = DatasetFor(20000);
+  auto windows = ds.Windows();
+  const bool batched = state.range(0) == 1;
+  RwrScheme rwr({.k = 10}, {.reset = 0.1, .max_hops = 3});
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(rwr.ComputeAll(windows[0], ds.local_hosts));
+    } else {
+      std::vector<Signature> sigs;
+      sigs.reserve(ds.local_hosts.size());
+      for (NodeId v : ds.local_hosts) {
+        sigs.push_back(rwr.Compute(windows[0], v));
+      }
+      benchmark::DoNotOptimize(sigs);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * ds.local_hosts.size());
+  state.SetLabel(batched ? "batched" : "per-source");
+}
+BENCHMARK(BM_RwrAllNodes)->Arg(0)->Arg(1)->ArgNames({"batched"});
 
 }  // namespace
 }  // namespace commsig::bench
 
 int main(int argc, char** argv) {
-  // Ops/sec lands in the metrics registry and BENCH_schemes.json (perf
-  // trajectory) instead of only the console table.
-  return commsig::bench::BenchMain(argc, argv, "schemes");
+  // Ops/sec lands in the metrics registry and the BENCH_*.json snapshots
+  // (perf trajectory) instead of only the console table.
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  commsig::bench::RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // Derived gauge: the all-hosts sweep speedup measured within this run
+  // (per-source baseline time / batched time), the number the batched
+  // engine is accountable for across the bench trajectory.
+  auto& reg = commsig::obs::MetricsRegistry::Global();
+  const double serial =
+      reg.GetGauge("bench/BM_RwrAllNodes/batched:0/real_time_ns").Value();
+  const double batched =
+      reg.GetGauge("bench/BM_RwrAllNodes/batched:1/real_time_ns").Value();
+  if (serial > 0.0 && batched > 0.0) {
+    reg.GetGauge("rwr_batch/all_nodes_speedup").Set(serial / batched);
+  }
+  commsig::bench::WriteBenchSnapshot("schemes");
+  commsig::bench::WriteBenchSnapshot("rwr_batch");
+  return 0;
 }

@@ -1,6 +1,9 @@
 #include "core/parallel.h"
 
+#include <cmath>
+
 #include "core/distance.h"
+#include "core/rwr_batch.h"
 #include "obs/obs.h"
 
 namespace commsig {
@@ -11,8 +14,19 @@ std::vector<Signature> ComputeAllParallel(const SignatureScheme& scheme,
                                           ThreadPool& pool) {
   COMMSIG_SPAN("signature/compute_all");
   std::vector<Signature> out(nodes.size());
-  ParallelFor(pool, nodes.size(), [&](size_t i) {
-    out[i] = scheme.Compute(g, nodes[i]);
+  if (nodes.empty()) return out;
+  // Hand each worker a window of sources, not a single node: schemes with a
+  // batched ComputeAll (RWR's block power iteration) amortize one graph
+  // scan over the whole window, and schemes without one just run their
+  // serial loop over the chunk — identical results either way.
+  const size_t chunk = RwrBatchEngine::kDefaultBatchWidth;
+  const size_t num_chunks = (nodes.size() + chunk - 1) / chunk;
+  ParallelFor(pool, num_chunks, [&](size_t ci) {
+    const size_t begin = ci * chunk;
+    const size_t count = std::min(chunk, nodes.size() - begin);
+    std::vector<Signature> sigs =
+        scheme.ComputeAll(g, nodes.subspan(begin, count));
+    for (size_t j = 0; j < count; ++j) out[begin + j] = std::move(sigs[j]);
   });
   return out;
 }
@@ -22,14 +36,29 @@ std::vector<double> PairwiseDistancesParallel(
     ThreadPool& pool) {
   COMMSIG_SPAN("distance/pairwise_scan");
   const size_t n = sigs.size();
-  COMMSIG_COUNTER_ADD("distance/pairwise_pairs", n * (n - 1) / 2);
   std::vector<double> matrix(n * n, 0.0);
-  ParallelFor(pool, n, [&](size_t i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      double d = dist(sigs[i], sigs[j]);
-      matrix[i * n + j] = d;
-      matrix[j * n + i] = d;
-    }
+  if (n < 2) return matrix;
+  const size_t pairs = n * (n - 1) / 2;
+  COMMSIG_COUNTER_ADD("distance/pairwise_pairs", pairs);
+  // Each unordered pair is evaluated once and mirrored into both triangles.
+  // Parallelizing over the flattened upper-triangle index space (instead of
+  // over rows, where row i carries n-i-1 evaluations and the tail rows
+  // almost none) keeps every worker chunk the same size.
+  ParallelFor(pool, pairs, [&](size_t p) {
+    // Invert p = i*(2n-i-1)/2 + (j-i-1): rows_before(i) <= p has the
+    // closed-form root below; the loops absorb floating-point slack.
+    auto rows_before = [n](size_t i) { return i * (2 * n - i - 1) / 2; };
+    size_t i = static_cast<size_t>(
+        (2.0 * n - 1.0 -
+         std::sqrt((2.0 * n - 1.0) * (2.0 * n - 1.0) - 8.0 * p)) /
+        2.0);
+    if (i >= n - 1) i = n - 2;
+    while (i > 0 && rows_before(i) > p) --i;
+    while (rows_before(i + 1) <= p) ++i;
+    const size_t j = i + 1 + (p - rows_before(i));
+    const double d = dist(sigs[i], sigs[j]);
+    matrix[i * n + j] = d;
+    matrix[j * n + i] = d;
   });
   return matrix;
 }

@@ -11,9 +11,12 @@
 namespace commsig {
 
 /// Parallel counterpart of SignatureScheme::ComputeAll: computes the
-/// signatures of `nodes` across the pool's workers. Safe because schemes
-/// are immutable and Compute is const with no shared mutable state.
-/// Results are index-aligned with `nodes`, identical to the serial path.
+/// signatures of `nodes` across the pool's workers, handing each worker a
+/// batch-width window of sources so batched schemes (RWR's block power
+/// iteration) amortize their per-window setup and graph scans. Safe because
+/// schemes are immutable and Compute/ComputeAll are const with no shared
+/// mutable state. Results are index-aligned with `nodes`, identical to the
+/// serial path (bit-identical for RWR^h).
 std::vector<Signature> ComputeAllParallel(const SignatureScheme& scheme,
                                           const CommGraph& g,
                                           std::span<const NodeId> nodes,
@@ -21,6 +24,8 @@ std::vector<Signature> ComputeAllParallel(const SignatureScheme& scheme,
 
 /// Parallel pairwise distance matrix (row-major n x n, zero diagonal) —
 /// the inner loop of uniqueness scans and multiusage detection at scale.
+/// Evaluates each unordered pair once (upper triangle, mirrored), and
+/// balances the triangle across workers by flattening the pair index space.
 std::vector<double> PairwiseDistancesParallel(
     std::span<const Signature> sigs, SignatureDistance dist,
     ThreadPool& pool);

@@ -1,9 +1,12 @@
 #include "core/rwr.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
+#include "core/rwr_batch.h"
 #include "obs/obs.h"
 
 namespace commsig {
@@ -38,17 +41,21 @@ std::vector<double> RwrScheme::StationaryVector(const CommGraph& g,
 }
 
 RwrScheme::RwrSolve RwrScheme::Solve(const CommGraph& g, NodeId v) const {
+  return Solve(g, v, TransitionCache(g, rwr_.traversal));
+}
+
+RwrScheme::RwrSolve RwrScheme::Solve(const CommGraph& g, NodeId v,
+                                     const TransitionCache& cache) const {
   const size_t n = g.NumNodes();
   const bool symmetric = rwr_.traversal == TraversalMode::kSymmetric;
   const double c = rwr_.reset;
 
-  // Total traversable weight per node (the row normalizer of P).
-  std::vector<double> norm(n, 0.0);
-  for (NodeId x = 0; x < n; ++x) {
-    norm[x] = g.OutWeight(x) + (symmetric ? g.InWeight(x) : 0.0);
-  }
-
-  std::vector<double> r(n, 0.0), next(n, 0.0);
+  std::vector<double> r(n, 0.0);
+  // Scratch survives across calls: an all-hosts sweep allocates the result
+  // vector only, not a second O(n) buffer per solve.
+  thread_local std::vector<double> scratch;
+  scratch.assign(n, 0.0);
+  std::vector<double>& next = scratch;
   r[v] = 1.0;
 
   COMMSIG_SPAN("rwr/iterate");
@@ -60,17 +67,26 @@ RwrScheme::RwrSolve RwrScheme::Solve(const CommGraph& g, NodeId v) const {
   for (size_t iter = 0; iter < iterations; ++iter) {
     ++iterations_run;
     std::fill(next.begin(), next.end(), 0.0);
+    // Walking mass (the reset-tax base) and dangling mass are accumulated
+    // inside the scatter scan — the old separate all-n rescan per iteration
+    // summed exactly the same terms in the same order.
+    double walked = 0.0;
     double dangling = 0.0;
     for (NodeId x = 0; x < n; ++x) {
       const double mass = r[x];
       if (mass == 0.0) continue;
-      if (norm[x] <= 0.0) {
+      if (!cache.walkable(x)) {
         // Nodes with no traversable edges return their mass to the start
         // node, preserving a total probability of 1.
         dangling += mass;
         continue;
       }
-      const double scale = (1.0 - c) * mass / norm[x];
+      walked += mass;
+      // Multiply by the cached reciprocal instead of dividing — the same
+      // two-multiply expression the batched engine uses, which keeps the
+      // two paths bit-identical while removing the division that dominated
+      // the inner loop's arithmetic cost.
+      const double scale = mass * ((1.0 - c) * cache.inv_norm(x));
       for (const Edge& e : g.OutEdges(x)) {
         next[e.node] += scale * e.weight;
       }
@@ -82,10 +98,6 @@ RwrScheme::RwrSolve RwrScheme::Solve(const CommGraph& g, NodeId v) const {
     }
     // Reset mass: c from every walking node, plus everything a dangling
     // node would have carried.
-    double walked = 0.0;
-    for (NodeId x = 0; x < n; ++x) {
-      if (norm[x] > 0.0) walked += r[x];
-    }
     next[v] += c * walked + dangling;
 
     if (rwr_.max_hops == 0) {
@@ -109,6 +121,40 @@ RwrScheme::RwrSolve RwrScheme::Solve(const CommGraph& g, NodeId v) const {
   return {std::move(r), converged, last_residual, iterations_run};
 }
 
+Signature RwrScheme::SignatureFromVector(const CommGraph& g, NodeId v,
+                                         const std::vector<double>& r) const {
+  std::vector<Signature::Entry> candidates;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (r[u] <= 0.0) continue;
+    if (!KeepCandidate(g, v, u)) continue;
+    candidates.push_back({u, r[u]});
+  }
+  return Signature::FromTopK(std::move(candidates), options_.k);
+}
+
+Signature RwrScheme::SignatureFromSupport(
+    const CommGraph& g, NodeId v,
+    std::span<const Signature::Entry> support) const {
+  // Streaming selection with the Definition-1 filter fused in (the
+  // partition test hoisted out of the loop): no candidate vector, no
+  // partitioning pass. Selects the same top-k set FromTopK would.
+  Signature::TopKSelector selector(options_.k);
+  const bool restrict_partition =
+      options_.restrict_to_opposite_partition && g.bipartite().IsBipartite();
+  if (restrict_partition) {
+    const bool focal_left = g.InLeftPartition(v);
+    for (const Signature::Entry& e : support) {
+      if (e.node == v || g.InLeftPartition(e.node) == focal_left) continue;
+      selector.Offer(e);
+    }
+  } else {
+    for (const Signature::Entry& e : support) {
+      if (e.node != v) selector.Offer(e);
+    }
+  }
+  return selector.Take();
+}
+
 Signature RwrScheme::Compute(const CommGraph& g, NodeId v) const {
   RwrSolve solve = Solve(g, v);
   if (!solve.converged && rwr_.fallback_hops > 0) {
@@ -121,15 +167,65 @@ Signature RwrScheme::Compute(const CommGraph& g, NodeId v) const {
     truncated.max_hops = rwr_.fallback_hops;
     solve = RwrScheme(options_, truncated).Solve(g, v);
   }
-  const std::vector<double>& r = solve.probabilities;
+  return SignatureFromVector(g, v, solve.probabilities);
+}
 
-  std::vector<Signature::Entry> candidates;
-  for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    if (r[u] <= 0.0) continue;
-    if (!KeepCandidate(g, v, u)) continue;
-    candidates.push_back({u, r[u]});
+std::vector<Signature> RwrScheme::ComputeAll(
+    const CommGraph& g, std::span<const NodeId> nodes) const {
+  std::vector<Signature> out(nodes.size());
+  if (nodes.empty()) return out;
+  COMMSIG_SPAN("rwr/compute_all_batched");
+
+  // One normalizer/partition derivation for the whole sweep, shared by the
+  // main engine and the fallback ladder.
+  TransitionCache cache(g, rwr_.traversal);
+  RwrBatchEngine engine(rwr_, cache);
+  RwrBatchWorkspace& ws = RwrBatchEngine::LocalWorkspace();
+
+  RwrOptions truncated = rwr_;
+  truncated.max_hops = rwr_.fallback_hops;
+  RwrBatchEngine fallback_engine(truncated, cache);
+
+  // Support-sparse result buffers (nonzero entries per column), reused
+  // across batches so the sweep never materializes n-length vectors.
+  std::vector<Signature::Entry> entries, retry_entries;
+  std::vector<std::pair<size_t, size_t>> ranges, retry_ranges;
+  std::vector<uint8_t> converged, retry_converged;
+  std::vector<NodeId> retry_sources;
+
+  const bool use_fallback = rwr_.max_hops == 0 && rwr_.fallback_hops > 0;
+  const size_t width = RwrBatchEngine::kDefaultBatchWidth;
+  for (size_t begin = 0; begin < nodes.size(); begin += width) {
+    const size_t count = std::min(width, nodes.size() - begin);
+    std::span<const NodeId> batch = nodes.subspan(begin, count);
+    engine.SolveBatchSupport(batch, ws, entries, ranges, converged);
+
+    if (use_fallback) {
+      // Same degradation ladder as Compute, applied per column: re-solve
+      // only the unconverged sources as a truncated sub-batch.
+      retry_sources.clear();
+      for (size_t b = 0; b < count; ++b) {
+        if (!converged[b]) retry_sources.push_back(batch[b]);
+      }
+      if (!retry_sources.empty()) {
+        COMMSIG_COUNTER_ADD("robust/rwr_fallbacks", retry_sources.size());
+        fallback_engine.SolveBatchSupport(retry_sources, ws, retry_entries,
+                                          retry_ranges, retry_converged);
+      }
+    }
+
+    size_t ri = 0;
+    for (size_t b = 0; b < count; ++b) {
+      const bool retried = use_fallback && !converged[b];
+      const auto [start, end] = retried ? retry_ranges[ri++] : ranges[b];
+      const Signature::Entry* base =
+          retried ? retry_entries.data() : entries.data();
+      out[begin + b] = SignatureFromSupport(
+          g, batch[b], std::span<const Signature::Entry>(base + start,
+                                                         end - start));
+    }
   }
-  return Signature::FromTopK(std::move(candidates), options_.k);
+  return out;
 }
 
 std::unique_ptr<SignatureScheme> MakeRwr(SchemeOptions options,

@@ -8,6 +8,8 @@
 
 namespace commsig {
 
+class TransitionCache;
+
 /// Random Walk with Resets (paper Definition 5): the signature of `i` holds
 /// the k nodes with the largest steady-state occupancy probability of a
 /// random walk that follows edges with probability proportional to edge
@@ -48,8 +50,24 @@ class RwrScheme final : public SignatureScheme {
   /// `robust/rwr_fallbacks`) instead of using the unconverged vector.
   Signature Compute(const CommGraph& g, NodeId v) const override;
 
+  /// Batched override: windows `nodes` through the block power iteration of
+  /// RwrBatchEngine (one graph scan amortized over a batch of sources,
+  /// frontier-sparse truncated walks) instead of solving per node. Results
+  /// are bit-identical to per-node Compute for RWR^h and match within
+  /// solver tolerance for unbounded walks; the unconverged-column fallback
+  /// ladder behaves exactly like Compute's.
+  std::vector<Signature> ComputeAll(
+      const CommGraph& g, std::span<const NodeId> nodes) const override;
+
   /// Runs the power iteration and reports convergence explicitly.
   RwrSolve Solve(const CommGraph& g, NodeId v) const;
+
+  /// Like Solve(g, v) but reuses a prebuilt TransitionCache (row
+  /// normalizers + dangling partition) instead of re-deriving it — the
+  /// amortized form for many solves on one window. `cache` must have been
+  /// built from `g` with rwr_options().traversal.
+  RwrSolve Solve(const CommGraph& g, NodeId v,
+                 const TransitionCache& cache) const;
 
   /// Exposes the full occupancy-probability vector for node `v` (before
   /// top-k truncation). Probabilities sum to 1; index = node id. Used by
@@ -60,6 +78,20 @@ class RwrScheme final : public SignatureScheme {
   const RwrOptions& rwr_options() const { return rwr_; }
 
  private:
+  /// Top-k extraction from a dense occupancy vector: applies the
+  /// Definition-1 candidate filter, then Signature::FromTopK.
+  Signature SignatureFromVector(const CommGraph& g, NodeId v,
+                                const std::vector<double>& r) const;
+
+  /// Same extraction from a sparse support list (nonzero entries ascending
+  /// by node id), as produced by RwrBatchEngine::SolveBatchSupport. Skips
+  /// the O(n) rescan per focal node, which dominates all-hosts sweeps on
+  /// windows whose walk support is far below n. Candidate order matches
+  /// SignatureFromVector's ascending scan, so results are identical.
+  Signature SignatureFromSupport(
+      const CommGraph& g, NodeId v,
+      std::span<const Signature::Entry> support) const;
+
   RwrOptions rwr_;
 };
 

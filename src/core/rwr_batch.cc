@@ -1,0 +1,423 @@
+#include "core/rwr_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace commsig {
+
+TransitionCache::TransitionCache(const CommGraph& g, TraversalMode mode)
+    : graph_(&g), mode_(mode) {
+  const size_t n = g.NumNodes();
+  norm_.resize(n);
+  inv_norm_.resize(n);
+  walkable_.resize(n);
+  const bool symmetric = mode == TraversalMode::kSymmetric;
+  for (NodeId x = 0; x < n; ++x) {
+    const double w = g.OutWeight(x) + (symmetric ? g.InWeight(x) : 0.0);
+    norm_[x] = w;
+    inv_norm_[x] = w > 0.0 ? 1.0 / w : 0.0;
+    walkable_[x] = w > 0.0 ? 1 : 0;
+    num_walkable_ += walkable_[x];
+  }
+}
+
+void RwrBatchWorkspace::Prepare(size_t n, size_t width) {
+  const size_t cells = n * width;
+  // The dense state is restored to all-zero at the end of every solve, so
+  // reuse at an unchanged shape skips the O(n·width) refill that used to
+  // dominate small-h batches.
+  if (r.size() != cells) r.assign(cells, 0.0);
+  if (next.size() != cells) next.assign(cells, 0.0);
+  if (in_next.size() != n) in_next.assign(n, 0);
+  scale.assign(width, 0.0);
+  walked.assign(width, 0.0);
+  dangling.assign(width, 0.0);
+  delta.assign(width, 0.0);
+  last_residual.assign(width, 0.0);
+  active.assign(width, 1);
+  iterations.assign(width, 0);
+  if (lanes.size() < width) lanes.resize(width);
+  frontier.clear();
+  touched.clear();
+  dense = false;
+}
+
+RwrBatchEngine::RwrBatchEngine(const RwrOptions& opts,
+                               const TransitionCache& cache)
+    : opts_(opts), cache_(&cache) {
+  COMMSIG_CHECK(opts.traversal == cache.mode(),
+                "TransitionCache traversal mode does not match RwrOptions");
+}
+
+RwrBatchWorkspace& RwrBatchEngine::LocalWorkspace() {
+  thread_local RwrBatchWorkspace ws;
+  return ws;
+}
+
+template <typename Fn>
+void RwrBatchEngine::VisitColumn(const RwrBatchWorkspace& ws, size_t num_nodes,
+                                 size_t width, size_t b, Fn&& fn) {
+  if (ws.dense) {
+    for (size_t x = 0; x < num_nodes; ++x) {
+      const double val = ws.r[x * width + b];
+      if (val != 0.0) fn(static_cast<NodeId>(x), val);
+    }
+  } else {
+    for (NodeId x : ws.frontier) {
+      const double val = ws.r[static_cast<size_t>(x) * width + b];
+      if (val != 0.0) fn(x, val);
+    }
+  }
+}
+
+template <typename FinalizeCol, typename FinalizeRest>
+void RwrBatchEngine::Run(std::span<const NodeId> sources,
+                         RwrBatchWorkspace& ws, FinalizeCol&& on_converged,
+                         FinalizeRest&& on_done) const {
+  const CommGraph& g = cache_->graph();
+  const size_t n = g.NumNodes();
+  const size_t B = sources.size();
+  if (B == 0 || n == 0) return;
+
+  COMMSIG_SPAN("rwr/batch_solve");
+  ws.Prepare(n, B);
+
+  const double c = opts_.reset;
+  const bool symmetric = opts_.traversal == TraversalMode::kSymmetric;
+  const bool truncated = opts_.max_hops > 0;
+  const size_t max_iters = truncated ? opts_.max_hops : opts_.max_iterations;
+  // Frontier bookkeeping stops paying for itself once most rows are live.
+  const size_t dense_threshold = n / 4;
+
+  // Seed each column with unit mass at its source; the initial frontier is
+  // the sorted, deduplicated source set.
+  for (size_t b = 0; b < B; ++b) {
+    COMMSIG_CHECK(sources[b] < n, "RWR source out of range");
+    ws.r[static_cast<size_t>(sources[b]) * B + b] = 1.0;
+    if (!ws.in_next[sources[b]]) {
+      ws.in_next[sources[b]] = 1;
+      ws.frontier.push_back(sources[b]);
+    }
+  }
+  std::sort(ws.frontier.begin(), ws.frontier.end());
+  for (NodeId x : ws.frontier) ws.in_next[x] = 0;
+
+  size_t active_count = B;
+
+  // One row of the scatter: mass at x either returns to the sources
+  // (dangling) or spreads along x's traversable edges. Rows where only a
+  // few columns are live — the common case on early frontier hops, where
+  // each row carries mass for one or two sources — take a scalar
+  // per-column path; rows most columns share take the contiguous B-wide
+  // multiply-add, which vectorizes. Either way each column adds the same
+  // terms in the same edge order as the serial path (RWR^h bit-identity).
+  auto scatter_row = [&](NodeId x, bool track) {
+    const double* mass = &ws.r[static_cast<size_t>(x) * B];
+    if (!cache_->walkable(x)) {
+      // Accumulating an all-zero row adds 0.0 everywhere — harmless, so no
+      // occupancy pre-check is needed on this branch.
+      for (size_t b = 0; b < B; ++b) ws.dangling[b] += mass[b];
+      return;
+    }
+    uint32_t* lanes = ws.lanes.data();
+    size_t live = 0;
+    for (size_t b = 0; b < B; ++b) {
+      if (mass[b] != 0.0) lanes[live++] = static_cast<uint32_t>(b);
+    }
+    if (live == 0) return;
+    const double row_scale = (1.0 - c) * cache_->inv_norm(x);
+    if (live * 2 <= B) {
+      // Few live lanes: per-lane scalar work proportional to `live`
+      // instead of B. The walked adds skip the all-zero lanes — adding 0.0
+      // is an FP identity here, so this matches the full-width path
+      // bit-for-bit. Touched-row tracking only needs one sweep over the
+      // edge list: every live lane scatters to the same target rows.
+      bool first = true;
+      for (size_t i = 0; i < live; ++i) {
+        const size_t b = lanes[i];
+        ws.walked[b] += mass[b];
+        const double scale_b = mass[b] * row_scale;
+        auto scatter_one = [&](std::span<const Edge> edges) {
+          for (const Edge& e : edges) {
+            if (track && first && !ws.in_next[e.node]) {
+              ws.in_next[e.node] = 1;
+              ws.touched.push_back(e.node);
+            }
+            ws.next[static_cast<size_t>(e.node) * B + b] += scale_b * e.weight;
+          }
+        };
+        scatter_one(g.OutEdges(x));
+        if (symmetric) scatter_one(g.InEdges(x));
+        first = false;
+      }
+      return;
+    }
+    for (size_t b = 0; b < B; ++b) {
+      ws.walked[b] += mass[b];
+      ws.scale[b] = mass[b] * row_scale;
+    }
+    auto scatter_edges = [&](std::span<const Edge> edges) {
+      for (const Edge& e : edges) {
+        if (track && !ws.in_next[e.node]) {
+          ws.in_next[e.node] = 1;
+          ws.touched.push_back(e.node);
+        }
+        double* row = &ws.next[static_cast<size_t>(e.node) * B];
+        const double w = e.weight;
+        for (size_t b = 0; b < B; ++b) row[b] += ws.scale[b] * w;
+      }
+    };
+    scatter_edges(g.OutEdges(x));
+    if (symmetric) scatter_edges(g.InEdges(x));
+  };
+
+  size_t sparse_iters = 0, dense_iters = 0, column_iters = 0;
+  for (size_t iter = 0; iter < max_iters && active_count > 0; ++iter) {
+    if (!ws.dense && ws.frontier.size() > dense_threshold) ws.dense = true;
+    column_iters += active_count;
+
+    std::fill(ws.walked.begin(), ws.walked.end(), 0.0);
+    std::fill(ws.dangling.begin(), ws.dangling.end(), 0.0);
+
+    if (ws.dense) {
+      ++dense_iters;
+      std::fill(ws.next.begin(), ws.next.end(), 0.0);
+      for (NodeId x = 0; x < n; ++x) scatter_row(x, /*track=*/false);
+    } else {
+      ++sparse_iters;
+      // `next` is all-zero here (maintained below), so the scatter only
+      // needs to mark which rows it wrote.
+      for (NodeId x : ws.frontier) scatter_row(x, /*track=*/true);
+    }
+
+    // Reset mass: c from every walking step plus everything dangling nodes
+    // carried, re-injected at each column's own source.
+    for (size_t b = 0; b < B; ++b) {
+      if (!ws.active[b]) continue;
+      const NodeId v = sources[b];
+      if (!ws.dense && !ws.in_next[v]) {
+        ws.in_next[v] = 1;
+        ws.touched.push_back(v);
+      }
+      ws.next[static_cast<size_t>(v) * B + b] +=
+          c * ws.walked[b] + ws.dangling[b];
+    }
+
+    if (!ws.dense) {
+      // The scatter order (and therefore bit-identity with the serial
+      // ascending scan) requires a sorted frontier. Large touched sets are
+      // rebuilt from the in_next bitmask with one sequential O(n) pass,
+      // which beats the O(m log m) random-access sort well before m = n/16.
+      if (ws.touched.size() > n / 16) {
+        ws.touched.clear();
+        for (NodeId x = 0; x < n; ++x) {
+          if (ws.in_next[x]) ws.touched.push_back(x);
+        }
+      } else {
+        std::sort(ws.touched.begin(), ws.touched.end());
+      }
+    }
+
+    if (!truncated) {
+      // Per-column L1 step change. Outside frontier ∪ touched both vectors
+      // are zero; walking their sorted union in ascending row order makes
+      // the summation order match the serial full scan.
+      std::fill(ws.delta.begin(), ws.delta.end(), 0.0);
+      if (ws.dense) {
+        for (size_t i = 0; i < n * B; i += B) {
+          for (size_t b = 0; b < B; ++b) {
+            ws.delta[b] += std::fabs(ws.next[i + b] - ws.r[i + b]);
+          }
+        }
+      } else {
+        size_t fi = 0, ti = 0;
+        while (fi < ws.frontier.size() || ti < ws.touched.size()) {
+          NodeId x;
+          if (ti >= ws.touched.size() ||
+              (fi < ws.frontier.size() && ws.frontier[fi] <= ws.touched[ti])) {
+            x = ws.frontier[fi];
+            if (ti < ws.touched.size() && ws.touched[ti] == x) ++ti;
+            ++fi;
+          } else {
+            x = ws.touched[ti++];
+          }
+          const size_t row = static_cast<size_t>(x) * B;
+          for (size_t b = 0; b < B; ++b) {
+            ws.delta[b] += std::fabs(ws.next[row + b] - ws.r[row + b]);
+          }
+        }
+      }
+    }
+
+    ws.r.swap(ws.next);
+    if (!ws.dense) {
+      // `next` now holds the previous state: zero its frontier rows to
+      // restore the all-zero invariant, then advance the frontier.
+      for (NodeId x : ws.frontier) {
+        double* row = &ws.next[static_cast<size_t>(x) * B];
+        for (size_t b = 0; b < B; ++b) row[b] = 0.0;
+      }
+      ws.frontier.swap(ws.touched);
+      ws.touched.clear();
+      for (NodeId x : ws.frontier) ws.in_next[x] = 0;
+    }
+
+    if (!truncated) {
+      // Convergence masking: finalize finished columns and zero them so
+      // they drop out of the remaining iterations.
+      for (size_t b = 0; b < B; ++b) {
+        if (!ws.active[b]) continue;
+        ws.last_residual[b] = ws.delta[b];
+        ws.iterations[b] = iter + 1;
+        if (ws.delta[b] < opts_.tolerance) {
+          on_converged(b, ws.delta[b], iter + 1);
+          ws.active[b] = 0;
+          --active_count;
+          if (ws.dense) {
+            for (size_t x = 0; x < n; ++x) ws.r[x * B + b] = 0.0;
+          } else {
+            for (NodeId x : ws.frontier) {
+              ws.r[static_cast<size_t>(x) * B + b] = 0.0;
+            }
+          }
+          COMMSIG_HISTOGRAM_OBSERVE("rwr/residual_at_convergence",
+                                    ws.delta[b]);
+        }
+      }
+    } else {
+      for (size_t b = 0; b < B; ++b) ws.iterations[b] = iter + 1;
+    }
+  }
+
+  // Columns still live after the cap: truncated walks converge by fiat,
+  // unbounded ones report their last residual for the caller's fallback
+  // ladder. Handed to the caller as one bulk set so it can extract all of
+  // them in a single row-major pass instead of B column-strided ones.
+  std::vector<size_t> live;
+  live.reserve(active_count);
+  for (size_t b = 0; b < B; ++b) {
+    if (!ws.active[b]) continue;
+    live.push_back(b);
+    if (!truncated) {
+      COMMSIG_HISTOGRAM_OBSERVE("rwr/residual_at_convergence",
+                                ws.last_residual[b]);
+    }
+  }
+  on_done(std::span<const size_t>(live));
+
+  // Restore the workspace's all-zero invariant so the next Prepare at this
+  // shape can skip the O(n·B) refill. In sparse mode only the frontier rows
+  // of r are live (next and in_next were re-zeroed every iteration).
+  if (ws.dense) {
+    std::fill(ws.r.begin(), ws.r.end(), 0.0);
+    std::fill(ws.next.begin(), ws.next.end(), 0.0);
+  } else {
+    for (NodeId x : ws.frontier) {
+      double* row = &ws.r[static_cast<size_t>(x) * B];
+      for (size_t b = 0; b < B; ++b) row[b] = 0.0;
+    }
+  }
+
+  COMMSIG_COUNTER_ADD("rwr/calls", B);
+  COMMSIG_COUNTER_ADD("rwr/iterations", column_iters);
+  COMMSIG_COUNTER_ADD("rwr/batch_solves", 1);
+  COMMSIG_COUNTER_ADD("rwr/batch_sparse_iterations", sparse_iters);
+  COMMSIG_COUNTER_ADD("rwr/batch_dense_iterations", dense_iters);
+}
+
+std::vector<RwrScheme::RwrSolve> RwrBatchEngine::SolveBatch(
+    std::span<const NodeId> sources) const {
+  return SolveBatch(sources, LocalWorkspace());
+}
+
+std::vector<RwrScheme::RwrSolve> RwrBatchEngine::SolveBatch(
+    std::span<const NodeId> sources, RwrBatchWorkspace& ws) const {
+  const size_t n = cache_->num_nodes();
+  const size_t B = sources.size();
+  const bool truncated = opts_.max_hops > 0;
+  std::vector<RwrScheme::RwrSolve> solves(B);
+  auto extract = [&](size_t b, bool converged, double residual, size_t iters) {
+    RwrScheme::RwrSolve& s = solves[b];
+    s.probabilities.assign(n, 0.0);
+    VisitColumn(ws, n, B, b,
+                [&](NodeId x, double val) { s.probabilities[x] = val; });
+    s.converged = converged;
+    s.residual = residual;
+    s.iterations = iters;
+  };
+  Run(sources, ws,
+      [&](size_t b, double residual, size_t iters) {
+        extract(b, /*converged=*/true, residual, iters);
+      },
+      [&](std::span<const size_t> live) {
+        for (size_t b : live) {
+          extract(b, /*converged=*/truncated,
+                  truncated ? 0.0 : ws.last_residual[b], ws.iterations[b]);
+        }
+      });
+  return solves;
+}
+
+void RwrBatchEngine::SolveBatchSupport(
+    std::span<const NodeId> sources, RwrBatchWorkspace& ws,
+    std::vector<Signature::Entry>& entries,
+    std::vector<std::pair<size_t, size_t>>& ranges,
+    std::vector<uint8_t>& converged) const {
+  const size_t n = cache_->num_nodes();
+  const size_t B = sources.size();
+  const bool truncated = opts_.max_hops > 0;
+  entries.clear();
+  ranges.assign(B, {0, 0});
+  converged.assign(B, 0);
+  Run(sources, ws,
+      [&](size_t b, double /*residual*/, size_t /*iters*/) {
+        const size_t start = entries.size();
+        VisitColumn(ws, n, B, b, [&](NodeId x, double val) {
+          entries.push_back({x, val});
+        });
+        ranges[b] = {start, entries.size()};
+        converged[b] = 1;
+      },
+      [&](std::span<const size_t> live) {
+        // Bulk extraction of every still-live column in two row-major
+        // passes (count, then fill): the state slab is traversed in memory
+        // order once per pass instead of once per column with a B-double
+        // stride, which is what makes sweep extraction cheap.
+        auto for_each_row = [&](auto&& fn) {
+          if (ws.dense) {
+            for (size_t x = 0; x < n; ++x) fn(x);
+          } else {
+            for (NodeId x : ws.frontier) fn(static_cast<size_t>(x));
+          }
+        };
+        std::vector<size_t> cursor(B, 0);
+        for_each_row([&](size_t x) {
+          const double* row = &ws.r[x * B];
+          for (size_t b : live) cursor[b] += row[b] != 0.0 ? 1 : 0;
+        });
+        size_t base = entries.size();
+        for (size_t b : live) {
+          const size_t count = cursor[b];
+          ranges[b] = {base, base + count};
+          cursor[b] = base;
+          base += count;
+          converged[b] = truncated ? 1 : 0;
+        }
+        entries.resize(base);
+        for_each_row([&](size_t x) {
+          const double* row = &ws.r[x * B];
+          for (size_t b : live) {
+            const double val = row[b];
+            if (val != 0.0) {
+              entries[cursor[b]++] = {static_cast<NodeId>(x), val};
+            }
+          }
+        });
+      });
+}
+
+}  // namespace commsig

@@ -1,0 +1,165 @@
+#ifndef COMMSIG_CORE_RWR_BATCH_H_
+#define COMMSIG_CORE_RWR_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rwr.h"
+#include "graph/comm_graph.h"
+
+namespace commsig {
+
+/// Per-(graph, traversal-mode) precomputation shared by every RWR solve on
+/// the same window: the row normalizers of the transition matrix P and the
+/// walkable/dangling node partition. Building it is one O(n) pass; the
+/// per-source paths used to re-derive it on every call, which made an
+/// all-hosts sweep pay n× redundant setup.
+///
+/// Immutable after construction and safe to share across threads; the
+/// referenced graph must outlive the cache.
+class TransitionCache {
+ public:
+  TransitionCache(const CommGraph& g, TraversalMode mode);
+
+  const CommGraph& graph() const { return *graph_; }
+  TraversalMode mode() const { return mode_; }
+
+  /// Total traversable weight of `x` (out-weight, plus in-weight when the
+  /// traversal is symmetric) — the row normalizer of P.
+  double norm(NodeId x) const { return norm_[x]; }
+
+  /// 1 / norm(x) (0 for dangling rows), precomputed so the power-iteration
+  /// inner loops multiply instead of divide — divisions were the single
+  /// largest arithmetic cost of a sweep. Both the serial and batched
+  /// solvers scale by this, keeping their results bit-identical to each
+  /// other.
+  double inv_norm(NodeId x) const { return inv_norm_[x]; }
+
+  /// True iff `x` has traversable edges. Walks at non-walkable (dangling)
+  /// nodes return their mass to the start node.
+  bool walkable(NodeId x) const { return walkable_[x] != 0; }
+
+  size_t num_nodes() const { return norm_.size(); }
+  size_t num_walkable() const { return num_walkable_; }
+  size_t num_dangling() const { return norm_.size() - num_walkable_; }
+
+ private:
+  const CommGraph* graph_;
+  TraversalMode mode_;
+  std::vector<double> norm_;
+  std::vector<double> inv_norm_;
+  std::vector<uint8_t> walkable_;
+  size_t num_walkable_ = 0;
+};
+
+/// Reusable scratch for RwrBatchEngine::SolveBatch. All buffers grow to the
+/// high-water mark and are recycled across batches: every solve restores
+/// the "r/next/in_next all-zero" invariant on exit, so a steady-state
+/// all-hosts sweep performs neither per-batch allocation nor per-batch
+/// O(n·B) zero-fills. Obtain one per thread via
+/// RwrBatchEngine::LocalWorkspace().
+struct RwrBatchWorkspace {
+  std::vector<double> r;     // n × B occupancy, node-major (row x is B-wide)
+  std::vector<double> next;  // n × B scatter target
+  std::vector<double> scale, walked, dangling, delta, last_residual;  // B
+  std::vector<uint8_t> active;   // B: column still iterating
+  std::vector<uint8_t> in_next;  // n: row already touched this iteration
+  std::vector<NodeId> frontier;  // sorted rows where r is nonzero
+  std::vector<NodeId> touched;   // rows written this iteration
+  std::vector<uint32_t> lanes;   // scratch: live column indices of one row
+  std::vector<size_t> iterations;  // B: iterations run per column
+  bool dense = false;  // frontier tracking abandoned for this solve
+
+  /// Sizes the buffers, zero-filling only on shape changes (the all-zero
+  /// invariant covers reuse).
+  void Prepare(size_t n, size_t width);
+};
+
+/// Batched multi-source RWR solver: iterates B source columns simultaneously
+/// as one SpMM-style pass over the CSR adjacency, so each graph scan is
+/// amortized over B sources and the per-edge inner loop is a contiguous
+/// B-wide multiply-add that vectorizes.
+///
+/// Two sparsity levers on top of the blocking:
+///  - frontier-sparse iteration: only rows holding nonzero mass (for any
+///    column) are visited, which collapses the cost of RWR^h hops 1–2 and
+///    of the early unbounded iterations on large windows. The engine
+///    switches to dense scans once the frontier covers more than a quarter
+///    of the nodes (and stays dense — RWR mass never re-sparsifies).
+///  - per-column convergence masking: a converged column's result is
+///    extracted and the column zeroed, so finished sources drop out of the
+///    remaining iterations instead of being recomputed to the slowest
+///    column's horizon.
+///
+/// Per-column results are bit-identical to RwrScheme::Solve for truncated
+/// RWR^h walks (same additions in the same order), and match within solver
+/// tolerance for unbounded walks.
+class RwrBatchEngine {
+ public:
+  /// Number of source columns a batch window holds by default. Wide enough
+  /// to amortize the graph scan and fill vector lanes, small enough that
+  /// the n × B state of a 20k-node window stays cache-resident.
+  static constexpr size_t kDefaultBatchWidth = 16;
+
+  /// `cache` must outlive the engine and must have been built with
+  /// `opts.traversal` (checked).
+  RwrBatchEngine(const RwrOptions& opts, const TransitionCache& cache);
+
+  /// Solves all sources as one block power iteration. `solves[i]` is
+  /// index-aligned with `sources[i]`; duplicate sources are allowed.
+  /// Memory is O(n · sources.size()), so callers should window large
+  /// populations (kDefaultBatchWidth at a time) rather than pass them
+  /// whole.
+  std::vector<RwrScheme::RwrSolve> SolveBatch(std::span<const NodeId> sources,
+                                              RwrBatchWorkspace& ws) const;
+
+  /// Convenience overload using the calling thread's reusable workspace.
+  std::vector<RwrScheme::RwrSolve> SolveBatch(
+      std::span<const NodeId> sources) const;
+
+  /// Sweep-oriented variant: solves the batch and stores each column's
+  /// nonzero (node, probability) entries — ascending by node id — into
+  /// `entries`, recording column b's slice as
+  /// [ranges[b].first, ranges[b].second). Skips SolveBatch's O(n)
+  /// densification per column, which dominates sweeps on windows whose
+  /// live support is far below n. `converged[b]` reports per-column
+  /// convergence (always true for truncated walks) for the caller's
+  /// fallback ladder. The output vectors are cleared and refilled, so
+  /// callers can reuse them across batches without reallocation.
+  void SolveBatchSupport(std::span<const NodeId> sources,
+                         RwrBatchWorkspace& ws,
+                         std::vector<Signature::Entry>& entries,
+                         std::vector<std::pair<size_t, size_t>>& ranges,
+                         std::vector<uint8_t>& converged) const;
+
+  /// The calling thread's lazily constructed scratch workspace.
+  static RwrBatchWorkspace& LocalWorkspace();
+
+  const RwrOptions& options() const { return opts_; }
+
+ private:
+  /// Shared block power iteration. on_converged(b, residual, iterations)
+  /// fires when a column meets tolerance and is masked out (column b of
+  /// ws.r is readable through VisitColumn at that point); on_done(live)
+  /// fires once after the iteration cap with the still-live column indices
+  /// (their state readable in bulk — residuals/iterations via the
+  /// workspace arrays). Restores the workspace's all-zero invariant before
+  /// returning.
+  template <typename FinalizeCol, typename FinalizeRest>
+  void Run(std::span<const NodeId> sources, RwrBatchWorkspace& ws,
+           FinalizeCol&& on_converged, FinalizeRest&& on_done) const;
+
+  /// Invokes fn(node, probability) for each nonzero entry of column b,
+  /// ascending by node id.
+  template <typename Fn>
+  static void VisitColumn(const RwrBatchWorkspace& ws, size_t num_nodes,
+                          size_t width, size_t b, Fn&& fn);
+
+  RwrOptions opts_;
+  const TransitionCache* cache_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_CORE_RWR_BATCH_H_

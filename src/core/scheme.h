@@ -94,7 +94,10 @@ class SignatureScheme {
   virtual Signature Compute(const CommGraph& g, NodeId v) const = 0;
 
   /// Computes signatures for a set of focal nodes (the enterprise-data
-  /// "local hosts"). The default loops over Compute.
+  /// "local hosts"). The default loops over Compute; schemes whose
+  /// per-source work shares expensive state override it with a batched
+  /// implementation (RwrScheme amortizes one graph scan over a window of
+  /// sources), so all-population sweeps should prefer this entry point.
   virtual std::vector<Signature> ComputeAll(const CommGraph& g,
                                             std::span<const NodeId> nodes) const;
 

@@ -39,6 +39,61 @@ Signature Signature::FromTopK(std::vector<Entry> candidates, size_t k) {
   return sig;
 }
 
+Signature::TopKSelector::TopKSelector(size_t k) : k_(k) { best_.reserve(k); }
+
+namespace {
+
+// Index of the lowest-ranked entry under (weight desc, node asc).
+size_t WeakestIndex(const std::vector<Signature::Entry>& best) {
+  size_t weakest = 0;
+  for (size_t i = 1; i < best.size(); ++i) {
+    const Signature::Entry& a = best[i];
+    const Signature::Entry& b = best[weakest];
+    if (a.weight < b.weight || (a.weight == b.weight && a.node > b.node)) {
+      weakest = i;
+    }
+  }
+  return weakest;
+}
+
+}  // namespace
+
+void Signature::TopKSelector::Offer(Entry e) {
+  if (!(e.weight > 0.0) || !std::isfinite(e.weight)) return;
+  ++seen_;
+  if (best_.size() < k_) {
+    best_.push_back(e);
+    if (best_.size() == k_) weakest_ = WeakestIndex(best_);
+    return;
+  }
+  if (k_ == 0) return;
+  const Entry& w = best_[weakest_];
+  // Keep only candidates that outrank the current weakest entry under the
+  // (weight desc, node asc) total order.
+  if (e.weight < w.weight || (e.weight == w.weight && e.node >= w.node)) {
+    return;
+  }
+  best_[weakest_] = e;
+  weakest_ = WeakestIndex(best_);
+}
+
+Signature Signature::TopKSelector::Take() {
+  COMMSIG_COUNTER_ADD("signature/built", 1);
+  COMMSIG_HISTOGRAM_OBSERVE("signature/candidates", seen_);
+  std::sort(best_.begin(), best_.end(),
+            [](const Entry& a, const Entry& b) { return a.node < b.node; });
+  Signature sig;
+  sig.entries_ = std::move(best_);
+  Reset();
+  return sig;
+}
+
+void Signature::TopKSelector::Reset() {
+  best_.clear();
+  seen_ = 0;
+  weakest_ = 0;
+}
+
 double Signature::WeightOf(NodeId node) const {
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), node,

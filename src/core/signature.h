@@ -35,6 +35,36 @@ class Signature {
   /// tie-breaking).
   static Signature FromTopK(std::vector<Entry> candidates, size_t k);
 
+  /// Streaming top-k selection with FromTopK's exact ranking (weight desc,
+  /// node asc — the top-k set under that strict total order is unique, so
+  /// the result equals FromTopK over the same candidates). Lets callers
+  /// fuse candidate filtering with selection instead of materializing and
+  /// partitioning a candidate vector per focal node, which dominates
+  /// all-hosts sweeps with large walk supports. Offer cost is O(1) unless
+  /// the candidate enters the running top-k (O(k) then).
+  class TopKSelector {
+   public:
+    explicit TopKSelector(size_t k);
+
+    /// Considers one candidate; non-positive and non-finite weights are
+    /// ignored, exactly like FromTopK's pre-filter.
+    void Offer(Entry e);
+
+    /// Finishes the selection: sorts by node id and observes the same
+    /// signature/* metrics FromTopK does. The selector is left empty and
+    /// can be reused via Reset.
+    Signature Take();
+
+    /// Clears state for the next focal node, keeping capacity.
+    void Reset();
+
+   private:
+    size_t k_;
+    size_t seen_ = 0;     // candidates surviving the weight pre-filter
+    size_t weakest_ = 0;  // index into best_ of the lowest-ranked entry
+    std::vector<Entry> best_;
+  };
+
   /// Entries sorted ascending by node id.
   std::span<const Entry> entries() const { return entries_; }
 

@@ -1,0 +1,314 @@
+#include "core/rwr_batch.h"
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "core/rwr.h"
+#include "data/flow_generator.h"
+#include "graph/graph_builder.h"
+
+namespace commsig {
+namespace {
+
+// Random sparse digraph with guaranteed dangling sinks and one isolated
+// node, so batches always cross the walkable/dangling partition.
+CommGraph RandomGraph(size_t n, double edge_prob, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_real_distribution<double> weight(0.5, 10.0);
+  GraphBuilder b(n);
+  for (NodeId src = 0; src + 2 < n; ++src) {
+    for (NodeId dst = 0; dst < n - 2; ++dst) {
+      if (src == dst) continue;
+      if (coin(rng) < edge_prob) b.AddEdge(src, dst, weight(rng));
+    }
+    // Every non-sink node also points at the sink, so directed walks hit a
+    // dangling node quickly.
+    if (coin(rng) < 0.5) b.AddEdge(src, n - 2, weight(rng));
+  }
+  // n-2 is a pure sink (dangling under directed traversal); n-1 is isolated
+  // (dangling under both traversals).
+  return std::move(b).Build();
+}
+
+std::vector<NodeId> AllNodes(const CommGraph& g) {
+  std::vector<NodeId> nodes(g.NumNodes());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  return nodes;
+}
+
+TEST(TransitionCacheTest, NormsAndPartitionMatchGraph) {
+  CommGraph g = RandomGraph(24, 0.2, 11);
+  for (TraversalMode mode :
+       {TraversalMode::kDirected, TraversalMode::kSymmetric}) {
+    TransitionCache cache(g, mode);
+    ASSERT_EQ(cache.num_nodes(), g.NumNodes());
+    size_t walkable = 0;
+    for (NodeId x = 0; x < g.NumNodes(); ++x) {
+      const double expected =
+          g.OutWeight(x) +
+          (mode == TraversalMode::kSymmetric ? g.InWeight(x) : 0.0);
+      EXPECT_EQ(cache.norm(x), expected);
+      EXPECT_EQ(cache.walkable(x), expected > 0.0);
+      walkable += expected > 0.0 ? 1 : 0;
+    }
+    EXPECT_EQ(cache.num_walkable(), walkable);
+    EXPECT_EQ(cache.num_dangling(), g.NumNodes() - walkable);
+  }
+  // The isolated node is dangling in every mode.
+  TransitionCache sym(g, TraversalMode::kSymmetric);
+  EXPECT_FALSE(sym.walkable(g.NumNodes() - 1));
+  EXPECT_GT(sym.num_dangling(), 0u);
+}
+
+// RWR^h: the batched engine must reproduce the serial power iteration
+// bit-for-bit across traversal modes, reset strengths, hop depths, and
+// dangling structure.
+TEST(RwrBatchTest, TruncatedWalksBitIdenticalToSerial) {
+  CommGraph g = RandomGraph(30, 0.15, 7);
+  std::vector<NodeId> sources = AllNodes(g);
+  for (TraversalMode mode :
+       {TraversalMode::kDirected, TraversalMode::kSymmetric}) {
+    for (double c : {0.0, 0.1, 0.5}) {
+      for (size_t h : {1u, 2u, 4u}) {
+        RwrOptions opts{.reset = c, .max_hops = h, .traversal = mode};
+        RwrScheme scheme({.k = 10}, opts);
+        TransitionCache cache(g, mode);
+        RwrBatchEngine engine(opts, cache);
+        auto solves = engine.SolveBatch(sources);
+        ASSERT_EQ(solves.size(), sources.size());
+        for (size_t i = 0; i < sources.size(); ++i) {
+          auto serial = scheme.Solve(g, sources[i]);
+          SCOPED_TRACE(testing::Message()
+                       << "mode=" << static_cast<int>(mode) << " c=" << c
+                       << " h=" << h << " v=" << sources[i]);
+          EXPECT_TRUE(solves[i].converged);
+          EXPECT_EQ(solves[i].iterations, serial.iterations);
+          ASSERT_EQ(solves[i].probabilities.size(),
+                    serial.probabilities.size());
+          for (size_t u = 0; u < serial.probabilities.size(); ++u) {
+            // Exact: same additions in the same order.
+            EXPECT_EQ(solves[i].probabilities[u], serial.probabilities[u]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RwrBatchTest, BatchWidthDoesNotChangeResults) {
+  CommGraph g = RandomGraph(20, 0.2, 3);
+  std::vector<NodeId> sources = AllNodes(g);
+  RwrOptions opts{.reset = 0.1, .max_hops = 3,
+                  .traversal = TraversalMode::kSymmetric};
+  TransitionCache cache(g, opts.traversal);
+  RwrBatchEngine engine(opts, cache);
+  auto whole = engine.SolveBatch(sources);
+  for (size_t width : {size_t{1}, size_t{3}, sources.size()}) {
+    for (size_t begin = 0; begin < sources.size(); begin += width) {
+      const size_t count = std::min(width, sources.size() - begin);
+      auto part = engine.SolveBatch(
+          std::span<const NodeId>(sources).subspan(begin, count));
+      for (size_t b = 0; b < count; ++b) {
+        for (size_t u = 0; u < g.NumNodes(); ++u) {
+          EXPECT_EQ(part[b].probabilities[u],
+                    whole[begin + b].probabilities[u])
+              << "width=" << width << " v=" << sources[begin + b];
+        }
+      }
+    }
+  }
+}
+
+TEST(RwrBatchTest, DuplicateSourcesGetIdenticalColumns) {
+  CommGraph g = RandomGraph(16, 0.25, 5);
+  RwrOptions opts{.reset = 0.2, .max_hops = 3};
+  TransitionCache cache(g, opts.traversal);
+  RwrBatchEngine engine(opts, cache);
+  std::vector<NodeId> sources = {4, 7, 4, 4, 7};
+  auto solves = engine.SolveBatch(sources);
+  for (size_t u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(solves[0].probabilities[u], solves[2].probabilities[u]);
+    EXPECT_EQ(solves[0].probabilities[u], solves[3].probabilities[u]);
+    EXPECT_EQ(solves[1].probabilities[u], solves[4].probabilities[u]);
+  }
+}
+
+TEST(RwrBatchTest, UnboundedWalksMatchSerialWithinTolerance) {
+  CommGraph g = RandomGraph(24, 0.2, 19);
+  std::vector<NodeId> sources = AllNodes(g);
+  for (double c : {0.1, 0.5}) {
+    RwrOptions opts{.reset = c, .max_hops = 0,
+                    .traversal = TraversalMode::kSymmetric};
+    RwrScheme scheme({.k = 10}, opts);
+    TransitionCache cache(g, opts.traversal);
+    RwrBatchEngine engine(opts, cache);
+    auto solves = engine.SolveBatch(sources);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      auto serial = scheme.Solve(g, sources[i]);
+      SCOPED_TRACE(testing::Message() << "c=" << c << " v=" << sources[i]);
+      EXPECT_EQ(solves[i].converged, serial.converged);
+      EXPECT_EQ(solves[i].iterations, serial.iterations);
+      double sum = 0.0;
+      for (size_t u = 0; u < g.NumNodes(); ++u) {
+        EXPECT_NEAR(solves[i].probabilities[u], serial.probabilities[u],
+                    1e-12);
+        sum += solves[i].probabilities[u];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+// A large sparse graph with a shallow hop bound keeps the frontier far
+// below the dense-switch threshold, exercising the sparse iteration path
+// end to end.
+TEST(RwrBatchTest, FrontierSparsePathMatchesSerial) {
+  CommGraph g = RandomGraph(600, 0.005, 23);
+  RwrOptions opts{.reset = 0.1, .max_hops = 2,
+                  .traversal = TraversalMode::kSymmetric};
+  RwrScheme scheme({.k = 10}, opts);
+  TransitionCache cache(g, opts.traversal);
+  RwrBatchEngine engine(opts, cache);
+  std::vector<NodeId> sources = {0, 17, 300, 599};
+  auto solves = engine.SolveBatch(sources);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    auto serial = scheme.Solve(g, sources[i]);
+    for (size_t u = 0; u < g.NumNodes(); ++u) {
+      EXPECT_EQ(solves[i].probabilities[u], serial.probabilities[u])
+          << "v=" << sources[i] << " u=" << u;
+    }
+  }
+}
+
+TEST(RwrBatchTest, DanglingMassReturnsToStartInBatch) {
+  // 0 -> 1 with 1 a sink: all walked mass must cycle back through the
+  // start for every column, preserving total probability 1.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  CommGraph g = std::move(b).Build();
+  RwrOptions opts{.reset = 0.3, .max_hops = 0,
+                  .traversal = TraversalMode::kDirected};
+  TransitionCache cache(g, opts.traversal);
+  RwrBatchEngine engine(opts, cache);
+  std::vector<NodeId> sources = {0, 1};
+  auto solves = engine.SolveBatch(sources);
+  for (const auto& s : solves) {
+    EXPECT_TRUE(s.converged);
+    EXPECT_NEAR(s.probabilities[0] + s.probabilities[1], 1.0, 1e-9);
+  }
+  EXPECT_GT(solves[0].probabilities[0], solves[0].probabilities[1]);
+  // Column rooted at the sink: mass never leaves node 1.
+  EXPECT_NEAR(solves[1].probabilities[1], 1.0, 1e-9);
+}
+
+TEST(RwrBatchTest, EmptyBatchAndEmptyComputeAll) {
+  CommGraph g = RandomGraph(8, 0.3, 2);
+  RwrOptions opts{.reset = 0.1, .max_hops = 3};
+  TransitionCache cache(g, opts.traversal);
+  RwrBatchEngine engine(opts, cache);
+  EXPECT_TRUE(engine.SolveBatch({}).empty());
+  RwrScheme scheme({.k = 5}, opts);
+  EXPECT_TRUE(scheme.ComputeAll(g, {}).empty());
+}
+
+TEST(RwrBatchTest, FallbackLadderMatchesSerialCompute) {
+  CommGraph g = RandomGraph(30, 0.15, 13);
+  // max_iterations far below what the tolerance needs: every unbounded walk
+  // fails to converge and both paths must take the RWR^h fallback.
+  RwrOptions opts{.reset = 0.1,
+                  .max_hops = 0,
+                  .tolerance = 1e-12,
+                  .max_iterations = 3,
+                  .fallback_hops = 2,
+                  .traversal = TraversalMode::kSymmetric};
+  RwrScheme scheme({.k = 10}, opts);
+  std::vector<NodeId> nodes = AllNodes(g);
+  auto batched = scheme.ComputeAll(g, nodes);
+  ASSERT_EQ(batched.size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    // The fallback runs a truncated walk, so equality is exact.
+    EXPECT_EQ(batched[i], scheme.Compute(g, nodes[i])) << "v=" << nodes[i];
+  }
+}
+
+TEST(RwrBatchTest, UnconvergedWithoutFallbackKeepsRawVector) {
+  CommGraph g = RandomGraph(20, 0.2, 29);
+  RwrOptions opts{.reset = 0.1,
+                  .max_hops = 0,
+                  .tolerance = 1e-12,
+                  .max_iterations = 4,
+                  .fallback_hops = 0,  // ladder disabled
+                  .traversal = TraversalMode::kSymmetric};
+  RwrScheme scheme({.k = 10}, opts);
+  std::vector<NodeId> nodes = AllNodes(g);
+  auto batched = scheme.ComputeAll(g, nodes);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(batched[i], scheme.Compute(g, nodes[i])) << "v=" << nodes[i];
+  }
+}
+
+TEST(RwrBatchTest, ComputeAllMatchesPerNodeComputeOnFlowData) {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 40;
+  cfg.num_external_hosts = 500;
+  cfg.num_windows = 1;
+  cfg.seed = 77;
+  FlowDataset ds = FlowTraceGenerator(cfg).Generate();
+  CommGraph g = ds.Windows()[0];
+  for (const char* spec :
+       {"rwr(c=0.1,h=3)", "rwr(c=0.5,h=1)", "rwr(c=0.1)"}) {
+    auto scheme = CreateScheme(
+        spec, {.k = 10, .restrict_to_opposite_partition = true});
+    ASSERT_TRUE(scheme.ok()) << spec;
+    auto batched = (*scheme)->ComputeAll(g, ds.local_hosts);
+    ASSERT_EQ(batched.size(), ds.local_hosts.size());
+    for (size_t i = 0; i < ds.local_hosts.size(); ++i) {
+      EXPECT_EQ(batched[i], (*scheme)->Compute(g, ds.local_hosts[i]))
+          << spec << " host " << i;
+    }
+  }
+}
+
+TEST(RwrBatchTest, SerialSolveWithSharedCacheMatchesFreshCache) {
+  CommGraph g = RandomGraph(25, 0.2, 31);
+  RwrOptions opts{.reset = 0.1, .max_hops = 0,
+                  .traversal = TraversalMode::kSymmetric};
+  RwrScheme scheme({.k = 10}, opts);
+  TransitionCache cache(g, opts.traversal);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    auto fresh = scheme.Solve(g, v);
+    auto shared = scheme.Solve(g, v, cache);
+    EXPECT_EQ(shared.converged, fresh.converged);
+    EXPECT_EQ(shared.iterations, fresh.iterations);
+    for (size_t u = 0; u < g.NumNodes(); ++u) {
+      EXPECT_EQ(shared.probabilities[u], fresh.probabilities[u]);
+    }
+  }
+}
+
+TEST(RwrBatchTest, ComputeAllParallelMatchesBatchedSerial) {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 37;  // not a multiple of the batch width
+  cfg.num_external_hosts = 400;
+  cfg.num_windows = 1;
+  cfg.seed = 9;
+  FlowDataset ds = FlowTraceGenerator(cfg).Generate();
+  CommGraph g = ds.Windows()[0];
+  ThreadPool pool(4);
+  RwrScheme scheme({.k = 10}, {.reset = 0.1, .max_hops = 3});
+  auto serial = scheme.ComputeAll(g, ds.local_hosts);
+  auto parallel = ComputeAllParallel(scheme, g, ds.local_hosts, pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "host " << i;
+  }
+}
+
+}  // namespace
+}  // namespace commsig

@@ -122,5 +122,53 @@ TEST(SignatureTest, LargeCandidateSetSelectsExactTopK) {
   EXPECT_LE(greater, 10u);
 }
 
+// The streaming selector must reproduce FromTopK exactly — same set, same
+// order, same tie-breaking — since the batched RWR sweep path relies on
+// interchangeability.
+TEST(SignatureTest, TopKSelectorMatchesFromTopK) {
+  for (size_t k : {0u, 1u, 3u, 10u, 50u}) {
+    std::vector<Entry> candidates;
+    for (NodeId i = 0; i < 500; ++i) {
+      // Includes duplicate weights (tie-break coverage), zeros, and
+      // negatives (pre-filter coverage).
+      double w = static_cast<double>((i * 31) % 40) - 2.0;
+      candidates.push_back({i, w});
+    }
+    Signature expected = Signature::FromTopK(candidates, k);
+    Signature::TopKSelector selector(k);
+    for (const Entry& e : candidates) selector.Offer(e);
+    EXPECT_EQ(selector.Take(), expected) << "k=" << k;
+  }
+}
+
+TEST(SignatureTest, TopKSelectorIsOrderIndependent) {
+  std::vector<Entry> candidates;
+  for (NodeId i = 0; i < 100; ++i) {
+    candidates.push_back({i, static_cast<double>((i * 17) % 25) + 0.5});
+  }
+  Signature forward = Signature::FromTopK(candidates, 7);
+  Signature::TopKSelector selector(7);
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    selector.Offer(*it);
+  }
+  EXPECT_EQ(selector.Take(), forward);
+}
+
+TEST(SignatureTest, TopKSelectorReusableAfterTake) {
+  Signature::TopKSelector selector(2);
+  selector.Offer({1, 5.0});
+  selector.Offer({2, 1.0});
+  selector.Offer({3, 3.0});
+  Signature first = selector.Take();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_TRUE(first.Contains(1));
+  EXPECT_TRUE(first.Contains(3));
+
+  selector.Offer({9, 2.0});
+  Signature second = selector.Take();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(second.Contains(9));
+}
+
 }  // namespace
 }  // namespace commsig
