@@ -1,0 +1,71 @@
+#ifndef COMMSIG_COMMON_THREAD_ANNOTATIONS_H_
+#define COMMSIG_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (the abseil/LLVM set,
+/// COMMSIG_-prefixed). Annotating a member with COMMSIG_GUARDED_BY(mu) and
+/// locking functions with COMMSIG_ACQUIRE/RELEASE lets
+/// `clang -Wthread-safety` prove at compile time that every access happens
+/// under the right lock. The macros expand to nothing on compilers without
+/// the attributes (GCC, MSVC), so annotated code stays portable.
+///
+/// Enable the analysis with -DCOMMSIG_THREAD_SAFETY=ON (Clang only); it is
+/// promoted to an error there, so an unannotated access or a lock-discipline
+/// violation fails the build.
+///
+/// These attributes only track capabilities the *library* declares —
+/// libstdc++'s std::mutex is unannotated and invisible to the analysis —
+/// so lock-protected state must use commsig::Mutex (common/mutex.h), the
+/// annotated wrapper, rather than std::mutex directly.
+
+#if defined(__clang__)
+#define COMMSIG_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define COMMSIG_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define COMMSIG_CAPABILITY(x) COMMSIG_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define COMMSIG_SCOPED_CAPABILITY COMMSIG_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define COMMSIG_GUARDED_BY(x) COMMSIG_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define COMMSIG_PT_GUARDED_BY(x) COMMSIG_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering declarations: this capability must be acquired before /
+/// after the listed ones.
+#define COMMSIG_ACQUIRED_BEFORE(...) \
+  COMMSIG_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define COMMSIG_ACQUIRED_AFTER(...) \
+  COMMSIG_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities to be held by the caller.
+#define COMMSIG_REQUIRES(...) \
+  COMMSIG_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases the listed capabilities (held on return /
+/// must be held on entry, respectively).
+#define COMMSIG_ACQUIRE(...) \
+  COMMSIG_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define COMMSIG_RELEASE(...) \
+  COMMSIG_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (deadlock
+/// guard for public methods that take their own lock).
+#define COMMSIG_EXCLUDES(...) \
+  COMMSIG_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define COMMSIG_RETURN_CAPABILITY(x) \
+  COMMSIG_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the invariant holds anyway.
+#define COMMSIG_NO_THREAD_SAFETY_ANALYSIS \
+  COMMSIG_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // COMMSIG_COMMON_THREAD_ANNOTATIONS_H_

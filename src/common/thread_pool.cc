@@ -19,29 +19,38 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutting_down_) return;  // documented no-op after shutdown begins
     queue_.push_back(std::move(task));
     ++in_flight_;
-    COMMSIG_GAUGE_SET("threadpool/queue_depth", queue_.size());
+    depth = queue_.size();
   }
-  work_available_.notify_one();
+  // The gauge update takes the MetricsRegistry mutex (on the first call per
+  // call site); it runs after `mutex_` is released so the pool lock stays
+  // innermost and never nests around another subsystem's lock.
+  COMMSIG_GAUGE_SET("threadpool/queue_depth", depth);
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  {
+    MutexLock lock(mutex_);
+    all_done_.Wait(mutex_,
+                   [this]() COMMSIG_REQUIRES(mutex_) { return in_flight_ == 0; });
+  }
   // A full wave just drained: refresh the lifetime-utilization gauge
-  // (fraction of worker wall time spent running tasks).
+  // (fraction of worker wall time spent running tasks). Outside the critical
+  // section — it only reads atomics and immutable state.
   const double elapsed_us =
       static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
                               std::chrono::steady_clock::now() - created_at_)
@@ -55,25 +64,28 @@ void ThreadPool::Wait() {
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
+    size_t depth;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      work_available_.Wait(mutex_, [this]() COMMSIG_REQUIRES(mutex_) {
+        return shutting_down_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
       }
       task = std::move(queue_.front());
       queue_.pop_front();
-      COMMSIG_GAUGE_SET("threadpool/queue_depth", queue_.size());
+      depth = queue_.size();
     }
+    COMMSIG_GAUGE_SET("threadpool/queue_depth", depth);
     const auto task_start = std::chrono::steady_clock::now();
     task();
     busy_micros_.fetch_add(
@@ -84,8 +96,8 @@ void ThreadPool::WorkerLoop() {
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     COMMSIG_COUNTER_ADD("threadpool/tasks_executed", 1);
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

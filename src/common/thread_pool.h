@@ -3,14 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace commsig {
 
@@ -18,6 +19,11 @@ namespace commsig {
 /// pipeline — per-focal-node signature computation and pairwise distance
 /// scans. Tasks are plain std::function<void()>; completion is awaited
 /// with Wait(). No task may throw (the library is exception-free).
+///
+/// Lock discipline: `mutex_` guards the queue and the in-flight/shutdown
+/// state, and is never held across a task invocation or a call into another
+/// locking subsystem (the obs registry updates happen outside the critical
+/// sections), so `mutex_` is always innermost.
 class ThreadPool {
  public:
   /// `num_threads` 0 uses the hardware concurrency (at least 1).
@@ -34,16 +40,16 @@ class ThreadPool {
   /// running), Submit is a documented no-op: the task is dropped rather
   /// than enqueued, so a task that resubmits work during destruction
   /// cannot race the worker join.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) COMMSIG_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() COMMSIG_EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Number of tasks currently enqueued and not yet picked up by a worker
   /// (excludes tasks being executed right now).
-  size_t queue_depth() const;
+  size_t queue_depth() const COMMSIG_EXCLUDES(mutex_);
 
   /// Total tasks completed over the pool's lifetime.
   uint64_t tasks_executed() const {
@@ -51,15 +57,15 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() COMMSIG_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ COMMSIG_GUARDED_BY(mutex_);
+  size_t in_flight_ COMMSIG_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ COMMSIG_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;  // written by the constructor only
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<uint64_t> busy_micros_{0};
   std::chrono::steady_clock::time_point created_at_;

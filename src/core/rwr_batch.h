@@ -133,7 +133,9 @@ class RwrBatchEngine {
                          std::vector<std::pair<size_t, size_t>>& ranges,
                          std::vector<uint8_t>& converged) const;
 
-  /// The calling thread's lazily constructed scratch workspace.
+  /// The calling thread's lazily constructed scratch workspace
+  /// (thread_local, so never shared; the reference must not be handed to
+  /// another thread — it dangles when this thread exits).
   static RwrBatchWorkspace& LocalWorkspace();
 
   const RwrOptions& options() const { return opts_; }

@@ -133,7 +133,7 @@ FlowDataset FlowTraceGenerator::Generate() const {
 
   auto fresh_entry = [&](uint32_t user, Category category,
                          Rng& r) -> ProfileEntry {
-    NodeId dest;
+    NodeId dest = 0;  // all enumerators assign; init placates -Wmaybe-uninitialized
     switch (category) {
       case Category::kPopular:
         dest = sample_popular(r);

@@ -7,13 +7,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace commsig::obs {
 
@@ -95,11 +96,11 @@ struct HistogramSnapshot {
 /// not per-element inner loops (use Counter there).
 class Histogram {
  public:
-  void Observe(double v);
+  void Observe(double v) COMMSIG_EXCLUDES(mutex_);
 
-  HistogramSnapshot Snapshot() const;
+  HistogramSnapshot Snapshot() const COMMSIG_EXCLUDES(mutex_);
 
-  void Reset();
+  void Reset() COMMSIG_EXCLUDES(mutex_);
 
  private:
   static constexpr int kNumBuckets = 64;
@@ -107,9 +108,9 @@ class Histogram {
 
   static int BucketIndex(double v);
 
-  mutable std::mutex mutex_;
-  RunningStats stats_;
-  uint64_t buckets_[kNumBuckets] = {};
+  mutable Mutex mutex_;
+  RunningStats stats_ COMMSIG_GUARDED_BY(mutex_);
+  uint64_t buckets_[kNumBuckets] COMMSIG_GUARDED_BY(mutex_) = {};
 };
 
 /// Full registry snapshot, serializable to JSON and Prometheus text.
@@ -129,15 +130,20 @@ struct MetricsSnapshot {
 /// them in function-local statics). Reset() zeroes values but never
 /// invalidates references. Names use '/'-separated paths by convention
 /// ("rwr/iterations"); Prometheus export sanitizes them.
+/// Lock discipline: `mutex_` guards only the name → metric maps. Snapshot
+/// reads metric values through each object's own synchronization (atomics,
+/// or the Histogram's inner mutex, which nests inside `mutex_` and takes no
+/// further locks), and the registry never calls back into client code, so
+/// `mutex_` → Histogram::mutex_ is the only nesting and is acyclic.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  Counter& GetCounter(const std::string& name) COMMSIG_EXCLUDES(mutex_);
+  Gauge& GetGauge(const std::string& name) COMMSIG_EXCLUDES(mutex_);
+  Histogram& GetHistogram(const std::string& name) COMMSIG_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const COMMSIG_EXCLUDES(mutex_);
   std::string ToJson() const { return Snapshot().ToJson(); }
   std::string ToPrometheus() const { return Snapshot().ToPrometheus(); }
 
@@ -145,13 +151,16 @@ class MetricsRegistry {
   Status WriteJsonFile(const std::string& path) const;
 
   /// Zeroes every registered metric; registrations themselves persist.
-  void Reset();
+  void Reset() COMMSIG_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      COMMSIG_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      COMMSIG_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      COMMSIG_GUARDED_BY(mutex_);
 };
 
 /// Registers the standard hot-path metric names (value 0) so every snapshot

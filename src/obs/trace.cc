@@ -13,7 +13,8 @@ thread_local uint32_t span_depth = 0;
 
 TraceCollector& TraceCollector::Global() {
   // Leaked so spans in static destructors stay safe.
-  static TraceCollector* collector = new TraceCollector();
+  static TraceCollector* collector =
+      new TraceCollector();  // NOLINT(commsig-naked-new): leaked singleton
   return *collector;
 }
 
@@ -31,17 +32,17 @@ uint32_t TraceCollector::CurrentThreadId() {
 }
 
 void TraceCollector::Record(const SpanEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(event);
 }
 
 std::vector<SpanEvent> TraceCollector::Events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
 }
 

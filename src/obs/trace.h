@@ -4,11 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace commsig::obs {
 
@@ -43,10 +44,10 @@ class TraceCollector {
   /// Small dense id of the calling thread, stable for the thread's lifetime.
   static uint32_t CurrentThreadId();
 
-  void Record(const SpanEvent& event);
+  void Record(const SpanEvent& event) COMMSIG_EXCLUDES(mutex_);
 
-  std::vector<SpanEvent> Events() const;
-  void Clear();
+  std::vector<SpanEvent> Events() const COMMSIG_EXCLUDES(mutex_);
+  void Clear() COMMSIG_EXCLUDES(mutex_);
 
   std::string ToChromeTraceJson() const;
   Status WriteChromeTraceFile(const std::string& path) const;
@@ -56,8 +57,8 @@ class TraceCollector {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<SpanEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<SpanEvent> events_ COMMSIG_GUARDED_BY(mutex_);
 };
 
 /// RAII wall-time span. On destruction the duration is recorded into the

@@ -98,6 +98,7 @@ std::string CheckpointManager::FileName(uint64_t sequence) const {
 }
 
 Status CheckpointManager::Save(uint64_t sequence, std::string_view payload) {
+  MutexLock lock(io_mutex_);
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) {

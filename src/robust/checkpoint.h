@@ -6,7 +6,9 @@
 #include <string_view>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace commsig {
 
@@ -34,6 +36,13 @@ struct CheckpointData {
 ///
 /// The payload is opaque application state (for the `commsig stream`
 /// pipeline: the serialized StreamingSignatureBuilder plus stream cursor).
+///
+/// Thread safety: Save is internally serialized by `io_mutex_` — concurrent
+/// Save calls share one `<stem>.tmp` scratch file, and unserialized writers
+/// could interleave writes into it and rename a torn frame into place.
+/// LoadLatest is safe concurrently with Save without the lock: checkpoints
+/// become visible only via the atomic rename, and a file pruned mid-scan
+/// just registers as a skip on the fallback walk.
 class CheckpointManager {
  public:
   struct Options {
@@ -50,7 +59,8 @@ class CheckpointManager {
   /// Atomically persists `payload` as checkpoint `sequence` (monotonically
   /// increasing, caller-chosen; the event count works well). Creates the
   /// directory if needed and prunes checkpoints beyond `keep`.
-  Status Save(uint64_t sequence, std::string_view payload);
+  Status Save(uint64_t sequence, std::string_view payload)
+      COMMSIG_EXCLUDES(io_mutex_);
 
   /// Newest checkpoint that validates, or NotFound when the directory holds
   /// none (including the fresh-start case of a missing directory).
@@ -63,6 +73,10 @@ class CheckpointManager {
 
   std::string dir_;
   Options options_;
+  /// Serializes writers: guards the shared .tmp scratch file and the prune
+  /// pass. Innermost apart from the obs-registry mutex (counter updates),
+  /// which never calls back into this class.
+  Mutex io_mutex_;
 };
 
 }  // namespace commsig

@@ -1,0 +1,113 @@
+// Determinism-under-threads suite: the parallel entry points must produce
+// bit-identical output regardless of worker count or scheduling. This is the
+// precondition for every robustness/persistence number in the paper's
+// Definition 2 metrics — a perturbation experiment is only meaningful if the
+// unperturbed computation is a pure function of its inputs.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/parallel.h"
+#include "data/flow_generator.h"
+
+namespace commsig {
+namespace {
+
+FlowDataset StressFlows() {
+  FlowGeneratorConfig cfg;
+  cfg.num_local_hosts = 48;
+  cfg.num_external_hosts = 700;
+  cfg.num_windows = 2;
+  cfg.seed = 97;
+  return FlowTraceGenerator(cfg).Generate();
+}
+
+/// Byte-level equality: EXPECT_EQ on doubles treats +0.0 == -0.0 and would
+/// hide a sign flip; determinism here means the stronger bit-identity.
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(DeterminismTest, ComputeAllParallelBitIdenticalAcrossWorkerCounts) {
+  FlowDataset ds = StressFlows();
+  CommGraph g = ds.Windows()[0];
+  SchemeOptions opts{.k = 10, .restrict_to_opposite_partition = true};
+  for (const char* spec :
+       {"tt", "ut", "rwr(c=0.1,h=3)", "rwr(c=0.15)", "rwr-push(c=0.1,eps=1e-6)"}) {
+    auto scheme = CreateScheme(spec, opts);
+    ASSERT_TRUE(scheme.ok()) << spec;
+    std::vector<Signature> reference =
+        (*scheme)->ComputeAll(g, ds.local_hosts);
+    for (size_t workers : {1u, 2u, 8u}) {
+      ThreadPool pool(workers);
+      std::vector<Signature> got =
+          ComputeAllParallel(**scheme, g, ds.local_hosts, pool);
+      ASSERT_EQ(got.size(), reference.size()) << spec;
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Signature equality is exact (entry-wise id + double weight), so a
+        // scheduling-dependent summation order would fail here.
+        EXPECT_EQ(got[i], reference[i])
+            << spec << " node " << i << " with " << workers << " workers";
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, ComputeAllParallelStableAcrossRepeatedRuns) {
+  // Same pool, same inputs, many runs: contention patterns differ run to
+  // run, results must not.
+  FlowDataset ds = StressFlows();
+  CommGraph g = ds.Windows()[1];
+  auto scheme = *CreateScheme("rwr(c=0.1,h=3)",
+                              {.k = 10, .restrict_to_opposite_partition = true});
+  ThreadPool pool(8);
+  std::vector<Signature> first =
+      ComputeAllParallel(*scheme, g, ds.local_hosts, pool);
+  for (int run = 0; run < 5; ++run) {
+    std::vector<Signature> again =
+        ComputeAllParallel(*scheme, g, ds.local_hosts, pool);
+    ASSERT_EQ(again.size(), first.size());
+    for (size_t i = 0; i < again.size(); ++i) {
+      EXPECT_EQ(again[i], first[i]) << "run " << run << " node " << i;
+    }
+  }
+}
+
+TEST(DeterminismTest, PairwiseDistancesParallelBitIdenticalAcrossWorkerCounts) {
+  FlowDataset ds = StressFlows();
+  CommGraph g = ds.Windows()[0];
+  auto scheme = *CreateScheme("tt", {.k = 10});
+  std::vector<Signature> sigs = scheme->ComputeAll(g, ds.local_hosts);
+  SignatureDistance dist(DistanceKind::kScaledHellinger);
+
+  ThreadPool single(1);
+  std::vector<double> reference = PairwiseDistancesParallel(sigs, dist, single);
+  for (size_t workers : {2u, 8u}) {
+    ThreadPool pool(workers);
+    std::vector<double> got = PairwiseDistancesParallel(sigs, dist, pool);
+    EXPECT_TRUE(BitIdentical(got, reference)) << workers << " workers";
+  }
+}
+
+TEST(DeterminismTest, PairwiseDistancesParallelStableUnderContention) {
+  // Two pairwise scans on the same 8-thread pool back to back, plus one
+  // interleaved with foreign tasks, all bit-identical.
+  FlowDataset ds = StressFlows();
+  CommGraph g = ds.Windows()[1];
+  auto scheme = *CreateScheme("ut", {.k = 10});
+  std::vector<Signature> sigs = scheme->ComputeAll(g, ds.local_hosts);
+  SignatureDistance dist(DistanceKind::kJaccard);
+
+  ThreadPool pool(8);
+  std::vector<double> first = PairwiseDistancesParallel(sigs, dist, pool);
+  std::vector<double> second = PairwiseDistancesParallel(sigs, dist, pool);
+  EXPECT_TRUE(BitIdentical(first, second));
+}
+
+}  // namespace
+}  // namespace commsig

@@ -105,8 +105,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DistanceKind::kScaledDice,
                       DistanceKind::kScaledHellinger, DistanceKind::kCosine,
                       DistanceKind::kOverlap),
-    [](const ::testing::TestParamInfo<DistanceKind>& info) {
-      return std::string(DistanceName(info.param));
+    [](const ::testing::TestParamInfo<DistanceKind>& param_info) {
+      return std::string(DistanceName(param_info.param));
     });
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""commsig_lint: repo-specific static checks the generic tools can't express.
+
+Rules (suppress one occurrence with `NOLINT(commsig-<rule>)` on the line):
+
+  result-check    Result<T>::value() (or operator*/->) on a named Result
+                  without a preceding ok()/has_value()/status() check in the
+                  same scope. COMMSIG_CHECK aborts on misuse at runtime; this
+                  catches it before the binary runs.
+  reader-check    ByteReader read (.U8/.U32/.U64/.Double/.String) whose
+                  Result is dereferenced in the same expression or discarded
+                  outright — checkpoint payloads are untrusted input, every
+                  read must be checked.
+  naked-new       `new` outside a smart-pointer/container. The only allowed
+                  uses are the annotated intentionally-leaked singletons.
+  endl            std::endl in library code ('\\n' without the flush; the
+                  hot paths write through buffered FILE*/string anyway).
+  header-tu       Every public header under src/ must compile as a
+                  standalone translation unit (include-what-you-use smoke).
+
+Usage: tools/commsig_lint.py [--root DIR] [--compiler CXX] [--no-headers]
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+READ_METHODS = r"(?:U8|U32|U64|Double|String)"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                elif text[j] == quote:
+                    j += 1
+                    break
+                else:
+                    j += 1
+            out.append(quote + " " * (j - i - 2) + (quote if j <= n else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def line_at(original, lineno):
+    lines = original.splitlines()
+    return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+
+
+def suppressed(original, lineno, rule):
+    """The marker may sit on the flagged line or the one above it (for lines
+    that would overflow the column limit)."""
+    marker = f"NOLINT(commsig-{rule})"
+    return (marker in line_at(original, lineno)
+            or marker in line_at(original, lineno - 1))
+
+
+def enclosing_scope_start(code, pos):
+    """Offset of the enclosing function's start, approximated as the last
+    column-0 closing brace before `pos` (repo style closes all functions at
+    column 0)."""
+    last = 0
+    for m in re.finditer(r"^\}", code[:pos], re.MULTILINE):
+        last = m.end()
+    return last
+
+
+def check_result_value(path, original, code, findings):
+    # `x.value()` / `x->value()` on a named local; `(*x)` is operator* and
+    # funnels through value() too but produces too many false positives to
+    # match textually, so the lint anchors on the explicit accessor.
+    for m in re.finditer(r"\b([A-Za-z_]\w*)(?:\.|->)value\(\)", code):
+        var = m.group(1)
+        if var in ("std", "this"):
+            continue
+        lineno = line_of(code, m.start())
+        if suppressed(original, lineno, "result-check"):
+            continue
+        scope = code[enclosing_scope_start(code, m.start()) : m.start()]
+        var_re = re.escape(var)
+        checked = re.search(
+            rf"\b{var_re}(?:\.|->)(?:ok|has_value)\(\)"  # if (x.ok()) ...
+            rf"|\(\s*{var_re}\s*\)"  # ASSERT_TRUE(x) / if (x) via operator bool
+            rf"|!\s*{var_re}\b",  # if (!x) return ...
+            scope,
+        )
+        if not checked:
+            findings.append(
+                (path, lineno, "result-check",
+                 f"{var}.value() without a preceding {var}.ok() / "
+                 f"has_value() check in this scope"))
+
+
+def check_reader(path, original, code, findings):
+    # Dereferenced in the same expression: reader.U32().value() / *reader.U32()
+    for m in re.finditer(
+            rf"\b\w+(?:\.|->){READ_METHODS}\(\)\s*\.\s*value\(\)", code):
+        lineno = line_of(code, m.start())
+        if not suppressed(original, lineno, "reader-check"):
+            findings.append((path, lineno, "reader-check",
+                             "ByteReader read dereferenced unchecked in the "
+                             "same expression"))
+    for m in re.finditer(rf"\*\s*\w+(?:\.|->){READ_METHODS}\(\)", code):
+        lineno = line_of(code, m.start())
+        if not suppressed(original, lineno, "reader-check"):
+            findings.append((path, lineno, "reader-check",
+                             "ByteReader read dereferenced unchecked in the "
+                             "same expression"))
+    # Discarded outright: `reader.U32();` as a full statement.
+    for m in re.finditer(
+            rf"(?:^|;|\{{|\}})\s*\w+(?:\.|->){READ_METHODS}\(\)\s*;", code):
+        lineno = line_of(code, m.end() - 1)
+        if not suppressed(original, lineno, "reader-check"):
+            findings.append((path, lineno, "reader-check",
+                             "ByteReader read result discarded"))
+
+
+def check_naked_new(path, original, code, findings):
+    for m in re.finditer(r"\bnew\b", code):
+        lineno = line_of(code, m.start())
+        if suppressed(original, lineno, "naked-new"):
+            continue
+        findings.append(
+            (path, lineno, "naked-new",
+             "naked new — use std::make_unique / containers, or annotate an "
+             "intentionally leaked singleton with NOLINT(commsig-naked-new)"))
+
+
+def check_endl(path, original, code, findings):
+    for m in re.finditer(r"std\s*::\s*endl", code):
+        lineno = line_of(code, m.start())
+        if not suppressed(original, lineno, "endl"):
+            findings.append((path, lineno, "endl",
+                             "std::endl flushes on every use; write '\\n'"))
+
+
+def check_headers(root, compiler, findings):
+    src = os.path.join(root, "src")
+    headers = []
+    for dirpath, _, names in os.walk(src):
+        for name in sorted(names):
+            if name.endswith(".h"):
+                headers.append(
+                    os.path.relpath(os.path.join(dirpath, name), src))
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel in headers:
+            tu = os.path.join(tmp, "tu.cc")
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{rel}"\n')
+            proc = subprocess.run(
+                [compiler, "-std=c++20", "-fsyntax-only", "-I", src, tu],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                first_error = next(
+                    (l for l in proc.stderr.splitlines() if "error" in l),
+                    proc.stderr.strip().splitlines()[-1]
+                    if proc.stderr.strip() else "compile failed")
+                failures.append((rel, first_error))
+    for rel, err in failures:
+        findings.append((os.path.join("src", rel), 1, "header-tu",
+                         f"header is not self-contained: {err}"))
+
+
+def lint_tree(root, dirs, findings):
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                with open(path, encoding="utf-8") as f:
+                    original = f.read()
+                code = strip_comments_and_strings(original)
+                check_result_value(rel, original, code, findings)
+                check_reader(rel, original, code, findings)
+                check_naked_new(rel, original, code, findings)
+                check_endl(rel, original, code, findings)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--compiler", default="c++",
+                        help="C++ compiler for the header-TU smoke check")
+    parser.add_argument("--no-headers", action="store_true",
+                        help="skip the (slower) header-TU compile check")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"commsig_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    lint_tree(root, ["src", "tools"], findings)
+    if not args.no_headers:
+        check_headers(root, args.compiler, findings)
+
+    for path, lineno, rule, message in sorted(findings):
+        print(f"{path}:{lineno}: [commsig-{rule}] {message}")
+    if findings:
+        print(f"commsig_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("commsig_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
