@@ -1,0 +1,51 @@
+#include "core/incremental.h"
+
+#include <utility>
+
+#include "graph/graph_delta.h"
+#include "obs/obs.h"
+
+namespace commsig {
+
+IncrementalSignatureEngine::IncrementalSignatureEngine(
+    const SignatureScheme& scheme, std::vector<NodeId> nodes)
+    : scheme_(&scheme), nodes_(std::move(nodes)) {}
+
+const std::vector<Signature>& IncrementalSignatureEngine::AdvanceImpl(
+    const CommGraph& g) {
+  COMMSIG_SPAN("timeline/advance");
+  if (windows_advanced_ == 0 || prev_graph_ == nullptr) {
+    current_ = scheme_->IncrementalComputeAll(g, nodes_, nullptr, {}, state_);
+  } else {
+    GraphDelta delta(*prev_graph_, g);
+    current_ = scheme_->IncrementalComputeAll(g, nodes_, &delta,
+                                              std::move(current_), state_);
+  }
+  ++windows_advanced_;
+  return current_;
+}
+
+const std::vector<Signature>& IncrementalSignatureEngine::Advance(CommGraph g) {
+  const std::vector<Signature>& out = AdvanceImpl(g);
+  prev_owned_ = std::move(g);
+  prev_graph_ = &prev_owned_;
+  return out;
+}
+
+const std::vector<Signature>& IncrementalSignatureEngine::AdvanceBorrowed(
+    const CommGraph& g) {
+  const std::vector<Signature>& out = AdvanceImpl(g);
+  prev_owned_ = CommGraph();  // release any previously owned window
+  prev_graph_ = &g;
+  return out;
+}
+
+void IncrementalSignatureEngine::Reset() {
+  prev_owned_ = CommGraph();
+  prev_graph_ = nullptr;
+  current_.clear();
+  state_.reset();
+  windows_advanced_ = 0;
+}
+
+}  // namespace commsig

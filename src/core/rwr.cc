@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/rwr_batch.h"
+#include "graph/graph_delta.h"
 #include "obs/obs.h"
 
 namespace commsig {
@@ -46,17 +49,23 @@ RwrScheme::RwrSolve RwrScheme::Solve(const CommGraph& g, NodeId v) const {
 
 RwrScheme::RwrSolve RwrScheme::Solve(const CommGraph& g, NodeId v,
                                      const TransitionCache& cache) const {
+  std::vector<double> r(g.NumNodes(), 0.0);
+  r[v] = 1.0;
+  return SolveFrom(g, v, cache, std::move(r));
+}
+
+RwrScheme::RwrSolve RwrScheme::SolveFrom(const CommGraph& g, NodeId v,
+                                         const TransitionCache& cache,
+                                         std::vector<double> r) const {
   const size_t n = g.NumNodes();
   const bool symmetric = rwr_.traversal == TraversalMode::kSymmetric;
   const double c = rwr_.reset;
 
-  std::vector<double> r(n, 0.0);
   // Scratch survives across calls: an all-hosts sweep allocates the result
   // vector only, not a second O(n) buffer per solve.
   thread_local std::vector<double> scratch;
   scratch.assign(n, 0.0);
   std::vector<double>& next = scratch;
-  r[v] = 1.0;
 
   COMMSIG_SPAN("rwr/iterate");
   const size_t iterations =
@@ -172,13 +181,25 @@ Signature RwrScheme::Compute(const CommGraph& g, NodeId v) const {
 
 std::vector<Signature> RwrScheme::ComputeAll(
     const CommGraph& g, std::span<const NodeId> nodes) const {
-  std::vector<Signature> out(nodes.size());
-  if (nodes.empty()) return out;
+  if (nodes.empty()) return {};
   COMMSIG_SPAN("rwr/compute_all_batched");
-
   // One normalizer/partition derivation for the whole sweep, shared by the
   // main engine and the fallback ladder.
   TransitionCache cache(g, rwr_.traversal);
+  return SolveManyBatched(g, cache, nodes, nullptr);
+}
+
+std::vector<Signature> RwrScheme::SolveManyBatched(
+    const CommGraph& g, const TransitionCache& cache,
+    std::span<const NodeId> nodes,
+    std::vector<std::vector<Signature::Entry>>* supports) const {
+  std::vector<Signature> out(nodes.size());
+  if (supports != nullptr) {
+    supports->clear();
+    supports->resize(nodes.size());
+  }
+  if (nodes.empty()) return out;
+
   RwrBatchEngine engine(rwr_, cache);
   RwrBatchWorkspace& ws = RwrBatchEngine::LocalWorkspace();
 
@@ -220,10 +241,244 @@ std::vector<Signature> RwrScheme::ComputeAll(
       const auto [start, end] = retried ? retry_ranges[ri++] : ranges[b];
       const Signature::Entry* base =
           retried ? retry_entries.data() : entries.data();
-      out[begin + b] = SignatureFromSupport(
-          g, batch[b], std::span<const Signature::Entry>(base + start,
-                                                         end - start));
+      std::span<const Signature::Entry> support(base + start, end - start);
+      out[begin + b] = SignatureFromSupport(g, batch[b], support);
+      if (supports != nullptr) {
+        (*supports)[begin + b].assign(support.begin(), support.end());
+      }
     }
+  }
+  return out;
+}
+
+namespace {
+
+/// RwrScheme's warm state: per focal node, the sparse support of the last
+/// solved stationary vector and the drift-bound mass accumulated against
+/// it since. Memory is O(sum of support sizes) — bounded by h-hop
+/// neighbourhood sizes for truncated walks, up to O(reachable set) for
+/// unbounded ones. `warm` is dense, index-aligned with `nodes` (the focal
+/// population the state was primed for — a changed population re-primes),
+/// so the steady-state per-focal probe is an array load, not a hash find.
+/// The TransitionCache is carried across windows and Rebased per delta,
+/// making the fixed per-window setup O(changed rows) instead of O(n).
+struct RwrIncrementalState final : IncrementalState {
+  struct Warm {
+    std::vector<Signature::Entry> support;
+    double acc_drift = 0.0;
+  };
+  std::vector<NodeId> nodes;
+  std::vector<Warm> warm;
+  std::optional<TransitionCache> cache;
+  /// Scratch: normalized drift per changed row, kept all-zero between
+  /// calls (only the entries touched this window are set and re-cleared)
+  /// so steady state pays no O(n) refill.
+  std::vector<double> row_drift;
+};
+
+/// Merge-walk over two id-sorted edge rows accumulating
+/// sum |w_new/norm_new - w_old/norm_old| (absent edges contribute their
+/// full normalized weight).
+double NormalizedRowL1(std::span<const Edge> old_row,
+                       std::span<const Edge> new_row, double inv_old,
+                       double inv_new) {
+  double drift = 0.0;
+  size_t i = 0, j = 0;
+  while (i < old_row.size() || j < new_row.size()) {
+    if (j == new_row.size() ||
+        (i < old_row.size() && old_row[i].node < new_row[j].node)) {
+      drift += old_row[i].weight * inv_old;
+      ++i;
+    } else if (i == old_row.size() || new_row[j].node < old_row[i].node) {
+      drift += new_row[j].weight * inv_new;
+      ++j;
+    } else {
+      drift += std::fabs(new_row[j].weight * inv_new -
+                         old_row[i].weight * inv_old);
+      ++i;
+      ++j;
+    }
+  }
+  return drift;
+}
+
+/// L1 distance between x's normalized transition rows in the two windows.
+/// Dangling rows redirect to the walk's start node, so a walkable <->
+/// dangling flip is maximal drift (2); symmetric traversals sum the out-
+/// and in-halves separately, a triangle-inequality upper bound on the
+/// merged row's true drift.
+double TransitionRowDrift(const CommGraph& old_g, const CommGraph& new_g,
+                          const TransitionCache& cache, NodeId x,
+                          bool symmetric) {
+  const double old_norm =
+      old_g.OutWeight(x) + (symmetric ? old_g.InWeight(x) : 0.0);
+  const bool old_walkable = old_norm > 0.0;
+  if (old_walkable != cache.walkable(x)) return 2.0;
+  if (!old_walkable) return 0.0;
+  const double inv_old = 1.0 / old_norm;
+  const double inv_new = cache.inv_norm(x);
+  double drift = NormalizedRowL1(old_g.OutEdges(x), new_g.OutEdges(x),
+                                 inv_old, inv_new);
+  if (symmetric) {
+    drift += NormalizedRowL1(old_g.InEdges(x), new_g.InEdges(x), inv_old,
+                             inv_new);
+  }
+  return std::min(drift, 2.0);
+}
+
+}  // namespace
+
+std::vector<Signature> RwrScheme::IncrementalComputeAll(
+    const CommGraph& g, std::span<const NodeId> nodes, const GraphDelta* delta,
+    std::vector<Signature> previous,
+    std::unique_ptr<IncrementalState>& state) const {
+  auto* st = dynamic_cast<RwrIncrementalState*>(state.get());
+  const bool can_advance =
+      st != nullptr && delta != nullptr && previous.size() == nodes.size() &&
+      st->nodes.size() == nodes.size() && st->cache.has_value() &&
+      st->cache->num_nodes() == g.NumNodes() &&
+      std::equal(nodes.begin(), nodes.end(), st->nodes.begin());
+  if (!can_advance) {
+    // Prime: full batched sweep, capturing every stationary support as the
+    // warm state for the transitions that follow.
+    auto fresh = std::make_unique<RwrIncrementalState>();
+    COMMSIG_COUNTER_ADD("timeline/nodes_dirty", nodes.size());
+    std::vector<Signature> out;
+    fresh->cache.emplace(g, rwr_.traversal);
+    fresh->nodes.assign(nodes.begin(), nodes.end());
+    fresh->warm.resize(nodes.size());
+    fresh->row_drift.assign(g.NumNodes(), 0.0);
+    if (!nodes.empty()) {
+      std::vector<std::vector<Signature::Entry>> supports;
+      out = SolveManyBatched(g, *fresh->cache, nodes, &supports);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        fresh->warm[i].support = std::move(supports[i]);
+      }
+    }
+    state = std::move(fresh);
+    return out;
+  }
+
+  COMMSIG_SPAN("rwr/incremental_compute_all");
+  const size_t n = g.NumNodes();
+  const bool symmetric = rwr_.traversal == TraversalMode::kSymmetric;
+  const double c = rwr_.reset;
+  // Carry the previous window's cache forward: only changed rows can hold
+  // new normalizers, so the per-window setup is O(changed), not O(n).
+  st->cache->Rebase(g, delta->changed_row_nodes());
+  const TransitionCache& cache = *st->cache;
+
+  // Normalized transition drift of every changed row, dense-indexed so the
+  // per-focal pass is a sparse dot against its stored support. The scratch
+  // lives in the state (all-zero between calls) to skip the O(n) refill.
+  const CommGraph& old_g = delta->old_graph();
+  std::vector<double>& row_drift = st->row_drift;
+  bool any_drift = false;
+  for (NodeId x : delta->changed_row_nodes()) {
+    if (!delta->RowChanged(x, symmetric)) continue;
+    const double d = TransitionRowDrift(old_g, g, cache, x, symmetric);
+    if (d > 0.0) {
+      row_drift[x] = d;
+      any_drift = true;
+    }
+  }
+
+  // Geometric amplification of one-step row drift over the whole walk:
+  // sum_{t=1..h} (1-c)^t, with h -> inf for the unbounded walk. c = 0 has
+  // no contraction, so only exact-zero drift may reuse there.
+  double factor;
+  if (c <= 0.0) {
+    factor = 1e30;
+  } else if (rwr_.max_hops > 0) {
+    factor = (1.0 - c) *
+             (1.0 - std::pow(1.0 - c, static_cast<double>(rwr_.max_hops))) / c;
+  } else {
+    factor = (1.0 - c) / c;
+  }
+
+  std::vector<Signature> out(nodes.size());
+  std::vector<NodeId> cold_nodes;
+  std::vector<size_t> cold_slots;
+  std::vector<size_t> warm_slots;
+  size_t reused = 0;
+  size_t warm_fallbacks = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId v = nodes[i];
+    RwrIncrementalState::Warm& warm = st->warm[i];
+    double weighted = 0.0;
+    if (any_drift) {
+      for (const Signature::Entry& e : warm.support) {
+        weighted += e.weight * row_drift[e.node];
+      }
+    }
+    if (weighted > 0.0) warm.acc_drift += factor * weighted;
+    if (warm.acc_drift <= rwr_.incremental_max_drift) {
+      out[i] = std::move(previous[i]);  // reuse is O(1), previous is owned
+      ++reused;
+    } else if (rwr_.max_hops == 0 &&
+               warm.acc_drift <= rwr_.incremental_warm_drift) {
+      warm_slots.push_back(i);
+    } else {
+      // Truncated walks re-solve exactly (their normal path); unbounded
+      // walks past the warm bound fall to the cold ladder.
+      if (rwr_.max_hops == 0) ++warm_fallbacks;
+      cold_nodes.push_back(v);
+      cold_slots.push_back(i);
+    }
+  }
+
+  // Warm starts: seed the power iteration with the previous stationary
+  // vector. The convergence criterion is Solve's own, so the fixed point —
+  // and therefore the signature — matches a cold solve within tolerance.
+  for (size_t i : warm_slots) {
+    const NodeId v = nodes[i];
+    RwrIncrementalState::Warm& warm = st->warm[i];
+    std::vector<double> seed(n, 0.0);
+    double total = 0.0;
+    for (const Signature::Entry& e : warm.support) total += e.weight;
+    if (total > 0.0) {
+      const double inv = 1.0 / total;
+      for (const Signature::Entry& e : warm.support) {
+        seed[e.node] = e.weight * inv;
+      }
+    } else {
+      seed[v] = 1.0;
+    }
+    RwrSolve solve = SolveFrom(g, v, cache, std::move(seed));
+    if (!solve.converged) {
+      ++warm_fallbacks;
+      cold_nodes.push_back(v);
+      cold_slots.push_back(i);
+      continue;
+    }
+    out[i] = SignatureFromVector(g, v, solve.probabilities);
+    warm.support.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      if (solve.probabilities[u] > 0.0) {
+        warm.support.push_back({u, solve.probabilities[u]});
+      }
+    }
+    warm.acc_drift = 0.0;
+  }
+
+  if (!cold_nodes.empty()) {
+    std::vector<std::vector<Signature::Entry>> supports;
+    std::vector<Signature> solved =
+        SolveManyBatched(g, cache, cold_nodes, &supports);
+    for (size_t j = 0; j < cold_nodes.size(); ++j) {
+      out[cold_slots[j]] = std::move(solved[j]);
+      st->warm[cold_slots[j]] = {std::move(supports[j]), 0.0};
+    }
+  }
+
+  // Restore the row_drift all-zero invariant by clearing only what this
+  // window touched.
+  for (NodeId x : delta->changed_row_nodes()) row_drift[x] = 0.0;
+
+  COMMSIG_COUNTER_ADD("timeline/nodes_reused", reused);
+  COMMSIG_COUNTER_ADD("timeline/nodes_dirty", nodes.size() - reused);
+  if (warm_fallbacks > 0) {
+    COMMSIG_COUNTER_ADD("timeline/rwr_warm_start_fallbacks", warm_fallbacks);
   }
   return out;
 }

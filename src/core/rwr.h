@@ -59,6 +59,28 @@ class RwrScheme final : public SignatureScheme {
   std::vector<Signature> ComputeAll(
       const CommGraph& g, std::span<const NodeId> nodes) const override;
 
+  /// Drift-gated incremental sweep. Each focal node's warm state is the
+  /// sparse support of its last solved stationary vector plus the drift
+  /// accumulated since. Per transition the changed transition rows'
+  /// normalized L1 drift is folded against each stored support (see
+  /// DESIGN.md §11 for the bound); a node is then
+  ///   - reused (signature copied) while accumulated drift stays <=
+  ///     rwr_options().incremental_max_drift — exact 0 for any node whose
+  ///     support touches no changed row, the common case at high overlap;
+  ///   - warm-started (unbounded walks only) while drift <=
+  ///     incremental_warm_drift: the power iteration is seeded with the
+  ///     previous stationary vector and converges in the usual criterion;
+  ///   - cold-solved through the batched engine + fallback ladder
+  ///     otherwise, or when a warm start fails to converge (counted under
+  ///     `timeline/rwr_warm_start_fallbacks`).
+  /// Truncated RWR^h signatures are bit-identical to ComputeAll whenever
+  /// drift is exactly 0 and exact re-solves otherwise; unbounded results
+  /// stay within incremental_max_drift + solver tolerance in L1.
+  std::vector<Signature> IncrementalComputeAll(
+      const CommGraph& g, std::span<const NodeId> nodes,
+      const GraphDelta* delta, std::vector<Signature> previous,
+      std::unique_ptr<IncrementalState>& state) const override;
+
   /// Runs the power iteration and reports convergence explicitly.
   RwrSolve Solve(const CommGraph& g, NodeId v) const;
 
@@ -78,6 +100,22 @@ class RwrScheme final : public SignatureScheme {
   const RwrOptions& rwr_options() const { return rwr_; }
 
  private:
+  /// Power iteration from an arbitrary initial distribution `r` (consumed).
+  /// Solve seeds e_v through this, so cold and warm solves share one code
+  /// path and identical convergence semantics.
+  RwrSolve SolveFrom(const CommGraph& g, NodeId v, const TransitionCache& cache,
+                     std::vector<double> r) const;
+
+  /// Batched sweep core shared by ComputeAll and the incremental cold path:
+  /// solves `nodes` through RwrBatchEngine (+ the truncated fallback
+  /// ladder) against a prebuilt cache. When `supports` is non-null it is
+  /// resized alongside the result and receives each node's sparse
+  /// stationary support (the incremental warm state).
+  std::vector<Signature> SolveManyBatched(
+      const CommGraph& g, const TransitionCache& cache,
+      std::span<const NodeId> nodes,
+      std::vector<std::vector<Signature::Entry>>* supports) const;
+
   /// Top-k extraction from a dense occupancy vector: applies the
   /// Definition-1 candidate filter, then Signature::FromTopK.
   Signature SignatureFromVector(const CommGraph& g, NodeId v,

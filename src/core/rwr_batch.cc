@@ -25,6 +25,22 @@ TransitionCache::TransitionCache(const CommGraph& g, TraversalMode mode)
   }
 }
 
+void TransitionCache::Rebase(const CommGraph& new_g,
+                             std::span<const NodeId> changed_rows) {
+  COMMSIG_CHECK(new_g.NumNodes() == norm_.size(),
+                "TransitionCache::Rebase requires a shared node universe");
+  graph_ = &new_g;
+  const bool symmetric = mode_ == TraversalMode::kSymmetric;
+  for (NodeId x : changed_rows) {
+    const double w = new_g.OutWeight(x) + (symmetric ? new_g.InWeight(x) : 0.0);
+    num_walkable_ -= walkable_[x];
+    norm_[x] = w;
+    inv_norm_[x] = w > 0.0 ? 1.0 / w : 0.0;
+    walkable_[x] = w > 0.0 ? 1 : 0;
+    num_walkable_ += walkable_[x];
+  }
+}
+
 void RwrBatchWorkspace::Prepare(size_t n, size_t width) {
   const size_t cells = n * width;
   // The dense state is restored to all-zero at the end of every solve, so

@@ -16,11 +16,21 @@ namespace commsig {
 /// per-source paths used to re-derive it on every call, which made an
 /// all-hosts sweep pay n× redundant setup.
 ///
-/// Immutable after construction and safe to share across threads; the
-/// referenced graph must outlive the cache.
+/// Safe to share across threads between mutations; the referenced graph
+/// must outlive the cache. Rebase() is the only mutator — sliding-window
+/// callers use it to carry the cache to the next window for O(changed)
+/// instead of O(n) per-window setup.
 class TransitionCache {
  public:
   TransitionCache(const CommGraph& g, TraversalMode mode);
+
+  /// Re-points the cache at `new_g` (same node universe) and recomputes
+  /// the normalizers of `changed_rows` only. `changed_rows` must cover
+  /// every node whose out-row (or, for symmetric traversals, in-row)
+  /// differs between the old and new graph — GraphDelta::changed_row_nodes
+  /// is such a cover. Afterwards the cache is indistinguishable from one
+  /// freshly built on `new_g`.
+  void Rebase(const CommGraph& new_g, std::span<const NodeId> changed_rows);
 
   const CommGraph& graph() const { return *graph_; }
   TraversalMode mode() const { return mode_; }

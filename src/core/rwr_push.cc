@@ -96,6 +96,17 @@ Signature RwrPushScheme::Compute(const CommGraph& g, NodeId v) const {
   return Signature::FromTopK(std::move(candidates), options_.k);
 }
 
+std::vector<Signature> RwrPushScheme::IncrementalComputeAll(
+    const CommGraph& g, std::span<const NodeId> nodes, const GraphDelta* delta,
+    std::vector<Signature> previous,
+    std::unique_ptr<IncrementalState>& state) const {
+  (void)delta;
+  (void)previous;
+  (void)state;
+  COMMSIG_COUNTER_ADD("timeline/nodes_dirty", nodes.size());
+  return ComputeAll(g, nodes);
+}
+
 std::unique_ptr<SignatureScheme> MakeRwrPush(SchemeOptions options,
                                              RwrPushOptions push_options) {
   return std::make_unique<RwrPushScheme>(options, push_options);

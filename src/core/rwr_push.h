@@ -44,6 +44,16 @@ class RwrPushScheme final : public SignatureScheme {
 
   Signature Compute(const CommGraph& g, NodeId v) const override;
 
+  /// Full recompute every transition. Push estimates depend on the whole
+  /// reachable neighbourhood and the scheme keeps no residual state across
+  /// windows, so the base LocalDirty rule would silently reuse stale
+  /// signatures; RwrScheme's drift-gated path is the incremental RWR
+  /// option.
+  std::vector<Signature> IncrementalComputeAll(
+      const CommGraph& g, std::span<const NodeId> nodes,
+      const GraphDelta* delta, std::vector<Signature> previous,
+      std::unique_ptr<IncrementalState>& state) const override;
+
   /// The approximate PPR vector (lower bounds the exact probabilities).
   /// Also reports the number of push operations performed, for the
   /// scalability bench.

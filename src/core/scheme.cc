@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "core/rwr_push.h"
+#include "graph/graph_delta.h"
+#include "obs/obs.h"
 
 namespace commsig {
 
@@ -40,6 +42,46 @@ std::vector<Signature> SignatureScheme::ComputeAll(
   out.reserve(nodes.size());
   for (NodeId v : nodes) out.push_back(Compute(g, v));
   return out;
+}
+
+std::vector<Signature> SignatureScheme::RecomputeDirty(
+    const CommGraph& g, std::span<const NodeId> nodes,
+    std::vector<Signature> previous,
+    const std::function<bool(NodeId)>& is_dirty) const {
+  std::vector<NodeId> dirty_nodes;
+  std::vector<size_t> dirty_slots;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (is_dirty(nodes[i])) {
+      dirty_nodes.push_back(nodes[i]);
+      dirty_slots.push_back(i);
+    }
+  }
+  // Route dirty recomputes through ComputeAll, not per-node Compute, so a
+  // scheme's batched sweep amortization carries over to the dirty subset.
+  std::vector<Signature> recomputed = ComputeAll(g, dirty_nodes);
+
+  // Clean signatures ride along by move: a reuse is O(1), no allocation.
+  std::vector<Signature> out = std::move(previous);
+  for (size_t j = 0; j < dirty_slots.size(); ++j) {
+    out[dirty_slots[j]] = std::move(recomputed[j]);
+  }
+  COMMSIG_COUNTER_ADD("timeline/nodes_dirty", dirty_nodes.size());
+  COMMSIG_COUNTER_ADD("timeline/nodes_reused",
+                      nodes.size() - dirty_nodes.size());
+  return out;
+}
+
+std::vector<Signature> SignatureScheme::IncrementalComputeAll(
+    const CommGraph& g, std::span<const NodeId> nodes, const GraphDelta* delta,
+    std::vector<Signature> previous,
+    std::unique_ptr<IncrementalState>& state) const {
+  (void)state;  // the base rule is stateless; schemes with warm state override
+  if (delta == nullptr || previous.size() != nodes.size()) {
+    COMMSIG_COUNTER_ADD("timeline/nodes_dirty", nodes.size());
+    return ComputeAll(g, nodes);
+  }
+  return RecomputeDirty(g, nodes, std::move(previous),
+                        [&](NodeId v) { return delta->LocalDirty(v); });
 }
 
 bool SignatureScheme::KeepCandidate(const CommGraph& g, NodeId focal,

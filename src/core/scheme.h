@@ -1,6 +1,7 @@
 #ifndef COMMSIG_CORE_SCHEME_H_
 #define COMMSIG_CORE_SCHEME_H_
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -12,6 +13,8 @@
 #include "graph/comm_graph.h"
 
 namespace commsig {
+
+class GraphDelta;
 
 /// The paper's three fundamental signature properties (Definition 2).
 enum class SignatureProperty {
@@ -71,6 +74,19 @@ struct SchemeOptions {
   bool restrict_to_opposite_partition = false;
 };
 
+/// Opaque scheme-owned warm state threaded through consecutive
+/// IncrementalComputeAll calls (e.g. RWR stationary-vector supports). The
+/// caller keeps one slot per (scheme, focal set) sequence and never
+/// inspects it; resetting to nullptr forces the next call to re-prime.
+class IncrementalState {
+ public:
+  virtual ~IncrementalState() = default;
+
+  IncrementalState() = default;
+  IncrementalState(const IncrementalState&) = delete;
+  IncrementalState& operator=(const IncrementalState&) = delete;
+};
+
 /// Interface implemented by every signature scheme (TT, UT, RWR, ...).
 ///
 /// A scheme maps (window graph, focal node) -> Signature. Schemes are
@@ -101,9 +117,45 @@ class SignatureScheme {
   virtual std::vector<Signature> ComputeAll(const CommGraph& g,
                                             std::span<const NodeId> nodes) const;
 
+  /// Window-transition sweep: computes the signatures of `nodes` on `g`
+  /// given the signatures they had on the previous window (`previous`,
+  /// index-aligned with `nodes`) and the structural diff between the two
+  /// windows (`delta`, with delta->new_graph() == g). Passing delta ==
+  /// nullptr (or a mismatched `previous`) primes the sequence: a full
+  /// ComputeAll that also initializes `state`. `state` is the scheme's
+  /// opaque warm state — thread the same slot through every transition of
+  /// one window sequence and through nothing else.
+  ///
+  /// The default recomputes exactly the LocalDirty focal nodes (out-row
+  /// changed, or an out-neighbour's in-degree changed) and reuses every
+  /// clean Signature — bit-identical to ComputeAll for any scheme
+  /// whose signature reads only the focal out-row and its endpoints'
+  /// in-degrees (TT narrows the rule; UT uses it as-is). Schemes with
+  /// global dependence (RWR, rwr-push) MUST override: the base rule is
+  /// wrong for them. Reuse/recompute volumes are counted under
+  /// `timeline/nodes_reused` / `timeline/nodes_dirty`.
+  ///
+  /// `previous` is taken by value so clean signatures are *moved* into the
+  /// result, not copied — a reuse must cost O(1), or high-overlap sweeps
+  /// of cheap schemes would spend their savings on allocation. Callers that
+  /// still need the previous window's signatures pass an explicit copy.
+  virtual std::vector<Signature> IncrementalComputeAll(
+      const CommGraph& g, std::span<const NodeId> nodes,
+      const GraphDelta* delta, std::vector<Signature> previous,
+      std::unique_ptr<IncrementalState>& state) const;
+
   const SchemeOptions& options() const { return options_; }
 
  protected:
+  /// Shared skeleton for dirty-set incremental sweeps: recomputes the nodes
+  /// `is_dirty` flags (batched through ComputeAll, so schemes with batched
+  /// sweeps keep their amortization) and moves `previous` through for the
+  /// rest, maintaining the timeline/* counters.
+  std::vector<Signature> RecomputeDirty(
+      const CommGraph& g, std::span<const NodeId> nodes,
+      std::vector<Signature> previous,
+      const std::function<bool(NodeId)>& is_dirty) const;
+
   /// Definition-1 candidate filter: rejects the focal node itself and, when
   /// requested and the graph is bipartite, nodes in the focal node's own
   /// partition.
@@ -161,6 +213,25 @@ struct RwrOptions {
   size_t fallback_hops = 4;
 
   TraversalMode traversal = TraversalMode::kSymmetric;
+
+  /// Incremental sweeps (IncrementalComputeAll): a focal node's previous
+  /// signature is reused while its accumulated drift-bound estimate —
+  /// sum over its stored stationary support of occupancy mass times the
+  /// changed rows' normalized-transition L1 drift, scaled by the walk's
+  /// geometric amplification factor — stays at or below this L1 bound.
+  /// 0 disables reuse entirely (every node re-solves each window); nodes
+  /// whose support touches no changed row estimate exactly 0 and are
+  /// reused at any setting. See DESIGN.md §11 for the bound.
+  double incremental_max_drift = 1e-6;
+
+  /// Unbounded walks whose drift estimate exceeds incremental_max_drift
+  /// but stays at or below this limit are warm-started: the power
+  /// iteration is seeded with the previous stationary vector, so it pays
+  /// ~ln(drift/tolerance) contraction steps instead of ~ln(1/tolerance).
+  /// Above the limit (or when the warm solve fails to converge) the node
+  /// joins the cold batched re-solve, counted under
+  /// `timeline/rwr_warm_start_fallbacks`.
+  double incremental_warm_drift = 0.25;
 };
 
 /// Factory helpers.

@@ -36,6 +36,7 @@ Signature Signature::FromTopK(std::vector<Entry> candidates, size_t k) {
 
   Signature sig;
   sig.entries_ = std::move(candidates);
+  sig.RecomputeTotal();
   return sig;
 }
 
@@ -84,6 +85,7 @@ Signature Signature::TopKSelector::Take() {
             [](const Entry& a, const Entry& b) { return a.node < b.node; });
   Signature sig;
   sig.entries_ = std::move(best_);
+  sig.RecomputeTotal();
   Reset();
   return sig;
 }
@@ -102,10 +104,10 @@ double Signature::WeightOf(NodeId node) const {
   return 0.0;
 }
 
-double Signature::TotalWeight() const {
+void Signature::RecomputeTotal() {
   double total = 0.0;
   for (const Entry& e : entries_) total += e.weight;
-  return total;
+  total_weight_ = total;
 }
 
 Signature Signature::Normalized() const {
@@ -114,6 +116,7 @@ Signature Signature::Normalized() const {
   if (total > 0.0) {
     for (Entry& e : out.entries_) e.weight /= total;
   }
+  out.RecomputeTotal();
   return out;
 }
 

@@ -77,8 +77,10 @@ class Signature {
   /// Weight of `node` in the signature, or 0 if absent. O(log size).
   double WeightOf(NodeId node) const;
 
-  /// Sum of entry weights.
-  double TotalWeight() const;
+  /// Sum of entry weights. Cached at construction — this sits under
+  /// Normalized() and every per-pair distance call, so it must not re-sum
+  /// the entries each time.
+  double TotalWeight() const { return total_weight_; }
 
   /// Returns a copy with weights scaled to sum to 1 (no-op when empty).
   /// Useful when comparing signatures whose schemes emit different scales.
@@ -88,10 +90,16 @@ class Signature {
   /// order, using `interner` for labels.
   std::string ToString(const Interner& interner) const;
 
-  friend bool operator==(const Signature&, const Signature&) = default;
+  /// Equality is over entries only; the cached total is derived state.
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.entries_ == b.entries_;
+  }
 
  private:
+  void RecomputeTotal();
+
   std::vector<Entry> entries_;
+  double total_weight_ = 0.0;
 };
 
 }  // namespace commsig

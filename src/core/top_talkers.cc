@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "graph/graph_delta.h"
 #include "obs/obs.h"
 
 namespace commsig {
@@ -18,6 +19,19 @@ Signature TopTalkersScheme::Compute(const CommGraph& g, NodeId v) const {
     candidates.push_back({e.node, e.weight / total});
   }
   return Signature::FromTopK(std::move(candidates), options_.k);
+}
+
+std::vector<Signature> TopTalkersScheme::IncrementalComputeAll(
+    const CommGraph& g, std::span<const NodeId> nodes, const GraphDelta* delta,
+    std::vector<Signature> previous,
+    std::unique_ptr<IncrementalState>& state) const {
+  (void)state;
+  if (delta == nullptr || previous.size() != nodes.size()) {
+    COMMSIG_COUNTER_ADD("timeline/nodes_dirty", nodes.size());
+    return ComputeAll(g, nodes);
+  }
+  return RecomputeDirty(g, nodes, std::move(previous),
+                        [&](NodeId v) { return delta->OutChanged(v); });
 }
 
 std::unique_ptr<SignatureScheme> MakeTopTalkers(SchemeOptions options) {

@@ -26,6 +26,14 @@ class TopTalkersScheme final : public SignatureScheme {
   }
 
   Signature Compute(const CommGraph& g, NodeId v) const override;
+
+  /// TT reads nothing but the focal out-row, so the dirty rule narrows
+  /// from the base LocalDirty to OutChanged alone: an out-neighbour's
+  /// in-degree change cannot move a TT signature.
+  std::vector<Signature> IncrementalComputeAll(
+      const CommGraph& g, std::span<const NodeId> nodes,
+      const GraphDelta* delta, std::vector<Signature> previous,
+      std::unique_ptr<IncrementalState>& state) const override;
 };
 
 }  // namespace commsig

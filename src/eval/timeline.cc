@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/incremental.h"
+
 namespace commsig {
 
 std::vector<TransitionStats> PersistencePerTransition(
@@ -35,6 +37,27 @@ std::vector<LagStats> PersistenceByLag(
     out.push_back({lag, stats.Mean(), stats.StdDev(), stats.count()});
   }
   return out;
+}
+
+std::vector<std::vector<Signature>> ComputeSignatureTimeline(
+    const SignatureScheme& scheme, std::span<const CommGraph> windows,
+    std::span<const NodeId> nodes,
+    const SignatureTimelineOptions& options) {
+  std::vector<std::vector<Signature>> per_window;
+  per_window.reserve(windows.size());
+  if (options.incremental) {
+    IncrementalSignatureEngine engine(
+        scheme, std::vector<NodeId>(nodes.begin(), nodes.end()));
+    // The windows span outlives the engine, so the zero-copy form applies.
+    for (const CommGraph& g : windows) {
+      per_window.push_back(engine.AdvanceBorrowed(g));
+    }
+  } else {
+    for (const CommGraph& g : windows) {
+      per_window.push_back(scheme.ComputeAll(g, nodes));
+    }
+  }
+  return per_window;
 }
 
 }  // namespace commsig

@@ -2,11 +2,14 @@
 #define COMMSIG_EVAL_TIMELINE_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/stats.h"
 #include "core/distance.h"
+#include "core/scheme.h"
 #include "core/signature.h"
+#include "graph/comm_graph.h"
 
 namespace commsig {
 
@@ -40,6 +43,19 @@ struct LagStats {
 std::vector<LagStats> PersistenceByLag(
     const std::vector<std::vector<Signature>>& per_window,
     SignatureDistance dist, size_t max_lag);
+
+/// Computes `per_window[w][i]` = signature of nodes[i] in windows[w] — the
+/// input shape the persistence helpers above consume. By default the sweep
+/// rides IncrementalSignatureEngine, so consecutive windows pay only for
+/// their dirty nodes; incremental = false forces per-window ComputeAll
+/// (the from-scratch reference the equivalence tests and the speedup bench
+/// compare against).
+struct SignatureTimelineOptions {
+  bool incremental = true;
+};
+std::vector<std::vector<Signature>> ComputeSignatureTimeline(
+    const SignatureScheme& scheme, std::span<const CommGraph> windows,
+    std::span<const NodeId> nodes, const SignatureTimelineOptions& options = {});
 
 }  // namespace commsig
 

@@ -1,72 +1,101 @@
 #include "graph/graph_builder.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
+#include "common/random.h"
+
 namespace commsig {
 
-GraphBuilder::GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {
-  adjacency_.resize(num_nodes);
+namespace {
+
+/// Chained SplitMix64 over a sorted edge row. Equal rows (same neighbours,
+/// bit-identical weights) always digest identically; the digest seeds are
+/// fixed so digests are comparable across graphs and processes.
+uint64_t DigestRow(std::span<const Edge> row) {
+  uint64_t h = 0x9017;
+  for (const Edge& e : row) {
+    h = SplitMix64(h ^ e.node);
+    h = SplitMix64(h ^ std::bit_cast<uint64_t>(e.weight));
+  }
+  return h;
 }
+
+}  // namespace
+
+GraphBuilder::GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
 
 void GraphBuilder::AddEdge(NodeId src, NodeId dst, double weight) {
   assert(src < num_nodes_ && dst < num_nodes_);
   assert(weight > 0.0);
-  adjacency_[src][dst] += weight;
+  staged_.push_back({src, dst, weight});
 }
 
 bool GraphBuilder::TryAddEdge(NodeId src, NodeId dst, double weight) {
   if (src >= num_nodes_ || dst >= num_nodes_) return false;
   if (!std::isfinite(weight) || weight <= 0.0) return false;
-  adjacency_[src][dst] += weight;
+  staged_.push_back({src, dst, weight});
   return true;
 }
 
 CommGraph GraphBuilder::Build() && {
   CommGraph g;
   const size_t n = num_nodes_;
+  // Stable: same-(src,dst) observations keep insertion order, so each
+  // edge's weight sums in arrival order (deterministic FP aggregation).
+  std::stable_sort(staged_.begin(), staged_.end(),
+                   [](const CommGraph::FlatEdge& a,
+                      const CommGraph::FlatEdge& b) {
+                     return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                   });
+
   g.out_index_.assign(n + 1, 0);
   g.in_index_.assign(n + 1, 0);
   g.out_weight_.assign(n, 0.0);
   g.in_weight_.assign(n, 0.0);
 
-  // Pass 1: degree counts.
-  size_t num_edges = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    g.out_index_[v + 1] = adjacency_[v].size();
-    num_edges += adjacency_[v].size();
-    for (const auto& [dst, w] : adjacency_[v]) {
-      g.in_index_[dst + 1] += 1;
+  // Collapse sorted runs into aggregated out-edges (already dst-sorted
+  // within each src range) while tallying degrees and weights.
+  for (size_t i = 0; i < staged_.size();) {
+    const NodeId src = staged_[i].src;
+    const NodeId dst = staged_[i].dst;
+    double w = 0.0;
+    for (; i < staged_.size() && staged_[i].src == src &&
+           staged_[i].dst == dst;
+         ++i) {
+      w += staged_[i].weight;
     }
+    g.out_edges_.push_back({dst, w});
+    g.out_index_[src + 1] += 1;
+    g.in_index_[dst + 1] += 1;
+    g.out_weight_[src] += w;
+    g.in_weight_[dst] += w;
+    g.total_weight_ += w;
   }
+  staged_.clear();
+  staged_.shrink_to_fit();
   for (size_t i = 1; i <= n; ++i) {
     g.out_index_[i] += g.out_index_[i - 1];
     g.in_index_[i] += g.in_index_[i - 1];
   }
 
-  // Pass 2: fill out-edges (sorted by dst) and scatter in-edges.
-  g.out_edges_.resize(num_edges);
-  g.in_edges_.resize(num_edges);
-  std::vector<size_t> in_cursor(g.in_index_.begin(), g.in_index_.end() - 1);
-  for (NodeId v = 0; v < n; ++v) {
-    size_t begin = g.out_index_[v];
-    size_t pos = begin;
-    for (const auto& [dst, w] : adjacency_[v]) {
-      g.out_edges_[pos++] = {dst, w};
-      g.out_weight_[v] += w;
-      g.in_weight_[dst] += w;
-      g.total_weight_ += w;
-    }
-    std::sort(g.out_edges_.begin() + begin, g.out_edges_.begin() + pos,
-              [](const Edge& a, const Edge& b) { return a.node < b.node; });
-  }
   // Scattering in src order keeps each in-adjacency range sorted by source,
   // since sources are visited in increasing id order.
+  g.in_edges_.resize(g.out_edges_.size());
+  std::vector<size_t> in_cursor(g.in_index_.begin(), g.in_index_.end() - 1);
   for (NodeId v = 0; v < n; ++v) {
     for (const Edge& e : g.OutEdges(v)) {
       g.in_edges_[in_cursor[e.node]++] = {v, e.weight};
     }
+  }
+
+  g.out_row_digest_.resize(n);
+  g.in_row_digest_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.out_row_digest_[v] = DigestRow(g.OutEdges(v));
+    g.in_row_digest_[v] = DigestRow(g.InEdges(v));
   }
 
   g.bipartite_.left_size = left_size_;

@@ -2,7 +2,6 @@
 #define COMMSIG_GRAPH_GRAPH_BUILDER_H_
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/comm_graph.h"
@@ -15,10 +14,21 @@ namespace commsig {
 /// Repeated AddEdge calls on the same (src, dst) pair aggregate their
 /// weights — this is the paper's flow aggregation step where individual
 /// communications within a window are summed into edge volumes C[v,u].
+///
+/// Observations are staged as a flat array and aggregated in one
+/// stable-sort pass at Build() time, so AddEdge is a branch-free push_back
+/// and callers that know their event count up front (TraceWindower::Split)
+/// can Reserve() the exact capacity. The stable sort keeps same-pair
+/// observations in insertion order, so per-edge weights sum in the same
+/// order as the old hash-map accumulation did.
 class GraphBuilder {
  public:
   /// `num_nodes` fixes the node universe; all ids must be < num_nodes.
   explicit GraphBuilder(size_t num_nodes);
+
+  /// Pre-sizes the staging array for `num_observations` AddEdge calls
+  /// (a capacity hint — exceeding it only costs the usual growth).
+  void Reserve(size_t num_observations) { staged_.reserve(num_observations); }
 
   /// Adds `weight` (> 0) to edge (src, dst). Self-loops are permitted at
   /// this layer; signature schemes ignore the focal node per Definition 1.
@@ -45,9 +55,7 @@ class GraphBuilder {
  private:
   size_t num_nodes_;
   NodeId left_size_ = 0;
-  // Per-source aggregation maps; dense enough for window-sized graphs while
-  // keeping AddEdge O(1) expected.
-  std::vector<std::unordered_map<NodeId, double>> adjacency_;
+  std::vector<CommGraph::FlatEdge> staged_;
 };
 
 }  // namespace commsig

@@ -1,0 +1,91 @@
+#ifndef COMMSIG_GRAPH_GRAPH_DELTA_H_
+#define COMMSIG_GRAPH_GRAPH_DELTA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/comm_graph.h"
+
+namespace commsig {
+
+/// Structural diff between two consecutive window graphs over the same node
+/// universe (the paper's G_t -> G_{t+1} transition), built in one
+/// O(V + E_old + E_new) pass. The incremental signature engine uses it to
+/// decide which focal nodes' signatures can be carried over unchanged:
+///
+///  - OutChanged(v): v's out-adjacency (neighbour set or any edge weight)
+///    differs. The exact dirtiness condition for Top Talkers, whose
+///    signature reads nothing but v's out-row.
+///  - InDegreeChanged(v): |I(v)| differs. Feeds LocalDirty.
+///  - InChanged(v): v's in-adjacency differs (set or weights). Together
+///    with OutChanged this flags every node whose symmetric-traversal
+///    transition row moved, which is what the RWR warm-start drift bound
+///    integrates over.
+///  - LocalDirty(v): OutChanged(v), or some out-neighbour of v changed
+///    in-degree. The dirtiness condition for Unexpected Talkers (weights
+///    C[v,u] / |I(u)|) and the safe default for any scheme whose signature
+///    depends only on the focal out-row and its endpoints' in-degrees.
+///
+/// Both graphs must outlive the delta (spans into their CSR storage are
+/// compared lazily by the drift helpers).
+class GraphDelta {
+ public:
+  /// Requires old_g.NumNodes() == new_g.NumNodes() (windows share one
+  /// universe by construction; violating this aborts).
+  GraphDelta(const CommGraph& old_g, const CommGraph& new_g);
+
+  const CommGraph& old_graph() const { return *old_; }
+  const CommGraph& new_graph() const { return *new_; }
+
+  size_t num_nodes() const { return out_changed_.size(); }
+
+  bool OutChanged(NodeId v) const { return out_changed_[v] != 0; }
+  bool InChanged(NodeId v) const { return in_changed_[v] != 0; }
+  bool InDegreeChanged(NodeId v) const { return in_degree_changed_[v] != 0; }
+  bool LocalDirty(NodeId v) const { return local_dirty_[v] != 0; }
+
+  /// True iff v's transition row under the given traversal moved: the
+  /// out-row changed, or (symmetric traversal) the in-row changed.
+  bool RowChanged(NodeId v, bool symmetric) const {
+    return OutChanged(v) || (symmetric && InChanged(v));
+  }
+
+  /// Nodes with OutChanged, ascending. Empty means the windows aggregate
+  /// to identical graphs (full signature reuse).
+  std::span<const NodeId> changed_out_nodes() const {
+    return changed_out_nodes_;
+  }
+
+  /// Nodes with OutChanged or InChanged, ascending — the union the RWR
+  /// drift pass iterates.
+  std::span<const NodeId> changed_row_nodes() const {
+    return changed_row_nodes_;
+  }
+
+  size_t num_out_changed() const { return changed_out_nodes_.size(); }
+  bool Empty() const { return changed_row_nodes_.empty(); }
+
+  /// Sum over changed out-rows of |C_new[v,u] - C_old[v,u]| (absent edges
+  /// count their full weight) — the L1 edge-volume drift between the
+  /// windows, and the numerator of the overlap fraction diagnostics.
+  double EdgeWeightL1() const;
+
+  /// Distinct (src, dst) pairs whose weight changed, appeared or vanished.
+  size_t NumChangedEdges() const;
+
+ private:
+  const CommGraph* old_;
+  const CommGraph* new_;
+  std::vector<uint8_t> out_changed_;
+  std::vector<uint8_t> in_changed_;
+  std::vector<uint8_t> in_degree_changed_;
+  std::vector<uint8_t> local_dirty_;
+  std::vector<NodeId> changed_out_nodes_;
+  std::vector<NodeId> changed_row_nodes_;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_GRAPH_GRAPH_DELTA_H_

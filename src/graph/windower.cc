@@ -22,11 +22,19 @@ size_t TraceWindower::WindowOf(uint64_t time) const {
 std::vector<CommGraph> TraceWindower::Split(
     const std::vector<TraceEvent>& events) const {
   COMMSIG_SPAN("windower/split");
+  // Pass 1: per-window event counts, so each builder's staging array is
+  // allocated once at exactly the right size (the count is a slight
+  // overestimate when corrupt events are later dropped — harmless).
   size_t num_windows = 0;
+  std::vector<size_t> window_counts;
   for (const TraceEvent& e : events) {
     size_t w = WindowOf(e.time);
     if (w == static_cast<size_t>(-1)) continue;
-    num_windows = std::max(num_windows, w + 1);
+    if (w + 1 > num_windows) {
+      num_windows = w + 1;
+      window_counts.resize(num_windows, 0);
+    }
+    ++window_counts[w];
   }
 
   std::vector<GraphBuilder> builders;
@@ -35,6 +43,7 @@ std::vector<CommGraph> TraceWindower::Split(
   for (size_t w = 0; w < num_windows; ++w) {
     builders.emplace_back(num_nodes_);
     builders.back().SetBipartiteLeftSize(bipartite_left_size_);
+    builders.back().Reserve(window_counts[w]);
   }
   size_t dropped = 0;
   for (const TraceEvent& e : events) {
@@ -48,6 +57,68 @@ std::vector<CommGraph> TraceWindower::Split(
       continue;
     }
     ++events_per_window[w];
+  }
+  if (dropped > 0) {
+    COMMSIG_COUNTER_ADD("robust/windower_dropped_events", dropped);
+  }
+
+  std::vector<CommGraph> graphs;
+  graphs.reserve(num_windows);
+  for (auto& b : builders) {
+    graphs.push_back(std::move(b).Build());
+  }
+  COMMSIG_COUNTER_ADD("windower/windows_built", num_windows);
+  for (size_t w = 0; w < num_windows; ++w) {
+    COMMSIG_HISTOGRAM_OBSERVE("windower/window_events", events_per_window[w]);
+  }
+  return graphs;
+}
+
+std::vector<CommGraph> TraceWindower::SplitSliding(
+    const std::vector<TraceEvent>& events, uint64_t stride) const {
+  COMMSIG_SPAN("windower/split_sliding");
+  stride = std::max<uint64_t>(stride, 1);
+  // Event at offset d from start lands in windows w with
+  // w*stride <= d < w*stride + length, i.e. w in [w_lo(d), d/stride].
+  auto first_window = [&](uint64_t d) -> size_t {
+    if (d < window_length_) return 0;
+    return static_cast<size_t>((d - window_length_) / stride + 1);
+  };
+
+  size_t num_windows = 0;
+  std::vector<size_t> window_counts;
+  for (const TraceEvent& e : events) {
+    if (e.time < start_time_) continue;
+    const uint64_t d = e.time - start_time_;
+    const size_t hi = static_cast<size_t>(d / stride);
+    if (hi + 1 > num_windows) {
+      num_windows = hi + 1;
+      window_counts.resize(num_windows, 0);
+    }
+    for (size_t w = first_window(d); w <= hi; ++w) ++window_counts[w];
+  }
+
+  std::vector<GraphBuilder> builders;
+  std::vector<size_t> events_per_window(num_windows, 0);
+  builders.reserve(num_windows);
+  for (size_t w = 0; w < num_windows; ++w) {
+    builders.emplace_back(num_nodes_);
+    builders.back().SetBipartiteLeftSize(bipartite_left_size_);
+    builders.back().Reserve(window_counts[w]);
+  }
+  size_t dropped = 0;
+  for (const TraceEvent& e : events) {
+    if (e.time < start_time_) continue;
+    const uint64_t d = e.time - start_time_;
+    const size_t hi = static_cast<size_t>(d / stride);
+    // Validate once per event, not once per covering window, so a corrupt
+    // record counts as one drop regardless of overlap.
+    bool ok = true;
+    for (size_t w = first_window(d); w <= hi && ok; ++w) {
+      ok = builders[w].TryAddEdge(e.src, e.dst, e.weight);
+      if (ok) ++events_per_window[w];
+    }
+    if (!ok) ++dropped;
   }
   if (dropped > 0) {
     COMMSIG_COUNTER_ADD("robust/windower_dropped_events", dropped);

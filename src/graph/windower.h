@@ -47,6 +47,17 @@ class TraceWindower {
   /// records must not index out of bounds or poison edge weights.
   std::vector<CommGraph> Split(const std::vector<TraceEvent>& events) const;
 
+  /// Sliding/stepping variant: window w covers
+  /// [start + w*stride, start + w*stride + length), so consecutive windows
+  /// overlap by (length - stride) time units and each event lands in up to
+  /// ceil(length / stride) windows. `stride` is clamped to >= 1; stride ==
+  /// length degenerates to Split's tumbling windows. This is the window
+  /// sequence the incremental signature engine consumes — the overlap
+  /// fraction 1 - stride/length is what dirty-node reuse scales with.
+  /// Event validation and drop accounting match Split.
+  std::vector<CommGraph> SplitSliding(const std::vector<TraceEvent>& events,
+                                      uint64_t stride) const;
+
   /// Window index for a timestamp, or SIZE_MAX if before start.
   size_t WindowOf(uint64_t time) const;
 

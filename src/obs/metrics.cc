@@ -244,11 +244,14 @@ void PreRegisterCoreMetrics() {
        {"rwr/calls", "rwr/iterations", "rwr_push/calls", "rwr_push/pushes",
         "signature/built", "distance/evaluations", "sketch/cm_updates",
         "sketch/cm_queries", "sketch/fm_updates", "sketch/ss_updates",
-        "sketch/ss_evictions", "threadpool/tasks_executed",
+        "sketch/ss_evictions", "sketch/signature_cache_hits",
+        "threadpool/tasks_executed",
         "windower/windows_built", "robust/records_rejected",
         "robust/windower_dropped_events", "robust/rwr_fallbacks",
         "robust/faults_injected", "robust/checkpoints_saved",
-        "robust/checkpoints_loaded", "robust/checkpoints_corrupt"}) {
+        "robust/checkpoints_loaded", "robust/checkpoints_corrupt",
+        "timeline/nodes_dirty", "timeline/nodes_reused",
+        "timeline/rwr_warm_start_fallbacks"}) {
     reg.GetCounter(name);
   }
   reg.GetGauge("threadpool/queue_depth");

@@ -18,14 +18,17 @@ FmSketch::FmSketch(size_t num_bitmaps, uint64_t seed) : seed_(seed) {
   bitmaps_.assign(num_bitmaps, 0);
 }
 
-void FmSketch::Add(uint64_t item) {
+bool FmSketch::Add(uint64_t item) {
   COMMSIG_COUNTER_ADD("sketch/fm_updates", 1);
   uint64_t h = SplitMix64(item ^ seed_);
   size_t bucket = static_cast<size_t>(h % bitmaps_.size());
   uint64_t h2 = SplitMix64(h);
   // Position of the lowest set bit of h2 (geometric with p = 1/2).
   int r = h2 == 0 ? 63 : __builtin_ctzll(h2);
-  bitmaps_[bucket] |= (uint64_t{1} << r);
+  const uint64_t bit = uint64_t{1} << r;
+  const bool changed = (bitmaps_[bucket] & bit) == 0;
+  bitmaps_[bucket] |= bit;
+  return changed;
 }
 
 double FmSketch::Estimate() const {

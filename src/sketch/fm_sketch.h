@@ -23,8 +23,10 @@ class FmSketch {
   /// 512-byte footprint.
   explicit FmSketch(size_t num_bitmaps = 64, uint64_t seed = 0xf1a9);
 
-  /// Registers an item; duplicates are absorbed idempotently.
-  void Add(uint64_t item);
+  /// Registers an item; duplicates are absorbed idempotently. Returns true
+  /// iff the sketch state changed (i.e. Estimate() may now differ) —
+  /// callers use this to version derived caches cheaply.
+  bool Add(uint64_t item);
 
   /// Estimated number of distinct items added.
   double Estimate() const;

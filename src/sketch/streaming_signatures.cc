@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace commsig {
 
 StreamingSignatureBuilder::StreamingSignatureBuilder(
@@ -17,10 +19,12 @@ StreamingSignatureBuilder::StreamingSignatureBuilder(
 
 void StreamingSignatureBuilder::Observe(const TraceEvent& event) {
   ++events_observed_;
-  // Destination novelty statistics see the whole stream.
+  // Destination novelty statistics see the whole stream. The novelty
+  // version moves only when an FM bitmap actually flips a bit, so the UT
+  // caches survive the (dominant, in steady state) duplicate-source case.
   auto [it, inserted] = in_degree_.try_emplace(
       event.dst, FmSketch(options_.fm_bitmaps, options_.seed ^ 0xf));
-  it->second.Add(event.src);
+  if (it->second.Add(event.src)) ++novelty_version_;
 
   auto focal_it = per_focal_.find(event.src);
   if (focal_it == per_focal_.end()) return;
@@ -28,6 +32,7 @@ void StreamingSignatureBuilder::Observe(const TraceEvent& event) {
   out_volume_[event.src] += event.weight;
   edge_volumes_.Add(CountMinSketch::EdgeKey(event.src, event.dst),
                     event.weight);
+  ++focal_version_[event.src];
 }
 
 void StreamingSignatureBuilder::ObserveAll(
@@ -35,8 +40,8 @@ void StreamingSignatureBuilder::ObserveAll(
   for (const TraceEvent& e : events) Observe(e);
 }
 
-Signature StreamingSignatureBuilder::TopTalkers(NodeId focal,
-                                                size_t k) const {
+Signature StreamingSignatureBuilder::ExtractTopTalkers(NodeId focal,
+                                                       size_t k) const {
   auto it = per_focal_.find(focal);
   if (it == per_focal_.end()) return Signature();
   const double total = out_volume_.at(focal);
@@ -51,8 +56,23 @@ Signature StreamingSignatureBuilder::TopTalkers(NodeId focal,
   return Signature::FromTopK(std::move(candidates), k);
 }
 
-Signature StreamingSignatureBuilder::UnexpectedTalkers(NodeId focal,
-                                                       size_t k) const {
+Signature StreamingSignatureBuilder::TopTalkers(NodeId focal,
+                                                size_t k) const {
+  auto fv = focal_version_.find(focal);
+  const uint64_t version = fv == focal_version_.end() ? 0 : fv->second;
+  auto cached = tt_cache_.find(focal);
+  if (cached != tt_cache_.end() && cached->second.k == k &&
+      cached->second.focal_version == version) {
+    COMMSIG_COUNTER_ADD("sketch/signature_cache_hits", 1);
+    return cached->second.signature;
+  }
+  Signature sig = ExtractTopTalkers(focal, k);
+  tt_cache_[focal] = {sig, k, version, 0};
+  return sig;
+}
+
+Signature StreamingSignatureBuilder::ExtractUnexpectedTalkers(
+    NodeId focal, size_t k) const {
   auto it = per_focal_.find(focal);
   if (it == per_focal_.end()) return Signature();
 
@@ -68,6 +88,22 @@ Signature StreamingSignatureBuilder::UnexpectedTalkers(NodeId focal,
     candidates.push_back({dst, volume / degree});
   }
   return Signature::FromTopK(std::move(candidates), k);
+}
+
+Signature StreamingSignatureBuilder::UnexpectedTalkers(NodeId focal,
+                                                       size_t k) const {
+  auto fv = focal_version_.find(focal);
+  const uint64_t version = fv == focal_version_.end() ? 0 : fv->second;
+  auto cached = ut_cache_.find(focal);
+  if (cached != ut_cache_.end() && cached->second.k == k &&
+      cached->second.focal_version == version &&
+      cached->second.novelty_version == novelty_version_) {
+    COMMSIG_COUNTER_ADD("sketch/signature_cache_hits", 1);
+    return cached->second.signature;
+  }
+  Signature sig = ExtractUnexpectedTalkers(focal, k);
+  ut_cache_[focal] = {sig, k, version, novelty_version_};
+  return sig;
 }
 
 namespace {

@@ -54,10 +54,20 @@ class StreamingSignatureBuilder {
   /// Approximate Top Talkers signature of `focal`: SpaceSaving counts
   /// normalized by the node's total observed out-volume. Returns an empty
   /// signature for unknown focal nodes.
+  ///
+  /// Extractions are cached with dirty-node tracking: a focal node's TT
+  /// cache entry stays valid until an event with that source arrives, so
+  /// periodic re-emission over a mostly-quiet population (the `commsig
+  /// stream --emit-every` path) re-extracts only the nodes that actually
+  /// talked. The caches make the const accessors non-reentrant — callers
+  /// that share a builder across threads must serialize extraction the
+  /// same way they already serialize Observe.
   Signature TopTalkers(NodeId focal, size_t k) const;
 
   /// Approximate Unexpected Talkers: Count-Min volume estimates divided by
-  /// FM in-degree estimates, over the node's SpaceSaving candidates.
+  /// FM in-degree estimates, over the node's SpaceSaving candidates. Cached
+  /// like TopTalkers, additionally invalidated whenever any destination's
+  /// FM in-degree sketch changes state (novelty is global).
   Signature UnexpectedTalkers(NodeId focal, size_t k) const;
 
   /// Total sketch memory in bytes (diagnostics for the scalability bench).
@@ -76,12 +86,31 @@ class StreamingSignatureBuilder {
   uint64_t events_observed() const { return events_observed_; }
 
  private:
+  /// One memoized extraction. Valid while the stamps still match the
+  /// builder's current versions (and the same k is requested).
+  struct CachedSignature {
+    Signature signature;
+    size_t k = 0;
+    uint64_t focal_version = 0;
+    uint64_t novelty_version = 0;
+  };
+
+  Signature ExtractTopTalkers(NodeId focal, size_t k) const;
+  Signature ExtractUnexpectedTalkers(NodeId focal, size_t k) const;
+
   Options options_;
   std::unordered_map<NodeId, SpaceSaving> per_focal_;
   std::unordered_map<NodeId, double> out_volume_;
   CountMinSketch edge_volumes_;
   std::unordered_map<NodeId, FmSketch> in_degree_;
   uint64_t events_observed_ = 0;
+
+  // Dirty-tracking versions; derived state, deliberately excluded from
+  // AppendTo/FromBytes (a restored builder starts with cold caches).
+  std::unordered_map<NodeId, uint64_t> focal_version_;
+  uint64_t novelty_version_ = 0;
+  mutable std::unordered_map<NodeId, CachedSignature> tt_cache_;
+  mutable std::unordered_map<NodeId, CachedSignature> ut_cache_;
 };
 
 }  // namespace commsig

@@ -1,0 +1,211 @@
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/rwr_push.h"
+#include "core/scheme.h"
+#include "graph/windower.h"
+#include "robust/fault_injector.h"
+
+namespace commsig {
+namespace {
+
+constexpr size_t kNumNodes = 60;
+constexpr uint64_t kWindowLength = 8;
+constexpr uint64_t kStride = 2;  // 75% overlap
+
+/// Bursty synthetic stream over a fixed universe: a stable always-on core
+/// plus per-node random bursts, the regime sliding windows monitor.
+std::vector<TraceEvent> BurstyEvents(uint64_t seed, uint64_t num_slots = 40) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<TraceEvent> events;
+  for (uint64_t t = 0; t < num_slots; ++t) {
+    for (NodeId v = 0; v < 10; ++v) {
+      events.push_back({v, static_cast<NodeId>(10 + v % 7), t, 1.0});
+      if (uniform(rng) < 0.15) {
+        NodeId d = static_cast<NodeId>(rng() % kNumNodes);
+        if (d != v) events.push_back({v, d, t, 1.0 + uniform(rng)});
+      }
+    }
+  }
+  return events;
+}
+
+std::vector<CommGraph> SlidingWindows(const std::vector<TraceEvent>& events) {
+  TraceWindower w(kNumNodes, kWindowLength);
+  return w.SplitSliding(events, kStride);
+}
+
+std::vector<NodeId> AllFocal() {
+  std::vector<NodeId> focal(kNumNodes);
+  for (NodeId v = 0; v < kNumNodes; ++v) focal[v] = v;
+  return focal;
+}
+
+double MaxWeightDeviation(const std::vector<Signature>& a,
+                          const std::vector<Signature>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double max_dev = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return 1e300;
+    for (size_t e = 0; e < a[i].size(); ++e) {
+      if (a[i].entries()[e].node != b[i].entries()[e].node) return 1e300;
+      max_dev = std::max(max_dev, std::abs(a[i].entries()[e].weight -
+                                           b[i].entries()[e].weight));
+    }
+  }
+  return max_dev;
+}
+
+TEST(IncrementalEngineTest, TopTalkersMatchesScratchBitForBit) {
+  auto scheme = MakeTopTalkers({.k = 5});
+  auto windows = SlidingWindows(BurstyEvents(11));
+  auto focal = AllFocal();
+  ASSERT_GT(windows.size(), 3u);
+  IncrementalSignatureEngine engine(*scheme, focal);
+  for (const CommGraph& g : windows) {
+    const auto& incr = engine.AdvanceBorrowed(g);
+    auto scratch = scheme->ComputeAll(g, focal);
+    EXPECT_EQ(incr, scratch);
+  }
+}
+
+TEST(IncrementalEngineTest, UnexpectedTalkersMatchesScratchBitForBit) {
+  auto scheme = MakeUnexpectedTalkers({.k = 5});
+  auto windows = SlidingWindows(BurstyEvents(12));
+  auto focal = AllFocal();
+  IncrementalSignatureEngine engine(*scheme, focal);
+  for (const CommGraph& g : windows) {
+    const auto& incr = engine.AdvanceBorrowed(g);
+    auto scratch = scheme->ComputeAll(g, focal);
+    EXPECT_EQ(incr, scratch);
+  }
+}
+
+TEST(IncrementalEngineTest, RwrStaysWithinDocumentedEpsilon) {
+  // The reuse bound admits deviations up to incremental_max_drift plus
+  // solver tolerance on either side; 1e-5 comfortably covers the 1e-6
+  // default bound and is far below any signature-level decision threshold.
+  for (size_t max_hops : {size_t{0}, size_t{3}}) {
+    RwrOptions rwr;
+    rwr.max_hops = max_hops;
+    auto scheme = MakeRwr({.k = 5}, rwr);
+    auto windows = SlidingWindows(BurstyEvents(13));
+    auto focal = AllFocal();
+    IncrementalSignatureEngine engine(*scheme, focal);
+    for (const CommGraph& g : windows) {
+      const auto& incr = engine.AdvanceBorrowed(g);
+      auto scratch = scheme->ComputeAll(g, focal);
+      EXPECT_LE(MaxWeightDeviation(incr, scratch), 1e-5)
+          << "h=" << max_hops;
+    }
+  }
+}
+
+TEST(IncrementalEngineTest, RwrPushMatchesScratch) {
+  // RwrPush's incremental override recomputes dirty nodes with its own
+  // solver; results must equal its from-scratch sweep exactly.
+  auto scheme = MakeRwrPush({.k = 5}, {});
+  auto windows = SlidingWindows(BurstyEvents(14));
+  auto focal = AllFocal();
+  IncrementalSignatureEngine engine(*scheme, focal);
+  for (const CommGraph& g : windows) {
+    const auto& incr = engine.AdvanceBorrowed(g);
+    auto scratch = scheme->ComputeAll(g, focal);
+    EXPECT_EQ(incr, scratch);
+  }
+}
+
+TEST(IncrementalEngineTest, OwningAndBorrowedAdvanceAgree) {
+  auto scheme = MakeTopTalkers({.k = 4});
+  auto windows = SlidingWindows(BurstyEvents(15));
+  auto focal = AllFocal();
+  IncrementalSignatureEngine borrowed(*scheme, focal);
+  IncrementalSignatureEngine owning(*scheme, focal);
+  for (size_t w = 0; w < windows.size(); ++w) {
+    const auto& a = borrowed.AdvanceBorrowed(windows[w]);
+    // Mix the two forms on the owning engine to exercise the hand-over.
+    const auto& b = (w % 2 == 0) ? owning.Advance(windows[w])
+                                 : owning.AdvanceBorrowed(windows[w]);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(IncrementalEngineTest, RebuildMidSequenceIsDeterministic) {
+  // Checkpoint/restore drops the engine's carried state by design: a
+  // restored pipeline rebuilds the engine and re-primes. For exact schemes
+  // the rebuilt timeline must equal the continuous one bit-for-bit.
+  auto scheme = MakeUnexpectedTalkers({.k = 5});
+  auto windows = SlidingWindows(BurstyEvents(16));
+  auto focal = AllFocal();
+  ASSERT_GT(windows.size(), 6u);
+  const size_t restore_at = windows.size() / 2;
+
+  IncrementalSignatureEngine continuous(*scheme, focal);
+  std::vector<std::vector<Signature>> full;
+  for (const CommGraph& g : windows) full.push_back(continuous.AdvanceBorrowed(g));
+
+  IncrementalSignatureEngine restored(*scheme, focal);
+  for (size_t w = 0; w < restore_at; ++w) restored.AdvanceBorrowed(windows[w]);
+  restored.Reset();  // the restore point: all carried state gone
+  EXPECT_EQ(restored.windows_advanced(), 0u);
+  for (size_t w = restore_at; w < windows.size(); ++w) {
+    EXPECT_EQ(restored.AdvanceBorrowed(windows[w]), full[w]);
+  }
+}
+
+TEST(IncrementalEngineTest, FaultPerturbedStreamStaysEquivalent) {
+  // Dropped / duplicated / corrupted events change *what* the windows hold,
+  // never the incremental-vs-scratch contract: whatever graphs come out of
+  // the (fault-filtering) windower, both paths must agree on them.
+  FaultInjector::Options fopts;
+  fopts.seed = 99;
+  fopts.p_drop = 0.05;
+  fopts.p_duplicate = 0.05;
+  fopts.p_corrupt_weight = 0.03;
+  fopts.p_corrupt_time = 0.03;
+  FaultInjector injector(fopts);
+  auto perturbed = injector.PerturbEvents(BurstyEvents(17));
+  EXPECT_GT(injector.report().Total(), 0u);
+
+  auto windows = SlidingWindows(perturbed);
+  auto focal = AllFocal();
+  for (const char* spec : {"tt", "ut"}) {
+    auto scheme = CreateScheme(spec, {.k = 5});
+    ASSERT_TRUE(scheme.ok());
+    IncrementalSignatureEngine engine(**scheme, focal);
+    for (const CommGraph& g : windows) {
+      EXPECT_EQ(engine.AdvanceBorrowed(g), (*scheme)->ComputeAll(g, focal));
+    }
+  }
+}
+
+TEST(IncrementalEngineTest, EmptyFocalPopulation) {
+  auto scheme = MakeTopTalkers({.k = 3});
+  auto windows = SlidingWindows(BurstyEvents(18));
+  IncrementalSignatureEngine engine(*scheme, {});
+  for (const CommGraph& g : windows) {
+    EXPECT_TRUE(engine.AdvanceBorrowed(g).empty());
+  }
+  EXPECT_EQ(engine.windows_advanced(), windows.size());
+}
+
+TEST(IncrementalEngineTest, SignatureAccessorTracksLatestWindow) {
+  auto scheme = MakeTopTalkers({.k = 3});
+  auto windows = SlidingWindows(BurstyEvents(19));
+  auto focal = AllFocal();
+  IncrementalSignatureEngine engine(*scheme, focal);
+  EXPECT_TRUE(engine.signatures().empty());
+  for (const CommGraph& g : windows) engine.AdvanceBorrowed(g);
+  EXPECT_EQ(engine.signatures(),
+            scheme->ComputeAll(windows.back(), focal));
+}
+
+}  // namespace
+}  // namespace commsig

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/scheme.h"
+#include "graph/windower.h"
+
 namespace commsig {
 namespace {
 
@@ -62,6 +65,37 @@ TEST(TimelineTest, MaxLagClampsToHorizon) {
   std::vector<std::vector<Signature>> horizon(3, {Sig({{1, 1.0}})});
   auto lags = PersistenceByLag(horizon, kJac, 99);
   EXPECT_EQ(lags.size(), 2u);
+}
+
+TEST(TimelineTest, IncrementalModeMatchesScratchTimeline) {
+  // Sliding windows over a drifting stream: the incremental engine path
+  // must produce the same per-window signatures as per-window ComputeAll
+  // (bit-identical for the exact TT scheme), and therefore identical
+  // persistence statistics.
+  std::vector<TraceEvent> events;
+  for (uint64_t t = 0; t < 30; ++t) {
+    events.push_back({0, static_cast<NodeId>(2 + t % 3), t, 1.0});
+    events.push_back({1, static_cast<NodeId>(2 + (t / 7) % 4), t, 2.0});
+  }
+  TraceWindower windower(8, /*window_length=*/8);
+  auto windows = windower.SplitSliding(events, /*stride=*/2);
+  ASSERT_GT(windows.size(), 4u);
+  auto scheme = MakeTopTalkers({.k = 4});
+  std::vector<NodeId> focal = {0, 1};
+
+  auto scratch = ComputeSignatureTimeline(*scheme, windows, focal,
+                                          {.incremental = false});
+  auto incremental = ComputeSignatureTimeline(*scheme, windows, focal,
+                                              {.incremental = true});
+  ASSERT_EQ(scratch.size(), windows.size());
+  EXPECT_EQ(incremental, scratch);
+
+  auto t_scratch = PersistencePerTransition(scratch, kJac);
+  auto t_incr = PersistencePerTransition(incremental, kJac);
+  ASSERT_EQ(t_scratch.size(), t_incr.size());
+  for (size_t i = 0; i < t_scratch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t_incr[i].mean_persistence, t_scratch[i].mean_persistence);
+  }
 }
 
 }  // namespace

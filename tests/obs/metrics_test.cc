@@ -147,6 +147,27 @@ TEST(MetricsRegistryTest, PreRegisterCoreMetricsGuaranteesStableKeys) {
   EXPECT_NE(json.find("rwr/iterations"), std::string::npos);
   EXPECT_NE(json.find("threadpool/tasks_executed"), std::string::npos);
   EXPECT_NE(json.find("distance/evaluations"), std::string::npos);
+  EXPECT_NE(json.find("timeline/nodes_dirty"), std::string::npos);
+  EXPECT_NE(json.find("timeline/nodes_reused"), std::string::npos);
+  EXPECT_NE(json.find("timeline/rwr_warm_start_fallbacks"),
+            std::string::npos);
+  EXPECT_NE(json.find("sketch/signature_cache_hits"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportCarriesTimelineCounters) {
+  // Scrape-side contract: the incremental-engine health counters must be
+  // present (and typed) from process start, before any timeline runs.
+  PreRegisterCoreMetrics();
+  std::string text = MetricsRegistry::Global().ToPrometheus();
+  for (const char* name :
+       {"commsig_timeline_nodes_dirty", "commsig_timeline_nodes_reused",
+        "commsig_timeline_rwr_warm_start_fallbacks",
+        "commsig_sketch_signature_cache_hits"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+    EXPECT_NE(text.find(std::string("# TYPE ") + name + " counter"),
+              std::string::npos)
+        << name;
+  }
 }
 
 #ifndef COMMSIG_OBS_DISABLED

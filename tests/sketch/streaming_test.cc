@@ -6,6 +6,7 @@
 #include "core/top_talkers.h"
 #include "core/unexpected_talkers.h"
 #include "data/flow_generator.h"
+#include "obs/metrics.h"
 
 namespace commsig {
 namespace {
@@ -110,6 +111,67 @@ TEST(StreamingSignaturesTest, StreamingUtApproximatesExact) {
     total_distance += Distance(DistanceKind::kJaccard, approx, truth);
   }
   EXPECT_LT(total_distance / ds.local_hosts.size(), 0.45);
+}
+
+TEST(StreamingSignaturesTest, CachedExtractionMatchesFresh) {
+  // Repeated extraction without intervening observations must serve the
+  // memoized signature, and it must be indistinguishable from a rebuild on
+  // an identical, cache-cold builder.
+  FlowDataset ds = SmallFlows();
+  StreamingSignatureBuilder cached(ds.local_hosts, {});
+  StreamingSignatureBuilder cold(ds.local_hosts, {});
+  cached.ObserveAll(ds.events);
+  cold.ObserveAll(ds.events);
+  auto& hits =
+      obs::MetricsRegistry::Global().GetCounter("sketch/signature_cache_hits");
+  for (NodeId host : ds.local_hosts) {
+    Signature first_tt = cached.TopTalkers(host, 10);
+    Signature first_ut = cached.UnexpectedTalkers(host, 10);
+    const uint64_t before = hits.Value();
+    EXPECT_EQ(cached.TopTalkers(host, 10), first_tt);
+    EXPECT_EQ(cached.UnexpectedTalkers(host, 10), first_ut);
+    EXPECT_EQ(hits.Value(), before + 2);
+    EXPECT_EQ(cold.TopTalkers(host, 10), first_tt);
+    EXPECT_EQ(cold.UnexpectedTalkers(host, 10), first_ut);
+  }
+}
+
+TEST(StreamingSignaturesTest, CacheInvalidatedByNewObservations) {
+  std::vector<NodeId> focal = {0, 1};
+  StreamingSignatureBuilder builder(focal, {});
+  builder.Observe({0, 5, 0, 3.0});
+  builder.Observe({1, 6, 0, 2.0});
+  Signature before = builder.TopTalkers(0, 4);
+  ASSERT_EQ(before.size(), 1u);
+  // New traffic from focal 0 must invalidate its TT cache entry...
+  builder.Observe({0, 7, 1, 9.0});
+  Signature after = builder.TopTalkers(0, 4);
+  EXPECT_EQ(after.size(), 2u);
+  EXPECT_NE(after, before);
+  // ...and a different k must never be served from the k-specific cache.
+  EXPECT_EQ(builder.TopTalkers(0, 1).size(), 1u);
+}
+
+TEST(StreamingSignaturesTest, UtCacheInvalidatedByGlobalNovelty) {
+  std::vector<NodeId> focal = {0};
+  StreamingSignatureBuilder builder(focal, {});
+  builder.Observe({0, 5, 0, 1.0});
+  builder.Observe({3, 6, 0, 1.0});
+  Signature before = builder.UnexpectedTalkers(0, 4);
+  // A *different* source reaching focal-0's destination changes dst 5's
+  // in-degree sketch: focal 0 observed nothing, yet its UT signature must
+  // refresh (novelty is global). A cache-cold builder over the same events
+  // is the ground truth a stale cache would diverge from.
+  builder.Observe({4, 5, 1, 1.0});
+  Signature after = builder.UnexpectedTalkers(0, 4);
+  StreamingSignatureBuilder cold(focal, {});
+  cold.Observe({0, 5, 0, 1.0});
+  cold.Observe({3, 6, 0, 1.0});
+  cold.Observe({4, 5, 1, 1.0});
+  EXPECT_EQ(after, cold.UnexpectedTalkers(0, 4));
+  ASSERT_EQ(after.size(), 1u);
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_LE(after.entries()[0].weight, before.entries()[0].weight);
 }
 
 TEST(StreamingSignaturesTest, MemoryIsBounded) {

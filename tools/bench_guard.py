@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Guard benchmark speedup gauges against regressions.
+
+Compares every ``*_speedup`` gauge in a freshly produced bench snapshot
+(BENCH_timeline.json and friends) against a checked-in baseline and fails
+when any gauge falls more than ``--tolerance`` below its baseline value.
+Only speedup gauges are compared: absolute nanosecond timings shift with
+the host, but the incremental-vs-scratch *ratio* is what the incremental
+engine owes the repo, and the baselines are set conservatively below
+locally measured values to absorb CI machine noise on top of the
+tolerance.
+
+Usage:
+    tools/bench_guard.py --current BENCH_timeline.json \
+        --baseline bench/baselines/BENCH_timeline.baseline.json \
+        [--tolerance 0.20]
+
+Exit status: 0 when every gauge holds, 1 on any regression or missing
+gauge, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_speedups(path):
+    """Returns {gauge_name: value} for every *_speedup gauge in a snapshot."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            snapshot = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_guard: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    gauges = snapshot.get("gauges", {})
+    if not isinstance(gauges, dict):
+        print(f"bench_guard: {path} has no gauges object", file=sys.stderr)
+        sys.exit(2)
+    return {
+        name: float(value)
+        for name, value in gauges.items()
+        if name.endswith("_speedup")
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="snapshot produced by this run")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline snapshot")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop below baseline "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args()
+
+    current = load_speedups(args.current)
+    baseline = load_speedups(args.baseline)
+    if not baseline:
+        print(f"bench_guard: no *_speedup gauges in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, base_value in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from {args.current} "
+                            f"(baseline {base_value:.2f}x)")
+            continue
+        floor = base_value * (1.0 - args.tolerance)
+        value = current[name]
+        status = "ok" if value >= floor else "REGRESSED"
+        print(f"{name}: {value:.2f}x vs baseline {base_value:.2f}x "
+              f"(floor {floor:.2f}x) {status}")
+        if value < floor:
+            failures.append(f"{name}: {value:.2f}x < floor {floor:.2f}x "
+                            f"(baseline {base_value:.2f}x, "
+                            f"tolerance {args.tolerance:.0%})")
+
+    # New gauges absent from the baseline are reported but never fail the
+    # run — they become guarded once the baseline is refreshed.
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name}: {current[name]:.2f}x (no baseline, unguarded)")
+
+    if failures:
+        print("\nbench_guard: speedup regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench_guard: all {len(baseline)} guarded gauges hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@
 //               optional crash-safe checkpointing
 //   faultcheck  inject a fixed fraction of faults into the event stream and
 //               report per-scheme signature drift (robustness gate)
+//   timeline    per-transition and per-lag persistence over a (possibly
+//               sliding) window sequence, computed incrementally with
+//               dirty-node tracking or from scratch
 //
 // Common flags:
 //   --trace PATH        input trace CSV (this or --netflow is required)
@@ -46,6 +49,19 @@
 //   --checkpoint-every N  checkpoint every N events (default 10000)
 //   --kill-after N        abort (exit 3) after N events this run — crash
 //                         test hook for checkpoint/restore round-trips
+//   --emit-every N        additionally extract all focal signatures every N
+//                         events (periodic re-emission; cached extractions
+//                         make quiet nodes nearly free)
+//
+// timeline flags:
+//   --stride N          window start spacing in trace time units (default =
+//                       --window-length, i.e. tumbling; smaller strides
+//                       overlap: overlap fraction = 1 - stride/length)
+//   --mode M            incremental | scratch (default incremental) — the
+//                       incremental path diffs consecutive windows and
+//                       recomputes dirty focal nodes only
+//   --max-lag L         deepest lag for the persistence-by-lag table
+//                       (default 5)
 //
 // faultcheck flags:
 //   --fraction F        per-fault-type injection probability (default 0.01)
@@ -79,6 +95,7 @@
 #include "data/netflow.h"
 #include "data/trace_io.h"
 #include "eval/properties.h"
+#include "eval/timeline.h"
 #include "graph/decayed_accumulator.h"
 #include "graph/graph_stats.h"
 #include "graph/windower.h"
@@ -144,7 +161,7 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: commsig <signatures|selfmatch|multiusage|masquerade|"
-               "anomalies|stream|faultcheck> --trace PATH [flags]\n"
+               "anomalies|stream|faultcheck|timeline> --trace PATH [flags]\n"
                "see the header of tools/commsig_main.cc for all flags\n");
   return 2;
 }
@@ -434,6 +451,7 @@ int RunStream(const Args& args) {
   const size_t k = args.GetInt("k", 10);
   const uint64_t every = args.GetInt("checkpoint-every", 10000);
   const uint64_t kill_after = args.GetInt("kill-after", 0);
+  const uint64_t emit_every = args.GetInt("emit-every", 0);
   const std::string ckpt_dir = args.Get("checkpoint-dir", "");
 
   std::vector<NodeId> focal;
@@ -517,6 +535,20 @@ int RunStream(const Args& args) {
     // checkpoints at the same offsets as an uninterrupted one.
     if (manager != nullptr && every > 0 && (i + 1) % every == 0) {
       save(i + 1);
+    }
+    // Periodic re-emission. The builder memoizes extractions per focal
+    // node, so between two emissions only the nodes that actually talked
+    // pay for a re-extraction; everyone else is a cache hit.
+    if (emit_every > 0 && (i + 1) % emit_every == 0) {
+      size_t active = 0;
+      for (NodeId v : focal) {
+        if (!builder->TopTalkers(v, k).empty()) ++active;
+        builder->UnexpectedTalkers(v, k);
+      }
+      std::fprintf(stderr,
+                   "emit at event %llu: %zu/%zu focal node(s) active\n",
+                   static_cast<unsigned long long>(i + 1), active,
+                   focal.size());
     }
     if (kill_after > 0 && processed_this_run >= kill_after &&
         i + 1 < events.size()) {
@@ -611,6 +643,76 @@ int RunFaultcheck(const Args& args) {
   return rc;
 }
 
+int RunTimeline(const Args& args) {
+  Interner interner;
+  std::vector<TraceEvent> events;
+  if (!LoadEvents(args, interner, events)) return 1;
+  const uint64_t window_length = args.GetInt("window-length", 86400);
+  const uint64_t stride = args.GetInt("stride", window_length);
+  if (stride == 0 || stride > window_length) {
+    std::fprintf(stderr, "--stride must be in [1, --window-length]\n");
+    return 1;
+  }
+  TraceWindower windower(interner.size(), window_length);
+  std::vector<CommGraph> windows = windower.SplitSliding(events, stride);
+  if (windows.empty()) {
+    std::fprintf(stderr, "trace produced no windows\n");
+    return 1;
+  }
+
+  std::vector<NodeId> focal;
+  {
+    std::vector<bool> has_out(interner.size(), false);
+    for (const auto& g : windows) {
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        if (g.OutDegree(v) > 0) has_out[v] = true;
+      }
+    }
+    for (NodeId v = 0; v < has_out.size(); ++v) {
+      if (has_out[v]) focal.push_back(v);
+    }
+  }
+
+  auto scheme = SchemeFor(args);
+  auto dist = DistFor(args);
+  if (!scheme.ok() || !dist.ok()) {
+    std::fprintf(stderr, "bad scheme or distance\n");
+    return 1;
+  }
+  SignatureTimelineOptions topts;
+  const std::string mode = args.Get("mode", "incremental");
+  if (mode == "incremental") {
+    topts.incremental = true;
+  } else if (mode == "scratch") {
+    topts.incremental = false;
+  } else {
+    DieInvalidFlag("mode", mode, "incremental | scratch");
+  }
+
+  auto per_window = ComputeSignatureTimeline(**scheme, windows, focal, topts);
+  const double overlap =
+      1.0 - static_cast<double>(stride) / static_cast<double>(window_length);
+  std::printf("scheme=%s dist=%s windows=%zu stride=%llu overlap=%.2f "
+              "mode=%s focal=%zu\n",
+              (*scheme)->name().c_str(),
+              std::string(DistanceName(*dist)).c_str(), windows.size(),
+              static_cast<unsigned long long>(stride), overlap, mode.c_str(),
+              focal.size());
+
+  SignatureDistance d(*dist);
+  for (const TransitionStats& t : PersistencePerTransition(per_window, d)) {
+    std::printf("transition %zu->%zu  persistence %.4f +- %.4f\n",
+                t.from_window, t.from_window + 1, t.mean_persistence,
+                t.std_persistence);
+  }
+  for (const LagStats& l :
+       PersistenceByLag(per_window, d, args.GetInt("max-lag", 5))) {
+    std::printf("lag %zu  persistence %.4f +- %.4f  (%zu pair(s))\n", l.lag,
+                l.mean_persistence, l.std_persistence, l.samples);
+  }
+  return 0;
+}
+
 /// Writes the requested observability artifacts after a command ran.
 void ExportObservability(const Args& args) {
   std::string metrics_out = args.Get("metrics-out", "");
@@ -650,10 +752,13 @@ int Main(int argc, char** argv) {
     obs::TraceCollector::Global().SetEnabled(true);
   }
 
-  // stream and faultcheck manage their own event loading (they need the
-  // raw stream, not the windowed Workspace).
-  if (args.command == "stream" || args.command == "faultcheck") {
-    int rc = args.command == "stream" ? RunStream(args) : RunFaultcheck(args);
+  // stream, faultcheck and timeline manage their own event loading (they
+  // need the raw stream or a sliding split, not the windowed Workspace).
+  if (args.command == "stream" || args.command == "faultcheck" ||
+      args.command == "timeline") {
+    int rc = args.command == "stream"       ? RunStream(args)
+             : args.command == "faultcheck" ? RunFaultcheck(args)
+                                            : RunTimeline(args);
     ExportObservability(args);
     return rc;
   }
