@@ -1,0 +1,143 @@
+#ifndef COMMSIG_OBS_LOG_H_
+#define COMMSIG_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace commsig::obs {
+
+/// Severity of a log event, ordered. Events below the sink's minimum level
+/// are dropped before any field formatting happens.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Stable lowercase name ("debug", "info", "warn", "error").
+std::string_view LogLevelName(LogLevel level);
+
+/// Parses a level name (case-insensitive). Returns false on unknown names
+/// and leaves `out` untouched.
+bool ParseLogLevel(std::string_view name, LogLevel& out);
+
+/// Process-wide structured-log sink. Every emitted line is one JSON object
+/// ending in '\n':
+///
+///   {"ts":"2026-08-08T12:34:56.789Z","level":"info","event":"window_advanced",
+///    "tid":0,"window":17,"dur_us":1234}
+///
+/// Lines go to stderr (default on) and/or an append-mode file. The full line
+/// is built outside the lock and written with a single fwrite under it, so
+/// concurrent writers never interleave within a line and every line stays
+/// valid JSON.
+///
+/// The minimum level starts from the COMMSIG_LOG environment variable
+/// ("debug" | "info" | "warn" | "error"; unset → "info") and can be
+/// overridden at runtime (the CLI's --log-level flag).
+class LogSink {
+ public:
+  static LogSink& Global();
+
+  void SetMinLevel(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Mirrors lines to stderr (on by default).
+  void SetStderrEnabled(bool on) {
+    stderr_enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Opens `path` in append mode as an additional line target; replaces any
+  /// previously opened file. Lines are flushed per write so a crashed run
+  /// keeps everything emitted before the crash.
+  Status OpenFile(const std::string& path) COMMSIG_EXCLUDES(mutex_);
+  void CloseFile() COMMSIG_EXCLUDES(mutex_);
+
+  /// Writes one already-formatted line (must include the trailing '\n').
+  void Write(const std::string& line) COMMSIG_EXCLUDES(mutex_);
+
+  /// Lines emitted since process start (all targets count once per line).
+  uint64_t lines_emitted() const {
+    return lines_emitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  LogSink();
+
+  std::atomic<int> min_level_;
+  std::atomic<bool> stderr_enabled_{true};
+  std::atomic<uint64_t> lines_emitted_{0};
+  mutable Mutex mutex_;
+  std::FILE* file_ COMMSIG_GUARDED_BY(mutex_) = nullptr;
+};
+
+/// Builder for one structured log event. Construct via the Log() helper (or
+/// the COMMSIG_LOG_* convenience wrappers), chain typed fields, and the
+/// destructor emits the line:
+///
+///   obs::Log(obs::LogLevel::kWarn, "slow_window")
+///       .U64("window", idx).U64("total_us", us).Str("scheme", name);
+///
+/// When the event's level is below the sink minimum the builder is inert:
+/// field calls do no formatting and destruction writes nothing.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view event);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& U64(std::string_view key, uint64_t value);
+  LogEvent& I64(std::string_view key, int64_t value);
+  LogEvent& Double(std::string_view key, double value);
+  LogEvent& Bool(std::string_view key, bool value);
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  void Key(std::string_view key);
+
+  bool enabled_;
+  std::string line_;
+};
+
+/// Starts a structured event at `level`. `event` is the stable snake_case
+/// event name operators grep and alert on.
+inline LogEvent Log(LogLevel level, std::string_view event) {
+  return LogEvent(level, event);
+}
+
+inline LogEvent LogDebug(std::string_view event) {
+  return LogEvent(LogLevel::kDebug, event);
+}
+inline LogEvent LogInfo(std::string_view event) {
+  return LogEvent(LogLevel::kInfo, event);
+}
+inline LogEvent LogWarn(std::string_view event) {
+  return LogEvent(LogLevel::kWarn, event);
+}
+inline LogEvent LogError(std::string_view event) {
+  return LogEvent(LogLevel::kError, event);
+}
+
+}  // namespace commsig::obs
+
+#endif  // COMMSIG_OBS_LOG_H_

@@ -149,6 +149,31 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (const Bucket& b : buckets) {
+    const uint64_t next = cumulative + b.count;
+    if (static_cast<double>(next) >= rank) {
+      // Bucket i covers [upper/2, upper); interpolate by the rank's position
+      // inside this bucket's count.
+      const double lower = b.upper_bound / 2.0;
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(b.count);
+      double v = lower + frac * (b.upper_bound - lower);
+      if (v < min) v = min;
+      if (v > max) v = max;
+      return v;
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
 namespace {
 
 std::string FmtDouble(double v) {
@@ -197,6 +222,9 @@ std::string MetricsSnapshot::ToJson() const {
     out += ", \"stddev\": " + FmtDouble(h.stddev);
     out += ", \"min\": " + FmtDouble(h.min);
     out += ", \"max\": " + FmtDouble(h.max);
+    out += ", \"p50\": " + FmtDouble(h.Quantile(0.50));
+    out += ", \"p95\": " + FmtDouble(h.Quantile(0.95));
+    out += ", \"p99\": " + FmtDouble(h.Quantile(0.99));
     out += ", \"buckets\": [";
     for (size_t i = 0; i < h.buckets.size(); ++i) {
       if (i > 0) out += ", ";
@@ -234,6 +262,16 @@ std::string MetricsSnapshot::ToPrometheus() const {
     out += pname + "_sum " + FmtDouble(h.mean * static_cast<double>(h.count)) +
            "\n";
     out += pname + "_count " + std::to_string(h.count) + "\n";
+    // Derived quantile gauges (readable without a bucket-aware scraper).
+    // Separate metric names rather than {quantile=} labels: the base name
+    // already has TYPE histogram, and one exposition may not mix types.
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50},
+          {"_p95", 0.95},
+          {"_p99", 0.99}}) {
+      out += "# TYPE " + pname + suffix + " gauge\n";
+      out += pname + suffix + " " + FmtDouble(h.Quantile(q)) + "\n";
+    }
   }
   return out;
 }
@@ -251,11 +289,16 @@ void PreRegisterCoreMetrics() {
         "robust/faults_injected", "robust/checkpoints_saved",
         "robust/checkpoints_loaded", "robust/checkpoints_corrupt",
         "timeline/nodes_dirty", "timeline/nodes_reused",
-        "timeline/rwr_warm_start_fallbacks"}) {
+        "timeline/rwr_warm_start_fallbacks",
+        "pipeline/windows_recorded", "pipeline/events_processed",
+        "pipeline/slow_windows", "stats_server/requests",
+        "stats_server/not_found"}) {
     reg.GetCounter(name);
   }
   reg.GetGauge("threadpool/queue_depth");
   reg.GetGauge("threadpool/utilization");
+  reg.GetGauge("pipeline/last_window_total_us");
+  reg.GetGauge("pipeline/last_window_dirty_nodes");
 }
 
 }  // namespace commsig::obs

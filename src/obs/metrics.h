@@ -87,6 +87,13 @@ struct HistogramSnapshot {
   double min = 0.0;
   double max = 0.0;
   std::vector<Bucket> buckets;  // only non-empty buckets, ascending
+
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: walks the
+  /// cumulative bucket counts to the target rank and interpolates linearly
+  /// inside the covering bucket, clamped to the exact observed [min, max].
+  /// The log-scale buckets bound the relative error by the bucket width
+  /// (2x), which is plenty for latency dashboards. Returns 0 when empty.
+  double Quantile(double q) const;
 };
 
 /// Log-scale (powers of two) histogram with a RunningStats summary. Bucket i

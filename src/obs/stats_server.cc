@@ -1,0 +1,257 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include "obs/log.h"
+#include "obs/obs.h"
+#include "obs/window_stats.h"
+
+namespace commsig::obs {
+
+namespace {
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// /healthz body. Healthy until the pipeline has advanced at least one
+/// window and then stalls past the threshold — a long initial parse/load
+/// must not flap health, but a wedged steady-state loop must.
+std::string HealthzJson(const StatsServer::Options& options,
+                        int& http_status) {
+  WindowStatsAggregator& stats = WindowStatsAggregator::Global();
+  const uint64_t windows = stats.windows_recorded();
+  const uint64_t age_us = stats.LastAdvanceAgeUs();
+  const bool stalled = options.stall_threshold_us > 0 && windows > 0 &&
+                       age_us > options.stall_threshold_us;
+  http_status = stalled ? 503 : 200;
+  std::string out = "{\n  \"status\": \"";
+  out += stalled ? "stalled" : (windows == 0 ? "starting" : "ok");
+  out += "\",\n  \"uptime_us\": " +
+         std::to_string(TraceCollector::Global().NowMicros());
+  out += ",\n  \"windows_recorded\": " + std::to_string(windows);
+  if (windows > 0) {
+    out += ",\n  \"last_window_advance_age_us\": " + std::to_string(age_us);
+  }
+  out += ",\n  \"stall_threshold_us\": " +
+         std::to_string(options.stall_threshold_us);
+  out += "\n}\n";
+  return out;
+}
+
+/// /varz body: one JSON snapshot of everything a human first asks for.
+std::string VarzJson() {
+  std::string out = "{\n\"uptime_us\": " +
+                    std::to_string(TraceCollector::Global().NowMicros());
+  out += ",\n\"pid\": " + std::to_string(static_cast<int64_t>(::getpid()));
+  out += ",\n\"windows_recorded\": " +
+         std::to_string(WindowStatsAggregator::Global().windows_recorded());
+  out += ",\n\"log_lines_emitted\": " +
+         std::to_string(LogSink::Global().lines_emitted());
+  out += ",\n\"metrics\": " + MetricsRegistry::Global().ToJson();
+  out += "}\n";
+  return out;
+}
+
+std::string NotFoundJson() {
+  return "{\n  \"error\": \"not found\",\n  \"endpoints\": [\"/metrics\", "
+         "\"/varz\", \"/healthz\", \"/tracez\", \"/pipelinez\"]\n}\n";
+}
+
+}  // namespace
+
+std::string StatsServer::HandleRequest(const std::string& target,
+                                       const Options& options,
+                                       int& http_status,
+                                       std::string& content_type) {
+  // Ignore any query string; the endpoints take no parameters.
+  std::string path = target.substr(0, target.find('?'));
+  http_status = 200;
+  content_type = "application/json";
+  COMMSIG_COUNTER_ADD("stats_server/requests", 1);
+  if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4";
+    return MetricsRegistry::Global().ToPrometheus();
+  }
+  if (path == "/varz") return VarzJson();
+  if (path == "/healthz") return HealthzJson(options, http_status);
+  if (path == "/tracez") return TraceCollector::Global().RecentSpansJson();
+  if (path == "/pipelinez") {
+    return WindowStatsAggregator::Global().ToJson();
+  }
+  COMMSIG_COUNTER_ADD("stats_server/not_found", 1);
+  http_status = 404;
+  return NotFoundJson();
+}
+
+StatsServer::StatsServer(Options options) : options_(std::move(options)) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+Status StatsServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("stats server already running");
+  }
+  // Scrapers rely on stable keys from the very first /metrics response,
+  // even for subsystems this process has not exercised yet.
+  PreRegisterCoreMetrics();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Status::IOError("bind " + options_.bind_address + ":" +
+                               std::to_string(options_.port) + ": " +
+                               std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    Status s = Status::IOError(std::string("listen: ") +
+                               std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  TraceCollector::Global().SetRetainRecent(true);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&StatsServer::ServeLoop, this);
+  LogInfo("stats_server_started")
+      .Str("bind_address", options_.bind_address)
+      .U64("port", port_)
+      .U64("stall_threshold_us", options_.stall_threshold_us);
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  const bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (listen_fd_ >= 0) {
+    // Unblocks the accept loop; the fd itself is closed only after the
+    // thread joined so the loop can never race a recycled descriptor.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (was_running) {
+    TraceCollector::Global().SetRetainRecent(false);
+    LogInfo("stats_server_stopped").U64("port", port_);
+  }
+}
+
+void StatsServer::ServeLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    int client_fd = ::accept(listen_fd_,
+                             reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() from Stop() lands here; anything else while running is
+      // transient (e.g. ECONNABORTED) and the loop keeps serving.
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    HandleConnection(client_fd);
+    ::close(client_fd);
+  }
+}
+
+void StatsServer::HandleConnection(int client_fd) {
+  // A slow or stuck client must not wedge the single-threaded accept loop.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16384 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;  // timeout, reset, or EOF before a full request line
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION. Everything after the first
+  // line (headers) is irrelevant to routing and deliberately ignored.
+  const size_t sp1 = request.find(' ');
+  const size_t sp2 = sp1 == std::string::npos
+                         ? std::string::npos
+                         : request.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return;
+  const std::string method = request.substr(0, sp1);
+  const std::string target = request.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  int http_status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  if (method != "GET" && method != "HEAD") {
+    http_status = 405;
+    body = "{\n  \"error\": \"method not allowed\"\n}\n";
+  } else {
+    body = HandleRequest(target, options_, http_status, content_type);
+  }
+
+  std::string response = "HTTP/1.0 " + std::to_string(http_status) + " " +
+                         HttpStatusText(http_status) + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  if (method != "HEAD") response += body;
+
+  size_t sent = 0;
+  while (sent < response.size()) {
+    ssize_t n = ::send(client_fd, response.data() + sent,
+                       response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace commsig::obs

@@ -1,0 +1,84 @@
+#ifndef COMMSIG_OBS_STATS_SERVER_H_
+#define COMMSIG_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace commsig::obs {
+
+/// Embedded HTTP introspection server — the live counterpart of the
+/// dump-at-exit --metrics-out/--trace-out flags. No external dependencies:
+/// a loopback TCP listener with a blocking accept loop on one dedicated
+/// thread, serving one small GET at a time (introspection traffic is a
+/// human or a scraper, not a firehose).
+///
+/// Endpoints:
+///   /metrics     Prometheus text exposition of the MetricsRegistry
+///   /varz        JSON process snapshot (uptime, pipeline, full metrics)
+///   /healthz     liveness + last-window-advance watchdog (503 when the
+///                pipeline stalls past the configured threshold)
+///   /tracez      JSON ring of the most recent completed spans
+///   /pipelinez   per-window stage-latency attribution table
+///
+/// All handlers read through the process-wide singletons' own
+/// synchronization, so responses are consistent snapshots while writers
+/// keep mutating — no global pause, no writer-side cost.
+class StatsServer {
+ public:
+  struct Options {
+    /// TCP port to bind; 0 picks an ephemeral port (read it back with
+    /// port() after Start — the test hook).
+    uint16_t port = 0;
+    /// Bind address. The default keeps the introspection plane loopback-
+    /// only; a fronting proxy should own external exposure.
+    std::string bind_address = "127.0.0.1";
+    /// /healthz flips to 503 when the last window advance is older than
+    /// this; 0 disables the stall check (liveness only). Ignored until the
+    /// first window is recorded, so a long initial load cannot fail health.
+    uint64_t stall_threshold_us = 0;
+  };
+
+  explicit StatsServer(Options options);
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Binds, listens, enables the trace recent-span ring, and spawns the
+  /// serve thread. Returns the bind/listen failure otherwise.
+  Status Start();
+
+  /// Stops the accept loop and joins the thread. Idempotent; also run by
+  /// the destructor.
+  void Stop();
+
+  /// Port actually bound (resolves port 0 after Start).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Dispatches `target` (an URL path, query string ignored) to the
+  /// matching endpoint; sets `http_status` and `content_type`. Exposed so
+  /// tests can exercise routing without sockets.
+  static std::string HandleRequest(const std::string& target,
+                                   const Options& options, int& http_status,
+                                   std::string& content_type);
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int client_fd);
+
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace commsig::obs
+
+#endif  // COMMSIG_OBS_STATS_SERVER_H_

@@ -33,7 +33,18 @@ uint32_t TraceCollector::CurrentThreadId() {
 
 void TraceCollector::Record(const SpanEvent& event) {
   MutexLock lock(mutex_);
-  events_.push_back(event);
+  if (enabled_.load(std::memory_order_relaxed)) {
+    events_.push_back(event);
+  }
+  if (retain_recent_.load(std::memory_order_relaxed)) {
+    if (recent_.size() < kRecentCapacity) {
+      recent_.push_back(event);
+      recent_head_ = recent_.size() % kRecentCapacity;
+    } else {
+      recent_[recent_head_] = event;
+      recent_head_ = (recent_head_ + 1) % kRecentCapacity;
+    }
+  }
 }
 
 std::vector<SpanEvent> TraceCollector::Events() const {
@@ -44,6 +55,42 @@ std::vector<SpanEvent> TraceCollector::Events() const {
 void TraceCollector::Clear() {
   MutexLock lock(mutex_);
   events_.clear();
+  recent_.clear();
+  recent_head_ = 0;
+}
+
+std::vector<SpanEvent> TraceCollector::RecentSpans() const {
+  MutexLock lock(mutex_);
+  std::vector<SpanEvent> out;
+  const size_t n = recent_.size();
+  out.reserve(n);
+  // Once the ring is full the head slot holds the oldest span.
+  const size_t start = n < kRecentCapacity ? 0 : recent_head_;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(recent_[(start + i) % n]);
+  }
+  return out;
+}
+
+std::string TraceCollector::RecentSpansJson() const {
+  std::vector<SpanEvent> spans = RecentSpans();
+  std::string out =
+      "{\n  \"retained\": " + std::to_string(spans.size()) +
+      ",\n  \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanEvent& e = spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"ts_us\": %llu, \"dur_us\": %llu, "
+                  "\"tid\": %u, \"depth\": %u}",
+                  JsonEscape(e.name).c_str(),
+                  static_cast<unsigned long long>(e.ts_us),
+                  static_cast<unsigned long long>(e.dur_us), e.tid, e.depth);
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return out;
 }
 
 std::string TraceCollector::ToChromeTraceJson() const {
@@ -91,7 +138,7 @@ ScopedSpan::~ScopedSpan() {
   MetricsRegistry::Global()
       .GetHistogram(std::string("span/") + name_ + "_us")
       .Observe(static_cast<double>(dur));
-  if (collector.enabled()) {
+  if (collector.enabled() || collector.retain_recent()) {
     collector.Record({name_, start_us_, dur,
                       TraceCollector::CurrentThreadId(), depth_});
   }

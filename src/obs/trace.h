@@ -27,16 +27,32 @@ struct SpanEvent {
 /// events are buffered for trace export only while enabled — keeping the
 /// steady-state cost of instrumentation to two clock reads per span.
 ///
+/// Independently of full collection, a fixed-size ring of the most recent
+/// completed spans can be retained for the stats server's /tracez endpoint
+/// (SetRetainRecent); the ring never grows, so it is safe to leave on for
+/// the lifetime of a daemon.
+///
 /// The exported file is the Chrome trace_event JSON format; open it at
 /// chrome://tracing or https://ui.perfetto.dev.
 class TraceCollector {
  public:
+  /// Spans retained for /tracez when SetRetainRecent(true) is active.
+  static constexpr size_t kRecentCapacity = 256;
+
   static TraceCollector& Global();
 
   void SetEnabled(bool on) {
     enabled_.store(on, std::memory_order_relaxed);
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Enables the bounded recent-span ring (on while a StatsServer runs).
+  void SetRetainRecent(bool on) {
+    retain_recent_.store(on, std::memory_order_relaxed);
+  }
+  bool retain_recent() const {
+    return retain_recent_.load(std::memory_order_relaxed);
+  }
 
   /// Microseconds since the collector epoch (process start), steady clock.
   uint64_t NowMicros() const;
@@ -49,6 +65,13 @@ class TraceCollector {
   std::vector<SpanEvent> Events() const COMMSIG_EXCLUDES(mutex_);
   void Clear() COMMSIG_EXCLUDES(mutex_);
 
+  /// The most recent completed spans (oldest first, at most
+  /// kRecentCapacity). Empty unless SetRetainRecent(true) is active.
+  std::vector<SpanEvent> RecentSpans() const COMMSIG_EXCLUDES(mutex_);
+
+  /// /tracez payload: {"retained": N, "spans": [{...}, ...]} oldest first.
+  std::string RecentSpansJson() const;
+
   std::string ToChromeTraceJson() const;
   Status WriteChromeTraceFile(const std::string& path) const;
 
@@ -56,9 +79,13 @@ class TraceCollector {
   TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> retain_recent_{false};
   std::chrono::steady_clock::time_point epoch_;
   mutable Mutex mutex_;
   std::vector<SpanEvent> events_ COMMSIG_GUARDED_BY(mutex_);
+  /// Fixed-capacity ring of recent spans; `recent_head_` is the next slot.
+  std::vector<SpanEvent> recent_ COMMSIG_GUARDED_BY(mutex_);
+  size_t recent_head_ COMMSIG_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII wall-time span. On destruction the duration is recorded into the

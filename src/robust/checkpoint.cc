@@ -8,6 +8,7 @@
 #include <system_error>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/obs.h"
 
 namespace commsig {
@@ -181,8 +182,18 @@ Result<CheckpointData> CheckpointManager::LoadLatest() const {
       out.corrupt_skipped = corrupt_skipped;
       COMMSIG_COUNTER_ADD("robust/checkpoints_loaded", 1);
       COMMSIG_COUNTER_ADD("robust/checkpoints_corrupt", corrupt_skipped);
+      if (corrupt_skipped > 0) {
+        obs::LogWarn("checkpoint_fallback")
+            .Str("dir", dir_)
+            .U64("sequence", seq)
+            .U64("corrupt_skipped", corrupt_skipped);
+      }
       return out;
     }
+    obs::LogWarn("checkpoint_corrupt")
+        .Str("dir", dir_)
+        .U64("sequence", seq)
+        .Str("status", data.status().ToString());
     ++corrupt_skipped;
   }
   COMMSIG_COUNTER_ADD("robust/checkpoints_corrupt", corrupt_skipped);

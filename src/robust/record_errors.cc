@@ -1,6 +1,7 @@
 #include "robust/record_errors.h"
 
 #include "common/csv.h"
+#include "obs/log.h"
 #include "obs/obs.h"
 
 namespace commsig {
@@ -106,6 +107,12 @@ Status HandleBadRecord(const IngestOptions& options, uint64_t* errors_so_far,
   ++*errors_so_far;
   BumpReasonCounter(reason);
   COMMSIG_COUNTER_ADD("robust/records_rejected", 1);
+  // Debug level: per-record detail is for forensics, not steady-state
+  // operation (the readers' callers log one summary per ingest).
+  obs::LogDebug("record_rejected")
+      .Str("reason", RecordErrorReasonName(reason))
+      .U64("position", position)
+      .Str("detail", detail);
   if (options.policy == ErrorPolicy::kQuarantine &&
       options.error_log != nullptr) {
     options.error_log->Record(reason, position, std::move(detail));

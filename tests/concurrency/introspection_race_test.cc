@@ -1,0 +1,260 @@
+// Race-stress for the live introspection plane: HTTP-facing snapshot
+// readers (the stats-server request handlers) run against writers that keep
+// mutating the underlying singletons — metrics, the window-attribution
+// ring, the recent-span ring, and the structured-log sink. Designed for
+// -DCOMMSIG_SANITIZE=thread, but the invariants (every snapshot parses,
+// every log line is standalone JSON, the watchdog flips exactly on age)
+// hold in every build mode.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
+#include "obs/window_stats.h"
+#include "../obs/json_check.h"
+
+namespace commsig::obs {
+namespace {
+
+using commsig::obs_test::IsValidJson;
+
+/// One GET over a real loopback socket; returns the raw response ("" on
+/// socket failure).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class IntrospectionRaceTest : public ::testing::Test {
+ protected:
+  IntrospectionRaceTest() {
+    WindowStatsAggregator::Global().Reset();
+    LogSink::Global().SetStderrEnabled(false);
+  }
+  ~IntrospectionRaceTest() override {
+    WindowStatsAggregator::Global().Reset();
+    TraceCollector::Global().SetRetainRecent(false);
+    TraceCollector::Global().Clear();
+    LogSink::Global().CloseFile();
+    LogSink::Global().SetStderrEnabled(true);
+  }
+};
+
+TEST_F(IntrospectionRaceTest, EndpointsServeValidSnapshotsWhileWritersMutate) {
+  TraceCollector::Global().SetRetainRecent(true);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&stop, w] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      Counter& counter = reg.GetCounter("race/introspection_writes");
+      Histogram& hist = reg.GetHistogram("race/introspection_us");
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        counter.Add(1);
+        hist.Observe(static_cast<double>(i % 1000 + 1));
+        reg.GetGauge("race/introspection_depth")
+            .Set(static_cast<double>(i));
+        WindowRecord record;
+        record.window_index = i;
+        record.events = i * 3;
+        record.focal_nodes = 16;
+        record.dirty_nodes = i % 16;
+        record.stage_us[static_cast<size_t>(
+            PipelineStage::kDirtyRecompute)] = i % 97 + 1;
+        WindowStatsAggregator::Global().Record(record);
+        { ScopedSpan span(w == 0 ? "race/a" : "race/b"); }
+        ++i;
+      }
+    });
+  }
+
+  const StatsServer::Options options{.stall_threshold_us = 60'000'000};
+  const char* const kEndpoints[] = {"/metrics", "/varz", "/healthz",
+                                    "/tracez", "/pipelinez"};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&options, &kEndpoints, &failures] {
+      for (int iter = 0; iter < 150; ++iter) {
+        for (const char* endpoint : kEndpoints) {
+          int status = 0;
+          std::string type;
+          std::string body = StatsServer::HandleRequest(endpoint, options,
+                                                        status, type);
+          if (body.empty()) failures.fetch_add(1);
+          // /metrics is Prometheus text; everything else must parse.
+          if (type == "application/json" && !IsValidJson(body)) {
+            failures.fetch_add(1);
+          }
+          if (status != 200) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(IntrospectionRaceTest, LogLinesStayValidJsonUnderConcurrentWriters) {
+  const std::string path =
+      ::testing::TempDir() + "/commsig_introspection_race.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(LogSink::Global().OpenFile(path).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        LogInfo("race_event")
+            .U64("writer", static_cast<uint64_t>(t))
+            .U64("iteration", static_cast<uint64_t>(i))
+            .Str("payload", "quotes \" and \\ backslashes \n newlines")
+            .Double("ratio", 1.0 / (i + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LogSink::Global().CloseFile();
+
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  size_t invalid = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (!IsValidJson(line)) ++invalid;
+  }
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, static_cast<size_t>(kThreads) * kEventsPerThread);
+  EXPECT_EQ(invalid, 0u);
+}
+
+TEST_F(IntrospectionRaceTest, HealthzWatchdogFlipsWhileWindowsKeepLanding) {
+  StatsServer::Options options;
+  options.stall_threshold_us = 50'000;  // 50ms
+
+  std::atomic<bool> stop{false};
+  std::thread advancer([&stop] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      WindowRecord record;
+      record.window_index = i++;
+      WindowStatsAggregator::Global().Record(record);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // While windows land every ~1ms, health must never report stalled.
+  int stalled_while_live = 0;
+  for (int i = 0; i < 50; ++i) {
+    int status = 0;
+    std::string type;
+    StatsServer::HandleRequest("/healthz", options, status, type);
+    if (status == 503) ++stalled_while_live;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  advancer.join();
+  EXPECT_EQ(stalled_while_live, 0);
+
+  // Once the advancer is gone the age grows past the threshold and the
+  // watchdog must flip — poll rather than sleep a fixed amount.
+  int status = 0;
+  for (int i = 0; i < 500 && status != 503; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::string type;
+    StatsServer::HandleRequest("/healthz", options, status, type);
+  }
+  EXPECT_EQ(status, 503);
+}
+
+TEST_F(IntrospectionRaceTest, LiveServerSurvivesConcurrentScrapesAndWriters) {
+  StatsServer server({});  // ephemeral port; stall check off
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      MetricsRegistry::Global().GetCounter("race/live_scrape").Add(1);
+      WindowRecord record;
+      record.window_index = i++;
+      WindowStatsAggregator::Global().Record(record);
+    }
+  });
+
+  // Hammer the real socket path from several clients at once. Per-response
+  // content is checked by the routing tests; here the invariant is that
+  // every request completes with a 200 and the server never wedges or
+  // crashes while the writer keeps mutating (the TSan payoff).
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  const uint16_t port = server.port();
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([port, &ok] {
+      for (int i = 0; i < 20; ++i) {
+        const std::string response = HttpGet(
+            port, i % 2 == 0 ? "/varz" : "/pipelinez");
+        if (response.find("HTTP/1.0 200") != std::string::npos) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  server.Stop();
+  EXPECT_EQ(ok.load(), 60);
+}
+
+}  // namespace
+}  // namespace commsig::obs

@@ -103,6 +103,71 @@ TEST(HistogramTest, ConcurrentObservesKeepExactCount) {
             static_cast<uint64_t>(kThreads) * kObservations);
 }
 
+TEST(HistogramTest, QuantileOfEmptySnapshotIsZero) {
+  Histogram h;
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, QuantilesOfAConstantClampToTheObservedValue) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Observe(4.0);
+  HistogramSnapshot snap = h.Snapshot();
+  // All mass in one bucket; the clamp to [min, max] pins every quantile
+  // to the exact observed value rather than the bucket midpoint.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.50), 4.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.95), 4.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 4.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBucketAccurate) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  HistogramSnapshot snap = h.Snapshot();
+  const double p50 = snap.Quantile(0.50);
+  const double p95 = snap.Quantile(0.95);
+  const double p99 = snap.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-scale buckets bound the relative error by the 2x bucket width:
+  // the true p50 is 500 (bucket [256, 512)), the true p99 is 990.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LT(p50, 1024.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 1.0);    // clamps to min
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 1000.0);  // clamps to max
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotCarriesQuantileFields) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram& h = reg.GetHistogram("test/quantile_json_hist");
+  h.Reset();
+  for (int i = 0; i < 100; ++i) h.Observe(8.0);
+  std::string json = reg.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"p50\": 8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\": 8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": 8"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, PrometheusExportDerivesQuantileGauges) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram& h = reg.GetHistogram("test/quantile_prom_hist");
+  h.Reset();
+  for (int i = 0; i < 100; ++i) h.Observe(16.0);
+  std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE commsig_test_quantile_prom_hist_p50 gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("commsig_test_quantile_prom_hist_p50 16"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE commsig_test_quantile_prom_hist_p95 gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE commsig_test_quantile_prom_hist_p99 gauge"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   Counter& a = reg.GetCounter("test/same");

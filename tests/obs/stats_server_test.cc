@@ -1,0 +1,220 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/window_stats.h"
+#include "json_check.h"
+
+namespace commsig::obs {
+namespace {
+
+using commsig::obs_test::IsValidJson;
+
+/// Sends one raw HTTP request to 127.0.0.1:`port` and returns the full
+/// response (headers + body), or "" on any socket failure.
+std::string HttpRoundTrip(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+class StatsServerTest : public ::testing::Test {
+ protected:
+  StatsServerTest() {
+    PreRegisterCoreMetrics();  // stable keys, as the CLI guarantees
+    WindowStatsAggregator::Global().Reset();
+    LogSink::Global().SetStderrEnabled(false);
+  }
+  ~StatsServerTest() override {
+    WindowStatsAggregator::Global().Reset();
+    LogSink::Global().SetStderrEnabled(true);
+  }
+
+  StatsServer::Options options_;  // defaults: ephemeral loopback port
+};
+
+TEST_F(StatsServerTest, RoutesMetricsAsPrometheusText) {
+  int status = 0;
+  std::string type;
+  std::string body =
+      StatsServer::HandleRequest("/metrics", options_, status, type);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(type, "text/plain; version=0.0.4");
+  EXPECT_NE(body.find("# TYPE commsig_"), std::string::npos);
+  EXPECT_NE(body.find("commsig_pipeline_windows_recorded"),
+            std::string::npos);
+}
+
+TEST_F(StatsServerTest, VarzIsOneValidJsonSnapshot) {
+  int status = 0;
+  std::string type;
+  std::string body =
+      StatsServer::HandleRequest("/varz", options_, status, type);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(type, "application/json");
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("\"uptime_us\""), std::string::npos);
+  EXPECT_NE(body.find("\"metrics\""), std::string::npos);
+}
+
+TEST_F(StatsServerTest, HealthzReportsStartingThenOkThenStalled) {
+  int status = 0;
+  std::string type;
+  options_.stall_threshold_us = 1;  // stall "immediately" after a window
+
+  // No window recorded yet: starting, and the stall check must not fire.
+  std::string body =
+      StatsServer::HandleRequest("/healthz", options_, status, type);
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("\"starting\""), std::string::npos);
+
+  WindowStatsAggregator::Global().Record(WindowRecord{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  body = StatsServer::HandleRequest("/healthz", options_, status, type);
+  EXPECT_EQ(status, 503);
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("\"stalled\""), std::string::npos);
+
+  // A generous threshold flips it back to ok.
+  options_.stall_threshold_us = 60'000'000;
+  body = StatsServer::HandleRequest("/healthz", options_, status, type);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"ok\""), std::string::npos);
+}
+
+TEST_F(StatsServerTest, TracezServesTheRecentSpanRing) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.SetRetainRecent(true);
+  { ScopedSpan span("stats_server_test/span"); }
+  int status = 0;
+  std::string type;
+  std::string body =
+      StatsServer::HandleRequest("/tracez", options_, status, type);
+  collector.SetRetainRecent(false);
+  collector.Clear();
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("stats_server_test/span"), std::string::npos) << body;
+}
+
+TEST_F(StatsServerTest, PipelinezServesTheAttributionTable) {
+  WindowRecord r;
+  r.window_index = 3;
+  r.events = 42;
+  r.stage_us[static_cast<size_t>(PipelineStage::kDirtyRecompute)] = 5;
+  WindowStatsAggregator::Global().Record(r);
+  int status = 0;
+  std::string type;
+  std::string body =
+      StatsServer::HandleRequest("/pipelinez", options_, status, type);
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("\"window\": 3"), std::string::npos);
+  EXPECT_NE(body.find("\"dirty_recompute\": 5"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, UnknownPathIs404ListingTheEndpoints) {
+  int status = 0;
+  std::string type;
+  std::string body =
+      StatsServer::HandleRequest("/nope", options_, status, type);
+  EXPECT_EQ(status, 404);
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("/pipelinez"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, QueryStringIsIgnoredForRouting) {
+  int status = 0;
+  std::string type;
+  StatsServer::HandleRequest("/healthz?verbose=1", options_, status, type);
+  EXPECT_EQ(status, 200);
+}
+
+TEST_F(StatsServerTest, ServesHttpOverARealSocket) {
+  StatsServer server({});  // ephemeral port
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  std::string response = HttpRoundTrip(
+      server.port(), "GET /healthz HTTP/1.0\r\nHost: localhost\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_TRUE(IsValidJson(BodyOf(response))) << response;
+
+  // HEAD returns the same headers and no body.
+  response = HttpRoundTrip(server.port(), "HEAD /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_TRUE(BodyOf(response).empty()) << response;
+
+  // Anything but GET/HEAD is rejected.
+  response = HttpRoundTrip(server.port(), "POST /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 405"), std::string::npos) << response;
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST_F(StatsServerTest, StartTwiceFailsAndStopWithoutStartIsSafe) {
+  StatsServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());
+  server.Stop();
+
+  StatsServer never_started({});
+  never_started.Stop();  // must not hang or crash
+}
+
+TEST_F(StatsServerTest, RejectsUnparseableBindAddress) {
+  StatsServer::Options options;
+  options.bind_address = "not-an-ip";
+  StatsServer server(options);
+  EXPECT_FALSE(server.Start().ok());
+}
+
+}  // namespace
+}  // namespace commsig::obs

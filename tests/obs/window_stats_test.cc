@@ -1,0 +1,183 @@
+#include "obs/window_stats.h"
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "json_check.h"
+
+namespace commsig::obs {
+namespace {
+
+using commsig::obs_test::IsValidJson;
+
+WindowRecord MakeRecord(uint64_t index, uint64_t total_us = 0) {
+  WindowRecord r;
+  r.window_index = index;
+  r.events = 10 * (index + 1);
+  r.focal_nodes = 5;
+  r.dirty_nodes = 2;
+  r.reused_nodes = 3;
+  r.stage_us[static_cast<size_t>(PipelineStage::kDeltaDiff)] = 7;
+  r.stage_us[static_cast<size_t>(PipelineStage::kDirtyRecompute)] = 11;
+  r.total_us = total_us;
+  return r;
+}
+
+/// The aggregator is a process-wide singleton; start every test from a
+/// clean slate (and silence the slow-window warnings it may emit).
+class WindowStatsTest : public ::testing::Test {
+ protected:
+  WindowStatsTest() {
+    WindowStatsAggregator::Global().Reset();
+    LogSink::Global().SetStderrEnabled(false);
+  }
+  ~WindowStatsTest() override {
+    WindowStatsAggregator::Global().Reset();
+    LogSink::Global().SetStderrEnabled(true);
+  }
+};
+
+TEST(PipelineStageTest, NamesAreStableSnakeCase) {
+  EXPECT_EQ(PipelineStageName(PipelineStage::kParse), "parse");
+  EXPECT_EQ(PipelineStageName(PipelineStage::kWindowBuild), "window_build");
+  EXPECT_EQ(PipelineStageName(PipelineStage::kDeltaDiff), "delta_diff");
+  EXPECT_EQ(PipelineStageName(PipelineStage::kDirtyRecompute),
+            "dirty_recompute");
+  EXPECT_EQ(PipelineStageName(PipelineStage::kExtract), "extract");
+}
+
+TEST_F(WindowStatsTest, RecordFillsDerivedFields) {
+  WindowStatsAggregator& agg = WindowStatsAggregator::Global();
+  agg.Record(MakeRecord(0));
+  std::vector<WindowRecord> recent = agg.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].total_us, 18u);  // 7 + 11
+  EXPECT_GT(recent[0].completed_at_us, 0u);
+  EXPECT_EQ(agg.windows_recorded(), 1u);
+}
+
+TEST_F(WindowStatsTest, ExplicitTotalIsPreserved) {
+  WindowStatsAggregator& agg = WindowStatsAggregator::Global();
+  agg.Record(MakeRecord(0, /*total_us=*/1234));
+  ASSERT_EQ(agg.Recent().size(), 1u);
+  EXPECT_EQ(agg.Recent()[0].total_us, 1234u);
+}
+
+TEST_F(WindowStatsTest, RingKeepsTheNewestWindowsOldestFirst) {
+  WindowStatsAggregator& agg = WindowStatsAggregator::Global();
+  const size_t total = WindowStatsAggregator::kRingCapacity + 72;
+  for (size_t i = 0; i < total; ++i) agg.Record(MakeRecord(i));
+  EXPECT_EQ(agg.windows_recorded(), total);
+
+  std::vector<WindowRecord> recent = agg.Recent();
+  ASSERT_EQ(recent.size(), WindowStatsAggregator::kRingCapacity);
+  EXPECT_EQ(recent.front().window_index,
+            total - WindowStatsAggregator::kRingCapacity);
+  EXPECT_EQ(recent.back().window_index, total - 1);
+  for (size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].window_index, recent[i - 1].window_index + 1);
+  }
+
+  std::vector<WindowRecord> last32 = agg.Recent(32);
+  ASSERT_EQ(last32.size(), 32u);
+  EXPECT_EQ(last32.front().window_index, total - 32);
+  EXPECT_EQ(last32.back().window_index, total - 1);
+}
+
+TEST_F(WindowStatsTest, SetupStagesAccumulateSeparately) {
+  WindowStatsAggregator& agg = WindowStatsAggregator::Global();
+  agg.RecordSetupStage(PipelineStage::kParse, 100);
+  agg.RecordSetupStage(PipelineStage::kParse, 50);
+  agg.RecordSetupStage(PipelineStage::kWindowBuild, 30);
+  EXPECT_EQ(agg.windows_recorded(), 0u);  // setup is not a window advance
+  std::string json = agg.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"parse_us\": 150"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"window_build_us\": 30"), std::string::npos) << json;
+}
+
+TEST_F(WindowStatsTest, WatchdogCountsWindowsOverBudget) {
+  WindowStatsAggregator& agg = WindowStatsAggregator::Global();
+  Counter& slow = MetricsRegistry::Global().GetCounter("pipeline/slow_windows");
+  const uint64_t before = slow.Value();
+
+  agg.SetLatencyBudgetUs(100);
+  agg.Record(MakeRecord(0, /*total_us=*/99));
+  EXPECT_EQ(slow.Value(), before);
+  agg.Record(MakeRecord(1, /*total_us=*/101));
+  EXPECT_EQ(slow.Value(), before + 1);
+
+  agg.SetLatencyBudgetUs(0);  // 0 disables the watchdog entirely
+  agg.Record(MakeRecord(2, /*total_us=*/999999));
+  EXPECT_EQ(slow.Value(), before + 1);
+}
+
+TEST_F(WindowStatsTest, LastAdvanceAgeIsMaxBeforeFirstWindow) {
+  WindowStatsAggregator& agg = WindowStatsAggregator::Global();
+  EXPECT_EQ(agg.LastAdvanceAgeUs(), std::numeric_limits<uint64_t>::max());
+  agg.Record(MakeRecord(0));
+  EXPECT_LT(agg.LastAdvanceAgeUs(), 60'000'000u);  // recorded "just now"
+}
+
+TEST_F(WindowStatsTest, ToJsonIsValidAndCarriesTheAttributionTable) {
+  WindowStatsAggregator& agg = WindowStatsAggregator::Global();
+  agg.SetLatencyBudgetUs(5000);
+  for (size_t i = 0; i < 3; ++i) agg.Record(MakeRecord(i));
+  std::string json = agg.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"windows_recorded\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_budget_us\": 5000"), std::string::npos);
+  EXPECT_NE(json.find("\"delta_diff\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"dirty_recompute\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"dirty_nodes\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"stage_names\""), std::string::npos);
+}
+
+TEST_F(WindowStatsTest, ToJsonEmptyRingIsStillValid) {
+  std::string json = WindowStatsAggregator::Global().ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"windows_recorded\": 0"), std::string::npos);
+}
+
+TEST_F(WindowStatsTest, ScopedStageTimerAddsScopeWallTime) {
+  WindowRecord record;
+  {
+    ScopedStageTimer timer(record, PipelineStage::kExtract);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    ScopedStageTimer timer(record, PipelineStage::kExtract);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(record.stage_us[static_cast<size_t>(PipelineStage::kExtract)],
+            2000u);  // two 2ms sleeps, generous slack for coarse clocks
+  EXPECT_EQ(record.stage_us[static_cast<size_t>(PipelineStage::kParse)], 0u);
+}
+
+TEST_F(WindowStatsTest, RecordFeedsRegistryMetrics) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const uint64_t windows_before =
+      reg.GetCounter("pipeline/windows_recorded").Value();
+  const uint64_t events_before =
+      reg.GetCounter("pipeline/events_processed").Value();
+  WindowStatsAggregator::Global().Record(MakeRecord(7));
+  EXPECT_EQ(reg.GetCounter("pipeline/windows_recorded").Value(),
+            windows_before + 1);
+  EXPECT_EQ(reg.GetCounter("pipeline/events_processed").Value(),
+            events_before + 80);  // MakeRecord(7).events
+  EXPECT_DOUBLE_EQ(reg.GetGauge("pipeline/last_window_total_us").Value(),
+                   18.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("pipeline/last_window_dirty_nodes").Value(),
+                   2.0);
+}
+
+}  // namespace
+}  // namespace commsig::obs

@@ -122,15 +122,23 @@ TEST(StreamingSignaturesTest, CachedExtractionMatchesFresh) {
   StreamingSignatureBuilder cold(ds.local_hosts, {});
   cached.ObserveAll(ds.events);
   cold.ObserveAll(ds.events);
+#ifndef COMMSIG_OBS_DISABLED
   auto& hits =
       obs::MetricsRegistry::Global().GetCounter("sketch/signature_cache_hits");
+#endif
   for (NodeId host : ds.local_hosts) {
     Signature first_tt = cached.TopTalkers(host, 10);
     Signature first_ut = cached.UnexpectedTalkers(host, 10);
+#ifndef COMMSIG_OBS_DISABLED
     const uint64_t before = hits.Value();
+#endif
     EXPECT_EQ(cached.TopTalkers(host, 10), first_tt);
     EXPECT_EQ(cached.UnexpectedTalkers(host, 10), first_ut);
+#ifndef COMMSIG_OBS_DISABLED
+    // The hit counter is instrumentation; it compiles to a no-op when the
+    // obs macros are disabled, but the memoization itself must still hold.
     EXPECT_EQ(hits.Value(), before + 2);
+#endif
     EXPECT_EQ(cold.TopTalkers(host, 10), first_tt);
     EXPECT_EQ(cold.UnexpectedTalkers(host, 10), first_ut);
   }

@@ -10,10 +10,15 @@ engine owes the repo, and the baselines are set conservatively below
 locally measured values to absorb CI machine noise on top of the
 tolerance.
 
-Usage:
+Usage (single pair):
     tools/bench_guard.py --current BENCH_timeline.json \
         --baseline bench/baselines/BENCH_timeline.baseline.json \
         [--tolerance 0.20]
+
+Usage (several snapshots in one invocation):
+    tools/bench_guard.py \
+        --pair BENCH_timeline.json bench/baselines/BENCH_timeline.baseline.json \
+        --pair BENCH_rwr_batch.json bench/baselines/BENCH_rwr_batch.baseline.json
 
 Exit status: 0 when every gauge holds, 1 on any regression or missing
 gauge, 2 on malformed input.
@@ -43,31 +48,26 @@ def load_speedups(path):
     }
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--current", required=True,
-                        help="snapshot produced by this run")
-    parser.add_argument("--baseline", required=True,
-                        help="checked-in baseline snapshot")
-    parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="allowed fractional drop below baseline "
-                             "(default 0.20 = 20%%)")
-    args = parser.parse_args()
+def check_pair(current_path, baseline_path, tolerance):
+    """Guards one current-vs-baseline snapshot pair.
 
-    current = load_speedups(args.current)
-    baseline = load_speedups(args.baseline)
+    Returns (failure_messages, guarded_gauge_count); exits with status 2
+    on malformed input, matching the single-pair behaviour.
+    """
+    current = load_speedups(current_path)
+    baseline = load_speedups(baseline_path)
     if not baseline:
-        print(f"bench_guard: no *_speedup gauges in {args.baseline}",
+        print(f"bench_guard: no *_speedup gauges in {baseline_path}",
               file=sys.stderr)
-        return 2
+        sys.exit(2)
 
     failures = []
     for name, base_value in sorted(baseline.items()):
         if name not in current:
-            failures.append(f"{name}: missing from {args.current} "
+            failures.append(f"{name}: missing from {current_path} "
                             f"(baseline {base_value:.2f}x)")
             continue
-        floor = base_value * (1.0 - args.tolerance)
+        floor = base_value * (1.0 - tolerance)
         value = current[name]
         status = "ok" if value >= floor else "REGRESSED"
         print(f"{name}: {value:.2f}x vs baseline {base_value:.2f}x "
@@ -75,19 +75,53 @@ def main():
         if value < floor:
             failures.append(f"{name}: {value:.2f}x < floor {floor:.2f}x "
                             f"(baseline {base_value:.2f}x, "
-                            f"tolerance {args.tolerance:.0%})")
+                            f"tolerance {tolerance:.0%})")
 
     # New gauges absent from the baseline are reported but never fail the
     # run — they become guarded once the baseline is refreshed.
     for name in sorted(set(current) - set(baseline)):
         print(f"{name}: {current[name]:.2f}x (no baseline, unguarded)")
 
+    return failures, len(baseline)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current",
+                        help="snapshot produced by this run")
+    parser.add_argument("--baseline",
+                        help="checked-in baseline snapshot")
+    parser.add_argument("--pair", nargs=2, action="append", default=[],
+                        metavar=("CURRENT", "BASELINE"),
+                        help="guard CURRENT against BASELINE; repeatable, "
+                             "combines with --current/--baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop below baseline "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args()
+
+    pairs = list(args.pair)
+    if args.current or args.baseline:
+        if not (args.current and args.baseline):
+            parser.error("--current and --baseline must be given together")
+        pairs.insert(0, (args.current, args.baseline))
+    if not pairs:
+        parser.error("nothing to guard: give --current/--baseline or --pair")
+
+    failures = []
+    guarded = 0
+    for current_path, baseline_path in pairs:
+        failure_messages, count = check_pair(current_path, baseline_path,
+                                             args.tolerance)
+        failures.extend(failure_messages)
+        guarded += count
+
     if failures:
         print("\nbench_guard: speedup regressions detected:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\nbench_guard: all {len(baseline)} guarded gauges hold")
+    print(f"\nbench_guard: all {guarded} guarded gauges hold")
     return 0
 
 

@@ -32,9 +32,31 @@
 //   --threads N         worker threads for signature computation (default 1)
 //   --metrics-out PATH  write a JSON snapshot of the metrics registry
 //                       (counters/gauges/histograms) after the command
+//                       (and periodically during `stream`, keyed to the
+//                       checkpoint cadence)
 //   --trace-out PATH    record scoped spans and write a Chrome trace_event
 //                       JSON file (open at chrome://tracing or
-//                       https://ui.perfetto.dev)
+//                       https://ui.perfetto.dev); flushed periodically
+//                       during `stream` like --metrics-out
+//
+// Introspection flags (all commands):
+//   --stats-port N        serve live introspection over HTTP on
+//                         127.0.0.1:N (0 = ephemeral port, logged at
+//                         startup): /metrics /varz /healthz /tracez
+//                         /pipelinez
+//   --stats-stall-ms N    /healthz reports 503 once the last window
+//                         advance is older than N ms (default 30000;
+//                         0 = liveness only)
+//   --stats-linger-ms N   keep the stats server (and process) alive N ms
+//                         after the command finishes, so a scrape can
+//                         read the final state (default 0)
+//   --log-level L         debug | info | warn | error — structured-log
+//                         threshold (default info; env COMMSIG_LOG)
+//   --log-file PATH       append structured JSON log lines to PATH in
+//                         addition to stderr
+//   --window-budget-ms N  slow-window watchdog: emit a structured warning
+//                         with the stage breakdown when one window advance
+//                         exceeds N ms (default 0 = off)
 //
 // Robust ingestion flags (all commands):
 //   --on-error MODE     fail | skip | quarantine — what a reader does with
@@ -52,6 +74,9 @@
 //   --emit-every N        additionally extract all focal signatures every N
 //                         events (periodic re-emission; cached extractions
 //                         make quiet nodes nearly free)
+//   --replay-delay-us N   sleep N microseconds after each event — replays
+//                         the trace as a live stream so the introspection
+//                         plane can be watched while windows advance
 //
 // timeline flags:
 //   --stride N          window start spacing in trace time units (default =
@@ -74,6 +99,7 @@
 //       --scheme 'rwr(c=0.1,h=3)' --dist shel     (one line)
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -81,6 +107,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/anomaly.h"
@@ -99,8 +126,12 @@
 #include "graph/decayed_accumulator.h"
 #include "graph/graph_stats.h"
 #include "graph/windower.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
+#include "obs/window_stats.h"
 #include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
 #include "robust/record_errors.h"
@@ -184,31 +215,40 @@ IngestOptions IngestFromArgs(const Args& args, RecordErrorLog* log) {
   return opts;
 }
 
+/// Microseconds on the shared steady clock (the trace collector epoch), so
+/// pipeline attribution and span timestamps line up in /varz and /tracez.
+uint64_t NowMicros() { return obs::TraceCollector::Global().NowMicros(); }
+
 /// Reads the input trace (CSV or NetFlow) under the requested error policy,
-/// reporting and optionally dumping quarantined records.
+/// reporting and optionally dumping quarantined records. The decode is
+/// attributed to the pipeline's parse stage.
 bool LoadEvents(const Args& args, Interner& interner,
                 std::vector<TraceEvent>& events) {
   std::string trace_path = args.Get("trace", "");
   std::string netflow_path = args.Get("netflow", "");
   if (trace_path.empty() == netflow_path.empty()) {
-    std::fprintf(stderr, "exactly one of --trace / --netflow is required\n");
+    obs::LogError("bad_flags")
+        .Str("error", "exactly one of --trace / --netflow is required");
     return false;
   }
   RecordErrorLog error_log;
   IngestOptions ingest = IngestFromArgs(args, &error_log);
+  const uint64_t parse_start_us = NowMicros();
   if (!trace_path.empty()) {
     auto loaded = ReadTraceCsv(trace_path, interner, ingest);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load trace: %s\n",
-                   loaded.status().ToString().c_str());
+      obs::LogError("trace_load_failed")
+          .Str("path", trace_path)
+          .Str("error", loaded.status().ToString());
       return false;
     }
     events = std::move(*loaded);
   } else {
     auto records = ReadNetflowV5File(netflow_path, ingest);
     if (!records.ok()) {
-      std::fprintf(stderr, "cannot load netflow: %s\n",
-                   records.status().ToString().c_str());
+      obs::LogError("netflow_load_failed")
+          .Str("path", netflow_path)
+          .Str("error", records.status().ToString());
       return false;
     }
     NetflowReadOptions opts;
@@ -216,20 +256,25 @@ bool LoadEvents(const Args& args, Interner& interner,
         static_cast<uint8_t>(args.GetInt("protocol", 6));
     events = NetflowToEvents(*records, interner, opts);
   }
+  obs::WindowStatsAggregator::Global().RecordSetupStage(
+      obs::PipelineStage::kParse, NowMicros() - parse_start_us);
   if (error_log.total() > 0) {
-    std::fprintf(stderr, "rejected %llu malformed record(s)\n",
-                 static_cast<unsigned long long>(error_log.total()));
+    obs::LogWarn("records_rejected")
+        .U64("rejected", error_log.total())
+        .Str("path", trace_path.empty() ? netflow_path : trace_path);
   }
   std::string quarantine_out = args.Get("quarantine-out", "");
   if (!quarantine_out.empty()) {
     Status s = error_log.WriteCsv(quarantine_out);
     if (!s.ok()) {
-      std::fprintf(stderr, "cannot write quarantine file: %s\n",
-                   s.ToString().c_str());
+      obs::LogError("quarantine_write_failed")
+          .Str("path", quarantine_out)
+          .Str("error", s.ToString());
       return false;
     }
-    std::fprintf(stderr, "quarantined records written to %s\n",
-                 quarantine_out.c_str());
+    obs::LogInfo("quarantine_written")
+        .Str("path", quarantine_out)
+        .U64("records", error_log.total());
   }
   return true;
 }
@@ -252,9 +297,12 @@ bool Load(const Args& args, Workspace& ws) {
   if (!LoadEvents(args, ws.interner, events)) return false;
   uint64_t window_length = args.GetInt("window-length", 86400);
   TraceWindower windower(ws.interner.size(), window_length);
+  const uint64_t build_start_us = NowMicros();
   ws.windows = windower.Split(events);
+  obs::WindowStatsAggregator::Global().RecordSetupStage(
+      obs::PipelineStage::kWindowBuild, NowMicros() - build_start_us);
   if (ws.windows.empty()) {
-    std::fprintf(stderr, "trace produced no windows\n");
+    obs::LogError("no_windows").U64("events", events.size());
     return false;
   }
   // Optional COI-style decayed accumulation: window i becomes the decayed
@@ -262,7 +310,7 @@ bool Load(const Args& args, Workspace& ws) {
   double theta = args.GetDouble("decay", 0.0);
   if (theta > 0.0) {
     if (theta >= 1.0) {
-      std::fprintf(stderr, "--decay must be in [0, 1)\n");
+      obs::LogError("bad_flags").Str("error", "--decay must be in [0, 1)");
       return false;
     }
     DecayedGraphAccumulator acc(ws.interner.size(), theta);
@@ -285,10 +333,11 @@ bool Load(const Args& args, Workspace& ws) {
   }
   size_t threads = args.GetInt("threads", 1);
   if (threads > 1) ws.pool = std::make_unique<ThreadPool>(threads);
-  std::fprintf(stderr, "loaded %zu events, %zu nodes, %zu windows, %zu "
-               "focal nodes\n",
-               events.size(), ws.interner.size(), ws.windows.size(),
-               ws.focal.size());
+  obs::LogInfo("trace_loaded")
+      .U64("events", events.size())
+      .U64("nodes", ws.interner.size())
+      .U64("windows", ws.windows.size())
+      .U64("focal_nodes", ws.focal.size());
   return true;
 }
 
@@ -305,12 +354,14 @@ Result<DistanceKind> DistFor(const Args& args) {
 int RunSignatures(const Args& args, Workspace& ws) {
   size_t window = args.GetInt("window", 0);
   if (window >= ws.windows.size()) {
-    std::fprintf(stderr, "window %zu out of range\n", window);
+    obs::LogError("window_out_of_range")
+        .U64("window", window)
+        .U64("windows", ws.windows.size());
     return 1;
   }
   auto scheme = SchemeFor(args);
   if (!scheme.ok()) {
-    std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+    obs::LogError("bad_scheme").Str("error", scheme.status().ToString());
     return 1;
   }
   auto sigs = ws.Signatures(**scheme, window);
@@ -326,13 +377,13 @@ int RunSelfMatch(const Args& args, Workspace& ws) {
   size_t w0 = args.GetInt("window", 0);
   size_t w1 = args.GetInt("window2", 1);
   if (w0 >= ws.windows.size() || w1 >= ws.windows.size()) {
-    std::fprintf(stderr, "window index out of range\n");
+    obs::LogError("window_out_of_range").U64("windows", ws.windows.size());
     return 1;
   }
   auto scheme = SchemeFor(args);
   auto dist = DistFor(args);
   if (!scheme.ok() || !dist.ok()) {
-    std::fprintf(stderr, "bad scheme or distance\n");
+    obs::LogError("bad_scheme_or_distance");
     return 1;
   }
   auto s0 = ws.Signatures(**scheme, w0);
@@ -354,7 +405,9 @@ int RunSelfMatch(const Args& args, Workspace& ws) {
 int RunMultiusage(const Args& args, Workspace& ws) {
   size_t window = args.GetInt("window", 0);
   if (window >= ws.windows.size()) {
-    std::fprintf(stderr, "window %zu out of range\n", window);
+    obs::LogError("window_out_of_range")
+        .U64("window", window)
+        .U64("windows", ws.windows.size());
     return 1;
   }
   auto scheme = SchemeFor(args);
@@ -379,7 +432,7 @@ int RunMasquerade(const Args& args, Workspace& ws) {
   size_t w0 = args.GetInt("window", 0);
   size_t w1 = args.GetInt("window2", 1);
   if (w0 >= ws.windows.size() || w1 >= ws.windows.size()) {
-    std::fprintf(stderr, "window index out of range\n");
+    obs::LogError("window_out_of_range").U64("windows", ws.windows.size());
     return 1;
   }
   auto scheme = SchemeFor(args);
@@ -407,7 +460,7 @@ int RunAnomalies(const Args& args, Workspace& ws) {
   size_t w0 = args.GetInt("window", 0);
   size_t w1 = args.GetInt("window2", 1);
   if (w0 >= ws.windows.size() || w1 >= ws.windows.size()) {
-    std::fprintf(stderr, "window index out of range\n");
+    obs::LogError("window_out_of_range").U64("windows", ws.windows.size());
     return 1;
   }
   auto scheme = SchemeFor(args);
@@ -444,6 +497,10 @@ uint64_t FingerprintEvents(const std::vector<TraceEvent>& events) {
   return h;
 }
 
+/// Writes the --metrics-out / --trace-out artifacts (defined after the
+/// subcommands; `stream` also calls it mid-run at the checkpoint cadence).
+void FlushTelemetry(const Args& args, bool final_export);
+
 int RunStream(const Args& args) {
   Interner interner;
   std::vector<TraceEvent> events;
@@ -452,6 +509,7 @@ int RunStream(const Args& args) {
   const uint64_t every = args.GetInt("checkpoint-every", 10000);
   const uint64_t kill_after = args.GetInt("kill-after", 0);
   const uint64_t emit_every = args.GetInt("emit-every", 0);
+  const uint64_t replay_delay_us = args.GetInt("replay-delay-us", 0);
   const std::string ckpt_dir = args.Get("checkpoint-dir", "");
 
   std::vector<NodeId> focal;
@@ -477,38 +535,40 @@ int RunStream(const Args& args) {
     auto loaded = manager->LoadLatest();
     if (loaded.ok()) {
       if (loaded->corrupt_skipped > 0) {
-        std::fprintf(stderr,
-                     "skipped %zu corrupt checkpoint(s), using seq=%llu\n",
-                     loaded->corrupt_skipped,
-                     static_cast<unsigned long long>(loaded->sequence));
+        obs::LogWarn("checkpoint_corrupt_skipped")
+            .U64("skipped", loaded->corrupt_skipped)
+            .U64("sequence", loaded->sequence);
       }
       ByteReader in(loaded->payload);
       auto ckpt_fp = in.U64();
       auto consumed = in.U64();
       if (!ckpt_fp.ok() || !consumed.ok()) {
-        std::fprintf(stderr, "checkpoint payload unreadable, starting fresh\n");
+        obs::LogWarn("checkpoint_unreadable").Str("action", "starting fresh");
       } else if (*ckpt_fp != fingerprint || *consumed > events.size()) {
-        std::fprintf(stderr,
-                     "checkpoint is stale (input changed), starting fresh\n");
+        obs::LogWarn("checkpoint_stale")
+            .Str("reason", "input changed")
+            .Str("action", "starting fresh");
       } else {
         auto restored = StreamingSignatureBuilder::FromBytes(in);
         if (restored.ok() && in.AtEnd()) {
           builder = std::make_unique<StreamingSignatureBuilder>(
               *std::move(restored));
           start = *consumed;
-          std::fprintf(stderr,
-                       "restored checkpoint: resuming at event %llu/%zu\n",
-                       static_cast<unsigned long long>(start), events.size());
+          obs::LogInfo("checkpoint_restored")
+              .U64("resume_event", start)
+              .U64("total_events", events.size());
         } else {
-          std::fprintf(stderr, "checkpoint payload invalid (%s), starting "
-                       "fresh\n",
-                       restored.ok() ? "trailing bytes"
-                                     : restored.status().ToString().c_str());
+          obs::LogWarn("checkpoint_invalid")
+              .Str("detail", restored.ok()
+                                 ? "trailing bytes"
+                                 : restored.status().ToString())
+              .Str("action", "starting fresh");
         }
       }
     } else if (!loaded.status().IsNotFound()) {
-      std::fprintf(stderr, "checkpoint restore failed: %s — starting fresh\n",
-                   loaded.status().ToString().c_str());
+      obs::LogWarn("checkpoint_restore_failed")
+          .Str("status", loaded.status().ToString())
+          .Str("action", "starting fresh");
     }
   }
   if (builder == nullptr) {
@@ -522,42 +582,85 @@ int RunStream(const Args& args) {
     builder->AppendTo(out);
     Status s = manager->Save(consumed, out.bytes());
     if (!s.ok()) {
-      std::fprintf(stderr, "checkpoint save failed: %s\n",
-                   s.ToString().c_str());
+      obs::LogError("checkpoint_save_failed")
+          .U64("consumed", consumed)
+          .Str("status", s.ToString());
     }
   };
 
+  // Stream attribution: the builder is cumulative (no discrete graph
+  // windows), so each epoch — the emit cadence when set, else the
+  // checkpoint cadence — is reported as one pipeline window. Observe time
+  // is the window-build stage and extraction the extract stage, which is
+  // enough for /pipelinez to tell a flowing stream from a wedged one.
+  const uint64_t epoch_len = emit_every > 0 ? emit_every : every;
+  obs::WindowRecord epoch;
+  uint64_t epoch_index = 0;
+  auto begin_epoch = [&]() {
+    epoch = obs::WindowRecord{};
+    epoch.window_index = epoch_index;
+    epoch.focal_nodes = focal.size();
+  };
+  auto finish_epoch = [&]() {
+    obs::WindowStatsAggregator::Global().Record(epoch);
+    ++epoch_index;
+    begin_epoch();
+  };
+  begin_epoch();
+
+  const bool flush_telemetry = !args.Get("metrics-out", "").empty() ||
+                               !args.Get("trace-out", "").empty();
   uint64_t processed_this_run = 0;
   for (uint64_t i = start; i < events.size(); ++i) {
-    builder->Observe(events[i]);
+    {
+      obs::ScopedStageTimer timer(epoch, obs::PipelineStage::kWindowBuild);
+      builder->Observe(events[i]);
+    }
+    ++epoch.events;
     ++processed_this_run;
     // Cadence keyed to the absolute stream position, so a restored run
     // checkpoints at the same offsets as an uninterrupted one.
-    if (manager != nullptr && every > 0 && (i + 1) % every == 0) {
-      save(i + 1);
+    if (every > 0 && (i + 1) % every == 0) {
+      if (manager != nullptr) save(i + 1);
+      // In-run telemetry flush, keyed to the checkpoint cadence so a
+      // watcher tailing --metrics-out sees progress before the run ends.
+      if (flush_telemetry) FlushTelemetry(args, /*final_export=*/false);
     }
     // Periodic re-emission. The builder memoizes extractions per focal
     // node, so between two emissions only the nodes that actually talked
     // pay for a re-extraction; everyone else is a cache hit.
     if (emit_every > 0 && (i + 1) % emit_every == 0) {
       size_t active = 0;
-      for (NodeId v : focal) {
-        if (!builder->TopTalkers(v, k).empty()) ++active;
-        builder->UnexpectedTalkers(v, k);
+      {
+        COMMSIG_SPAN("stream/emit");
+        obs::ScopedStageTimer timer(epoch, obs::PipelineStage::kExtract);
+        for (NodeId v : focal) {
+          if (!builder->TopTalkers(v, k).empty()) ++active;
+          builder->UnexpectedTalkers(v, k);
+        }
       }
-      std::fprintf(stderr,
-                   "emit at event %llu: %zu/%zu focal node(s) active\n",
-                   static_cast<unsigned long long>(i + 1), active,
-                   focal.size());
+      epoch.dirty_nodes = active;
+      epoch.reused_nodes = focal.size() - active;
+      obs::LogInfo("stream_emit")
+          .U64("position", i + 1)
+          .U64("active", active)
+          .U64("focal", focal.size());
     }
+    if (epoch_len > 0 && (i + 1) % epoch_len == 0) finish_epoch();
     if (kill_after > 0 && processed_this_run >= kill_after &&
         i + 1 < events.size()) {
-      std::fprintf(stderr,
-                   "kill-after: simulated crash at event %llu/%zu\n",
-                   static_cast<unsigned long long>(i + 1), events.size());
+      obs::LogWarn("stream_simulated_crash")
+          .U64("position", i + 1)
+          .U64("total_events", events.size());
       return 3;
     }
+    // Replay pacing for demos and smoke tests: stretches the run so the
+    // introspection endpoints can be probed while the stream is live.
+    if (replay_delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(replay_delay_us));
+    }
   }
+  if (epoch.events > 0) finish_epoch();
   if (manager != nullptr && start < events.size()) {
     save(events.size());
   }
@@ -570,9 +673,9 @@ int RunStream(const Args& args) {
     std::printf("%s\tut\t%s\n", interner.LabelOf(v).c_str(),
                 ut.ToString(interner).c_str());
   }
-  std::fprintf(stderr, "streamed %llu event(s) this run, %llu total\n",
-               static_cast<unsigned long long>(processed_this_run),
-               static_cast<unsigned long long>(builder->events_observed()));
+  obs::LogInfo("stream_done")
+      .U64("events_this_run", processed_this_run)
+      .U64("events_total", builder->events_observed());
   return 0;
 }
 
@@ -594,14 +697,14 @@ int RunFaultcheck(const Args& args) {
   fopts.p_swap = fraction;
   FaultInjector injector(fopts);
   std::vector<TraceEvent> perturbed = injector.PerturbEvents(events);
-  std::fprintf(stderr, "injected faults: %s\n",
-               injector.report().ToString().c_str());
+  obs::LogInfo("faults_injected")
+      .Str("report", injector.report().ToString());
 
   TraceWindower windower(interner.size(), window_length);
   std::vector<CommGraph> clean = windower.Split(events);
   std::vector<CommGraph> dirty = windower.Split(perturbed);
   if (clean.empty() || dirty.empty()) {
-    std::fprintf(stderr, "trace produced no windows\n");
+    obs::LogError("no_windows").Str("detail", "trace produced no windows");
     return 1;
   }
   const CommGraph& g0 = clean[0];
@@ -619,7 +722,9 @@ int RunFaultcheck(const Args& args) {
     scheme_opts.k = k;
     auto scheme = CreateScheme(spec, scheme_opts);
     if (!scheme.ok()) {
-      std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+      obs::LogError("bad_scheme")
+          .Str("spec", spec)
+          .Str("status", scheme.status().ToString());
       return 1;
     }
     double sum = 0.0;
@@ -650,13 +755,17 @@ int RunTimeline(const Args& args) {
   const uint64_t window_length = args.GetInt("window-length", 86400);
   const uint64_t stride = args.GetInt("stride", window_length);
   if (stride == 0 || stride > window_length) {
-    std::fprintf(stderr, "--stride must be in [1, --window-length]\n");
+    obs::LogError("bad_flags")
+        .Str("detail", "--stride must be in [1, --window-length]");
     return 1;
   }
   TraceWindower windower(interner.size(), window_length);
+  const uint64_t split_begin_us = NowMicros();
   std::vector<CommGraph> windows = windower.SplitSliding(events, stride);
+  obs::WindowStatsAggregator::Global().RecordSetupStage(
+      obs::PipelineStage::kWindowBuild, NowMicros() - split_begin_us);
   if (windows.empty()) {
-    std::fprintf(stderr, "trace produced no windows\n");
+    obs::LogError("no_windows").Str("detail", "trace produced no windows");
     return 1;
   }
 
@@ -676,7 +785,10 @@ int RunTimeline(const Args& args) {
   auto scheme = SchemeFor(args);
   auto dist = DistFor(args);
   if (!scheme.ok() || !dist.ok()) {
-    std::fprintf(stderr, "bad scheme or distance\n");
+    obs::LogError("bad_scheme_or_distance")
+        .Str("scheme_status",
+             scheme.ok() ? "ok" : scheme.status().ToString())
+        .Str("dist_status", dist.ok() ? "ok" : dist.status().ToString());
     return 1;
   }
   SignatureTimelineOptions topts;
@@ -700,6 +812,7 @@ int RunTimeline(const Args& args) {
               focal.size());
 
   SignatureDistance d(*dist);
+  const uint64_t persist_begin_us = NowMicros();
   for (const TransitionStats& t : PersistencePerTransition(per_window, d)) {
     std::printf("transition %zu->%zu  persistence %.4f +- %.4f\n",
                 t.from_window, t.from_window + 1, t.mean_persistence,
@@ -710,30 +823,72 @@ int RunTimeline(const Args& args) {
     std::printf("lag %zu  persistence %.4f +- %.4f  (%zu pair(s))\n", l.lag,
                 l.mean_persistence, l.std_persistence, l.samples);
   }
+  // The per-window advances were attributed inside the engine; the
+  // cross-window persistence scan is a one-shot distance/extract stage.
+  obs::WindowStatsAggregator::Global().RecordSetupStage(
+      obs::PipelineStage::kExtract, NowMicros() - persist_begin_us);
   return 0;
 }
 
-/// Writes the requested observability artifacts after a command ran.
-void ExportObservability(const Args& args) {
+/// Writes the requested observability artifacts. `final_export` is the
+/// end-of-command export (logged at info); the periodic in-run flushes
+/// during `stream` log at debug so they don't drown the event stream.
+void FlushTelemetry(const Args& args, bool final_export) {
+  const obs::LogLevel ok_level =
+      final_export ? obs::LogLevel::kInfo : obs::LogLevel::kDebug;
   std::string metrics_out = args.Get("metrics-out", "");
   if (!metrics_out.empty()) {
     Status s = obs::MetricsRegistry::Global().WriteJsonFile(metrics_out);
     if (!s.ok()) {
-      std::fprintf(stderr, "cannot write metrics: %s\n", s.ToString().c_str());
+      obs::LogError("metrics_write_failed")
+          .Str("path", metrics_out)
+          .Str("status", s.ToString());
     } else {
-      std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+      obs::Log(ok_level, "metrics_written")
+          .Str("path", metrics_out)
+          .Bool("final", final_export);
     }
   }
   std::string trace_out = args.Get("trace-out", "");
   if (!trace_out.empty()) {
     Status s = obs::TraceCollector::Global().WriteChromeTraceFile(trace_out);
     if (!s.ok()) {
-      std::fprintf(stderr, "cannot write trace: %s\n", s.ToString().c_str());
+      obs::LogError("trace_write_failed")
+          .Str("path", trace_out)
+          .Str("status", s.ToString());
     } else {
-      std::fprintf(stderr, "trace written to %s (open in chrome://tracing "
-                   "or ui.perfetto.dev)\n", trace_out.c_str());
+      obs::Log(ok_level, "trace_written")
+          .Str("path", trace_out)
+          .Str("viewer", "chrome://tracing or ui.perfetto.dev")
+          .Bool("final", final_export);
     }
   }
+}
+
+/// Applies the logging flags before anything can emit a structured line.
+/// Returns false (after a raw-stderr diagnostic) on unusable flag values.
+bool ConfigureLogging(const Args& args) {
+  std::string level_name = args.Get("log-level", "");
+  if (!level_name.empty()) {
+    obs::LogLevel level = obs::LogLevel::kInfo;
+    if (!obs::ParseLogLevel(level_name, level)) {
+      std::fprintf(stderr, "invalid --log-level %s "
+                   "(expected debug | info | warn | error)\n",
+                   level_name.c_str());
+      return false;
+    }
+    obs::LogSink::Global().SetMinLevel(level);
+  }
+  std::string log_file = args.Get("log-file", "");
+  if (!log_file.empty()) {
+    Status s = obs::LogSink::Global().OpenFile(log_file);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot open --log-file %s: %s\n",
+                   log_file.c_str(), s.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 int Main(int argc, char** argv) {
@@ -746,35 +901,64 @@ int Main(int argc, char** argv) {
     args.flags[flag.substr(2)] = argv[i + 1];
   }
 
+  if (!ConfigureLogging(args)) return 1;
+
   // Stable snapshot keys even for paths this run never exercises.
   obs::PreRegisterCoreMetrics();
   if (!args.Get("trace-out", "").empty()) {
     obs::TraceCollector::Global().SetEnabled(true);
   }
+  const uint64_t budget_ms = args.GetInt("window-budget-ms", 0);
+  if (budget_ms > 0) {
+    obs::WindowStatsAggregator::Global().SetLatencyBudgetUs(budget_ms * 1000);
+  }
 
+  // The introspection plane: serves /metrics, /varz, /healthz, /tracez and
+  // /pipelinez for the lifetime of the command (plus an optional linger so
+  // short runs stay probeable).
+  std::unique_ptr<obs::StatsServer> stats_server;
+  if (args.flags.count("stats-port") > 0) {
+    obs::StatsServer::Options sopts;
+    sopts.port = static_cast<uint16_t>(args.GetInt("stats-port", 0));
+    sopts.stall_threshold_us = args.GetInt("stats-stall-ms", 30000) * 1000;
+    stats_server = std::make_unique<obs::StatsServer>(sopts);
+    Status s = stats_server->Start();
+    if (!s.ok()) {
+      obs::LogError("stats_server_start_failed")
+          .Str("status", s.ToString());
+      return 1;
+    }
+  }
+
+  int rc;
   // stream, faultcheck and timeline manage their own event loading (they
   // need the raw stream or a sliding split, not the windowed Workspace).
   if (args.command == "stream" || args.command == "faultcheck" ||
       args.command == "timeline") {
-    int rc = args.command == "stream"       ? RunStream(args)
-             : args.command == "faultcheck" ? RunFaultcheck(args)
-                                            : RunTimeline(args);
-    ExportObservability(args);
-    return rc;
+    rc = args.command == "stream"       ? RunStream(args)
+         : args.command == "faultcheck" ? RunFaultcheck(args)
+                                        : RunTimeline(args);
+  } else {
+    Workspace ws;
+    if (!Load(args, ws)) return 1;
+    if (args.command == "signatures") rc = RunSignatures(args, ws);
+    else if (args.command == "selfmatch") rc = RunSelfMatch(args, ws);
+    else if (args.command == "multiusage") rc = RunMultiusage(args, ws);
+    else if (args.command == "masquerade") rc = RunMasquerade(args, ws);
+    else if (args.command == "anomalies") rc = RunAnomalies(args, ws);
+    else return Usage();
   }
 
-  Workspace ws;
-  if (!Load(args, ws)) return 1;
+  FlushTelemetry(args, /*final_export=*/true);
 
-  int rc;
-  if (args.command == "signatures") rc = RunSignatures(args, ws);
-  else if (args.command == "selfmatch") rc = RunSelfMatch(args, ws);
-  else if (args.command == "multiusage") rc = RunMultiusage(args, ws);
-  else if (args.command == "masquerade") rc = RunMasquerade(args, ws);
-  else if (args.command == "anomalies") rc = RunAnomalies(args, ws);
-  else return Usage();
-
-  ExportObservability(args);
+  if (stats_server != nullptr) {
+    const uint64_t linger_ms = args.GetInt("stats-linger-ms", 0);
+    if (linger_ms > 0) {
+      obs::LogInfo("stats_server_lingering").U64("linger_ms", linger_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    }
+    stats_server->Stop();
+  }
   return rc;
 }
 
