@@ -2,6 +2,8 @@
 #define COMMSIG_CORE_INCREMENTAL_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -50,11 +52,35 @@ class IncrementalSignatureEngine {
   std::span<const NodeId> nodes() const { return nodes_; }
   size_t windows_advanced() const { return windows_advanced_; }
 
+  /// Arms the poison-window budget: an Advance whose wall time exceeds
+  /// `budget_us` is a strike, and `strikes` consecutive strikes drop every
+  /// piece of carried state (diff base, warm state, previous signatures)
+  /// so the next Advance primes from scratch — the self-healing answer to
+  /// an incremental path that has gone pathological (delta blow-up, warm
+  /// state grown degenerate) and keeps missing its budget. An in-budget
+  /// Advance clears the streak. budget_us = 0 disables (the default).
+  /// Each strike logs `incremental_budget_strike`; each fallback logs
+  /// `incremental_scratch_fallback` and bumps
+  /// `core/incremental_scratch_rebuilds`.
+  void SetOverBudgetPolicy(uint64_t budget_us, uint32_t strikes = 3);
+
+  /// Replaces the wall clock driving the budget (tests feed a scripted
+  /// sequence of microsecond readings; one reading is taken before and one
+  /// after each Advance's compute).
+  void SetClockForTest(std::function<uint64_t()> clock);
+
+  uint64_t budget_strikes() const { return budget_strikes_total_; }
+  uint64_t scratch_rebuilds() const { return scratch_rebuilds_; }
+
   /// Drops all carried state; the next Advance primes from scratch.
   void Reset();
 
  private:
   const std::vector<Signature>& AdvanceImpl(const CommGraph& g);
+  uint64_t ClockNowUs() const;
+  /// Drops the scheme warm state and forces the next Advance to prime
+  /// (counters and the budget policy survive).
+  void DropWarmState();
 
   const SignatureScheme* scheme_;
   std::vector<NodeId> nodes_;
@@ -65,6 +91,16 @@ class IncrementalSignatureEngine {
   std::vector<Signature> current_;
   std::unique_ptr<IncrementalState> state_;
   size_t windows_advanced_ = 0;
+
+  uint64_t budget_us_ = 0;
+  uint32_t max_strikes_ = 3;
+  uint32_t strike_streak_ = 0;
+  /// Set by DropWarmState: the next Advance primes even though the caller
+  /// re-installs a diff base after every AdvanceImpl.
+  bool force_prime_ = false;
+  uint64_t budget_strikes_total_ = 0;
+  uint64_t scratch_rebuilds_ = 0;
+  std::function<uint64_t()> clock_;
 };
 
 }  // namespace commsig

@@ -1,0 +1,79 @@
+#ifndef COMMSIG_OBS_HEALTH_H_
+#define COMMSIG_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace commsig::obs {
+
+/// Coarse component health, ordered by severity. The degradation ladder
+/// maps its tiers onto these levels; /healthz reports the worst across all
+/// registered components.
+enum class HealthLevel : int {
+  kOk = 0,
+  kDegraded = 1,
+  kCritical = 2,
+};
+
+/// Stable lowercase name ("ok", "degraded", "critical").
+std::string_view HealthLevelName(HealthLevel level);
+
+/// Process-wide component health board. Producers (the stream supervisor's
+/// degradation controller, future shard engines) push their state here;
+/// /healthz and /varz read it. Deliberately tiny: a component name, a
+/// level, and a human-readable detail string ("tier=widen_checkpoints
+/// reason=checkpoint_save_failed").
+///
+/// Thread-safe. Components persist until Clear/Reset so a flapping
+/// producer cannot make health reports racy-empty between updates.
+class HealthRegistry {
+ public:
+  static HealthRegistry& Global();
+
+  /// Sets (or updates) one component. Level transitions bump
+  /// `transitions()`.
+  void Set(const std::string& component, HealthLevel level,
+           std::string detail) COMMSIG_EXCLUDES(mutex_);
+
+  void Clear(const std::string& component) COMMSIG_EXCLUDES(mutex_);
+
+  /// Worst level across all components; kOk when none registered.
+  HealthLevel Worst() const COMMSIG_EXCLUDES(mutex_);
+
+  /// Level of one component; kOk when unknown.
+  HealthLevel LevelOf(const std::string& component) const
+      COMMSIG_EXCLUDES(mutex_);
+
+  /// {"stream": {"level": "degraded", "detail": "..."}} — object keyed by
+  /// component, empty object when none registered.
+  std::string ToJson() const COMMSIG_EXCLUDES(mutex_);
+
+  /// Level changes observed across all Set calls since start/Reset.
+  uint64_t transitions() const COMMSIG_EXCLUDES(mutex_);
+
+  /// Drops all components and zeroes the transition counter (tests).
+  void Reset() COMMSIG_EXCLUDES(mutex_);
+
+ private:
+  struct Entry {
+    HealthLevel level = HealthLevel::kOk;
+    std::string detail;
+  };
+
+  HealthRegistry() = default;
+
+  mutable Mutex mutex_;
+  std::map<std::string, Entry, std::less<>> components_
+      COMMSIG_GUARDED_BY(mutex_);
+  uint64_t transitions_ COMMSIG_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace commsig::obs
+
+#endif  // COMMSIG_OBS_HEALTH_H_

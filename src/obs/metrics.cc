@@ -292,13 +292,22 @@ void PreRegisterCoreMetrics() {
         "timeline/rwr_warm_start_fallbacks",
         "pipeline/windows_recorded", "pipeline/events_processed",
         "pipeline/slow_windows", "stats_server/requests",
-        "stats_server/not_found"}) {
+        "stats_server/not_found", "robust/failpoints_fired",
+        "robust/io_retries", "robust/io_retries_exhausted",
+        "robust/epoch_failures",
+        "robust/epoch_rebuilds", "robust/epochs_quarantined",
+        "robust/checkpoint_restores", "robust/degradation_transitions",
+        "robust/degradation_bad_signals", "robust/global_budget_exhausted",
+        "core/incremental_budget_strikes",
+        "core/incremental_scratch_rebuilds"}) {
     reg.GetCounter(name);
   }
   reg.GetGauge("threadpool/queue_depth");
   reg.GetGauge("threadpool/utilization");
   reg.GetGauge("pipeline/last_window_total_us");
   reg.GetGauge("pipeline/last_window_dirty_nodes");
+  reg.GetGauge("robust/degradation_tier");
+  reg.GetGauge("obs/health_worst_level");
 }
 
 }  // namespace commsig::obs

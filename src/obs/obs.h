@@ -52,18 +52,28 @@
 
 // The dead branch keeps the operands syntactically checked and counted as
 // "used" (no -Wunused-but-set-variable on values computed only for
-// metrics) while the optimizer removes the call site entirely.
-#define COMMSIG_OBS_NOOP(...)                  \
+// metrics) while the optimizer removes the call site entirely. Each
+// operand is discarded through its own void cast — a single
+// `(void)(a, b)` leaves a comma expression whose left operand trips
+// -Wunused-value on some GCC versions.
+#define COMMSIG_OBS_NOOP1(a)                   \
   do {                                         \
     if (false) {                               \
-      (void)(__VA_ARGS__);                     \
+      (void)(a);                               \
+    }                                          \
+  } while (0)
+#define COMMSIG_OBS_NOOP2(a, b)                \
+  do {                                         \
+    if (false) {                               \
+      (void)(a);                               \
+      (void)(b);                               \
     }                                          \
   } while (0)
 
-#define COMMSIG_SPAN(name) COMMSIG_OBS_NOOP(name)
-#define COMMSIG_COUNTER_ADD(name, n) COMMSIG_OBS_NOOP((name), (n))
-#define COMMSIG_GAUGE_SET(name, v) COMMSIG_OBS_NOOP((name), (v))
-#define COMMSIG_HISTOGRAM_OBSERVE(name, v) COMMSIG_OBS_NOOP((name), (v))
+#define COMMSIG_SPAN(name) COMMSIG_OBS_NOOP1(name)
+#define COMMSIG_COUNTER_ADD(name, n) COMMSIG_OBS_NOOP2((name), (n))
+#define COMMSIG_GAUGE_SET(name, v) COMMSIG_OBS_NOOP2((name), (v))
+#define COMMSIG_HISTOGRAM_OBSERVE(name, v) COMMSIG_OBS_NOOP2((name), (v))
 
 #endif  // COMMSIG_OBS_DISABLED
 

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/health.h"
 #include "obs/log.h"
 #include "obs/obs.h"
 #include "obs/window_stats.h"
@@ -34,7 +35,9 @@ const char* HttpStatusText(int status) {
 
 /// /healthz body. Healthy until the pipeline has advanced at least one
 /// window and then stalls past the threshold — a long initial parse/load
-/// must not flap health, but a wedged steady-state loop must.
+/// must not flap health, but a wedged steady-state loop must. Component
+/// health (the degradation ladder) folds in: degraded stays 200 (the
+/// service still answers, shedding load), critical joins stalled at 503.
 std::string HealthzJson(const StatsServer::Options& options,
                         int& http_status) {
   WindowStatsAggregator& stats = WindowStatsAggregator::Global();
@@ -42,9 +45,17 @@ std::string HealthzJson(const StatsServer::Options& options,
   const uint64_t age_us = stats.LastAdvanceAgeUs();
   const bool stalled = options.stall_threshold_us > 0 && windows > 0 &&
                        age_us > options.stall_threshold_us;
-  http_status = stalled ? 503 : 200;
+  const HealthLevel worst = HealthRegistry::Global().Worst();
+  http_status =
+      stalled || worst == HealthLevel::kCritical ? 503 : 200;
   std::string out = "{\n  \"status\": \"";
-  out += stalled ? "stalled" : (windows == 0 ? "starting" : "ok");
+  if (stalled) {
+    out += "stalled";
+  } else if (worst != HealthLevel::kOk) {
+    out += HealthLevelName(worst);
+  } else {
+    out += windows == 0 ? "starting" : "ok";
+  }
   out += "\",\n  \"uptime_us\": " +
          std::to_string(TraceCollector::Global().NowMicros());
   out += ",\n  \"windows_recorded\": " + std::to_string(windows);
@@ -53,6 +64,7 @@ std::string HealthzJson(const StatsServer::Options& options,
   }
   out += ",\n  \"stall_threshold_us\": " +
          std::to_string(options.stall_threshold_us);
+  out += ",\n  \"components\": " + HealthRegistry::Global().ToJson();
   out += "\n}\n";
   return out;
 }
@@ -66,6 +78,7 @@ std::string VarzJson() {
          std::to_string(WindowStatsAggregator::Global().windows_recorded());
   out += ",\n\"log_lines_emitted\": " +
          std::to_string(LogSink::Global().lines_emitted());
+  out += ",\n\"health\": " + HealthRegistry::Global().ToJson();
   out += ",\n\"metrics\": " + MetricsRegistry::Global().ToJson();
   out += "}\n";
   return out;

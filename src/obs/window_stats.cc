@@ -140,16 +140,19 @@ std::string WindowStatsAggregator::ToJson(size_t max_windows) const {
     if (us == 0) continue;
     out += first ? "" : ", ";
     first = false;
-    out += "\"" +
-           std::string(PipelineStageName(static_cast<PipelineStage>(i))) +
-           "_us\": " + std::to_string(us);
+    // Operand-by-operand: `"lit" + std::string(...)` trips a GCC 12
+    // -Wrestrict false positive at -O2.
+    out += '"';
+    out += PipelineStageName(static_cast<PipelineStage>(i));
+    out += "_us\": ";
+    out += std::to_string(us);
   }
   out += "},\n  \"stage_names\": [";
   for (size_t i = 0; i < kNumPipelineStages; ++i) {
     if (i > 0) out += ", ";
-    out += "\"" +
-           std::string(PipelineStageName(static_cast<PipelineStage>(i))) +
-           "\"";
+    out += '"';
+    out += PipelineStageName(static_cast<PipelineStage>(i));
+    out += '"';
   }
   out += "],\n  \"windows\": [";
   for (size_t w = 0; w < windows.size(); ++w) {
@@ -166,9 +169,12 @@ std::string WindowStatsAggregator::ToJson(size_t max_windows) const {
       if (r.stage_us[i] == 0) continue;
       out += first_stage ? "" : ", ";
       first_stage = false;
-      out += "\"" +
-             std::string(PipelineStageName(static_cast<PipelineStage>(i))) +
-             "\": " + std::to_string(r.stage_us[i]);
+      // Built up operand-by-operand: `"lit" + std::string(...)` trips a
+      // GCC 12 -Wrestrict false positive at -O2.
+      out += '"';
+      out += PipelineStageName(static_cast<PipelineStage>(i));
+      out += "\": ";
+      out += std::to_string(r.stage_us[i]);
     }
     out += "}, \"total_us\": " + std::to_string(r.total_us);
     out += ", \"completed_at_us\": " + std::to_string(r.completed_at_us);

@@ -1,5 +1,7 @@
 #include "robust/checkpoint.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -10,6 +12,7 @@
 
 #include "obs/log.h"
 #include "obs/obs.h"
+#include "robust/failpoints.h"
 
 namespace commsig {
 
@@ -114,26 +117,34 @@ Status CheckpointManager::Save(uint64_t sequence, std::string_view payload) {
   frame.PutU64(payload.size());
   frame.PutU32(Crc32(payload));
 
+  // The durable-write dance, each step through the fail-point layer:
+  // write tmp, fsync tmp (the bytes), rename into place, fsync the
+  // directory (the name). Skipping either fsync leaves a window where a
+  // power cut after a "successful" Save loses the checkpoint — the rename
+  // orders the metadata but pins neither it nor the data to the platter.
   const fs::path final_path = fs::path(dir_) / FileName(sequence);
   const fs::path tmp_path = fs::path(dir_) / (options_.stem + ".tmp");
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      return Status::IOError("cannot open " + tmp_path.string() +
-                             " for writing");
-    }
-    out.write(frame.bytes().data(),
-              static_cast<std::streamsize>(frame.size()));
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    out.flush();
-    if (!out.good()) {
-      return Status::IOError("write failed on " + tmp_path.string());
-    }
+  Result<int> fd = failpoints::OpenForWrite("checkpoint/open",
+                                            tmp_path.string());
+  if (!fd.ok()) return fd.status();
+  Status io = failpoints::WriteAll("checkpoint/write", *fd,
+                                   frame.bytes().data(), frame.size());
+  if (io.ok()) {
+    io = failpoints::WriteAll("checkpoint/write", *fd, payload.data(),
+                              payload.size());
   }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    return Status::IOError("cannot rename checkpoint into place: " +
-                           ec.message());
+  if (io.ok()) io = failpoints::FsyncFd("checkpoint/fsync", *fd);
+  ::close(*fd);
+  if (io.ok()) {
+    io = failpoints::RenameFile("checkpoint/rename", tmp_path.string(),
+                                final_path.string());
+  }
+  if (io.ok()) io = failpoints::FsyncDir("checkpoint/dirsync", dir_);
+  if (!io.ok()) {
+    // Best-effort scrub so a failed Save never leaves a stray .tmp for the
+    // next writer to trip over (rename failures leave it behind).
+    fs::remove(tmp_path, ec);
+    return io;
   }
   COMMSIG_COUNTER_ADD("robust/checkpoints_saved", 1);
   COMMSIG_HISTOGRAM_OBSERVE("robust/checkpoint_bytes",

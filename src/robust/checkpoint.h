@@ -27,12 +27,15 @@ struct CheckpointData {
 ///
 /// Files are framed as  magic | format version | sequence | payload length |
 /// CRC32(payload) | payload  (all little-endian, see ByteWriter), written to
-/// a temporary name and atomically renamed into place — a crash mid-write
-/// leaves at most a stray .tmp, never a half-written checkpoint under the
-/// live name. LoadLatest walks checkpoints newest-first and returns the
-/// first that passes framing + CRC validation, so a torn or bit-flipped
-/// newest file falls back to the previous good one instead of killing the
-/// restore.
+/// a temporary name, fsynced, atomically renamed into place, and made
+/// durable with a directory fsync — a crash mid-write leaves at most a
+/// stray .tmp, never a half-written checkpoint under the live name, and a
+/// power cut after a successful Save cannot lose the frame. Every IO step
+/// runs through the robust/failpoints layer so tests and `commsig
+/// chaoscheck` can tear any of them deterministically. LoadLatest walks
+/// checkpoints newest-first and returns the first that passes framing +
+/// CRC validation, so a torn or bit-flipped newest file falls back to the
+/// previous good one instead of killing the restore.
 ///
 /// The payload is opaque application state (for the `commsig stream`
 /// pipeline: the serialized StreamingSignatureBuilder plus stream cursor).

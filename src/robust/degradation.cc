@@ -1,0 +1,101 @@
+#include "robust/degradation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/obs.h"
+
+namespace commsig {
+
+std::string_view DegradationTierName(DegradationTier tier) {
+  switch (tier) {
+    case DegradationTier::kOk:
+      return "ok";
+    case DegradationTier::kShedTracing:
+      return "shed_tracing";
+    case DegradationTier::kWidenCheckpoints:
+      return "widen_checkpoints";
+    case DegradationTier::kSketchOnly:
+      return "sketch_only";
+  }
+  return "unknown";
+}
+
+DegradationController::DegradationController()
+    : DegradationController(Options()) {}
+
+DegradationController::DegradationController(Options options)
+    : options_(std::move(options)) {
+  options_.escalate_after = std::max<uint32_t>(options_.escalate_after, 1);
+  options_.recover_after = std::max<uint32_t>(options_.recover_after, 1);
+  options_.checkpoint_stretch =
+      std::max<uint64_t>(options_.checkpoint_stretch, 1);
+  // Publish the initial ok state so /healthz names the component from the
+  // first scrape, not only after the first incident.
+  obs::HealthRegistry::Global().Set(options_.component, health(),
+                                    "tier=" +
+                                        std::string(DegradationTierName(
+                                            tier_)));
+  COMMSIG_GAUGE_SET("robust/degradation_tier", static_cast<int>(tier_));
+}
+
+obs::HealthLevel DegradationController::health() const {
+  if (tier_ == DegradationTier::kOk) return obs::HealthLevel::kOk;
+  if (tier_ == DegradationTier::kSketchOnly) {
+    return obs::HealthLevel::kCritical;
+  }
+  return obs::HealthLevel::kDegraded;
+}
+
+void DegradationController::ReportFailure(std::string_view reason) {
+  ReportBad("failure", reason);
+}
+
+void DegradationController::ReportOverload(std::string_view reason) {
+  ReportBad("overload", reason);
+}
+
+void DegradationController::ReportBad(std::string_view kind,
+                                      std::string_view reason) {
+  healthy_streak_ = 0;
+  ++bad_streak_;
+  COMMSIG_COUNTER_ADD("robust/degradation_bad_signals", 1);
+  if (bad_streak_ < options_.escalate_after ||
+      tier_ == DegradationTier::kSketchOnly) {
+    return;
+  }
+  bad_streak_ = 0;
+  Transition(static_cast<DegradationTier>(static_cast<int>(tier_) + 1),
+             std::string(kind) + ":" + std::string(reason));
+}
+
+void DegradationController::ReportHealthy() {
+  bad_streak_ = 0;
+  if (tier_ == DegradationTier::kOk) return;
+  ++healthy_streak_;
+  if (healthy_streak_ < options_.recover_after) return;
+  healthy_streak_ = 0;
+  Transition(static_cast<DegradationTier>(static_cast<int>(tier_) - 1),
+             "recovered");
+}
+
+void DegradationController::Transition(DegradationTier to,
+                                       std::string_view reason) {
+  const DegradationTier from = tier_;
+  tier_ = to;
+  ++transitions_;
+  COMMSIG_GAUGE_SET("robust/degradation_tier", static_cast<int>(tier_));
+  COMMSIG_COUNTER_ADD("robust/degradation_transitions", 1);
+  obs::LogWarn("degradation_transition")
+      .Str("component", options_.component)
+      .Str("from", DegradationTierName(from))
+      .Str("to", DegradationTierName(to))
+      .Str("reason", reason);
+  obs::HealthRegistry::Global().Set(
+      options_.component, health(),
+      "tier=" + std::string(DegradationTierName(tier_)) +
+          " reason=" + std::string(reason));
+}
+
+}  // namespace commsig

@@ -24,6 +24,8 @@ std::string_view RecordErrorReasonName(RecordErrorReason reason) {
       return "non_finite_weight";
     case RecordErrorReason::kTimestampRegression:
       return "timestamp_regression";
+    case RecordErrorReason::kPoisonWindow:
+      return "poison_window";
   }
   return "unknown";
 }
@@ -57,6 +59,9 @@ void BumpReasonCounter(RecordErrorReason reason) {
       break;
     case RecordErrorReason::kTimestampRegression:
       COMMSIG_COUNTER_ADD("robust/quarantined_timestamp_regression", 1);
+      break;
+    case RecordErrorReason::kPoisonWindow:
+      COMMSIG_COUNTER_ADD("robust/quarantined_poison_window", 1);
       break;
   }
 }
@@ -124,6 +129,24 @@ Status HandleBadRecord(const IngestOptions& options, uint64_t* errors_so_far,
         " malformed records (last: " +
         std::string(RecordErrorReasonName(reason)) + " at " +
         std::to_string(position) + ")");
+  }
+  if (options.global_budget != nullptr) {
+    ++options.global_budget->total;
+    if (options.global_budget->exhausted()) {
+      obs::LogError("budget_exhausted")
+          .Str("budget", "global")
+          .U64("max_total_errors", options.global_budget->max_total_errors)
+          .U64("total_rejected", options.global_budget->total)
+          .Str("last_reason", RecordErrorReasonName(reason))
+          .U64("last_position", position);
+      COMMSIG_COUNTER_ADD("robust/global_budget_exhausted", 1);
+      return Status::Corruption(
+          "global error budget exhausted: more than " +
+          std::to_string(options.global_budget->max_total_errors) +
+          " malformed records across all inputs (last: " +
+          std::string(RecordErrorReasonName(reason)) + " at " +
+          std::to_string(position) + ")");
+    }
   }
   return Status::OK();
 }

@@ -37,6 +37,8 @@ enum class RecordErrorReason {
   kNonPositiveWeight,    // weight <= 0
   kNonFiniteWeight,      // NaN / Inf weight
   kTimestampRegression,  // time ran backwards under require_monotonic_time
+  kPoisonWindow,         // a stream epoch was quarantined by the supervisor
+                         // after exhausting its retry + rebuild budget
 };
 
 /// Short stable name for a reason ("truncated", "bad_field", ...). Used in
@@ -79,12 +81,28 @@ class RecordErrorLog {
   void Clear();
 
  private:
-  static constexpr size_t kNumReasons = 8;
+  static constexpr size_t kNumReasons = 9;
 
   size_t max_retained_;
   uint64_t total_ = 0;
   uint64_t per_reason_[kNumReasons] = {};
   std::vector<RecordError> entries_;
+};
+
+/// Run-wide rejection budget shared across every reader of an ingest (the
+/// --max-total-errors flag). The per-file budget in IngestOptions protects
+/// one file from dissolving into garbage; this one caps the whole run, so
+/// a directory of mostly-rotten inputs fails loudly instead of each file
+/// staying just under its own limit. Not thread-safe: one per ingest.
+struct GlobalErrorBudget {
+  /// Total rejected records allowed across all inputs; 0 disables.
+  uint64_t max_total_errors = 0;
+  /// Rejections charged so far (across files).
+  uint64_t total = 0;
+
+  bool exhausted() const {
+    return max_total_errors > 0 && total > max_total_errors;
+  }
 };
 
 /// Knobs shared by every lenient reader.
@@ -96,6 +114,12 @@ struct IngestOptions {
   /// garbage should not silently dissolve into an empty trace. 0 disables
   /// the budget.
   uint64_t max_errors = 100000;
+
+  /// Optional run-wide budget shared across readers (not owned; may be
+  /// null). Charged once per rejection in addition to the per-file count;
+  /// exhausting it fails the read with Corruption and emits one typed
+  /// `budget_exhausted` log event.
+  GlobalErrorBudget* global_budget = nullptr;
 
   /// When true, a record whose timestamp precedes the previous accepted
   /// record's is rejected with kTimestampRegression. Off by default: the

@@ -1,0 +1,99 @@
+#include "robust/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/obs.h"
+
+namespace commsig {
+
+bool IsRetryableIo(const Status& status) {
+  // IOError covers the transient family (EIO, ENOSPC clearing, a flaky
+  // NFS mount); everything else either cannot succeed on retry or is a
+  // programming error.
+  return status.IsIOError();
+}
+
+uint64_t BackoffDelayMs(const RetryPolicy& policy, uint32_t retry_index,
+                        Rng& rng) {
+  const double multiplier = std::max(policy.multiplier, 1.0);
+  double delay = static_cast<double>(policy.initial_backoff_ms) *
+                 std::pow(multiplier, static_cast<double>(retry_index));
+  delay = std::min(delay, static_cast<double>(policy.max_backoff_ms));
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  // Uniform in [1 - jitter, 1 + jitter]; decorrelates a fleet of retriers
+  // hammering the same recovered disk.
+  const double factor = 1.0 + jitter * (2.0 * rng.UniformDouble() - 1.0);
+  delay *= factor;
+  return delay <= 0.0 ? 0 : static_cast<uint64_t>(delay);
+}
+
+Retrier::Retrier(RetryPolicy policy, uint64_t seed)
+    : policy_(policy), rng_(seed) {
+  policy_.max_attempts = std::max<uint32_t>(policy_.max_attempts, 1);
+  sleep_fn_ = [](uint64_t delay_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  };
+}
+
+void Retrier::SetSleepFnForTest(
+    std::function<void(uint64_t delay_ms)> sleep_fn) {
+  sleep_fn_ = std::move(sleep_fn);
+}
+
+Status Retrier::Run(std::string_view op_name,
+                    const std::function<Status()>& op) {
+  uint64_t slept_ms = 0;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status s = op();
+    if (s.ok()) {
+      if (attempt > 0) {
+        obs::LogInfo("io_retry_recovered")
+            .Str("op", op_name)
+            .U64("attempts", attempt + 1);
+      }
+      return s;
+    }
+    const bool out_of_attempts = attempt + 1 >= policy_.max_attempts;
+    if (!IsRetryableIo(s) || out_of_attempts) {
+      if (out_of_attempts && IsRetryableIo(s)) {
+        ++exhausted_;
+        COMMSIG_COUNTER_ADD("robust/io_retries_exhausted", 1);
+        obs::LogError("io_retries_exhausted")
+            .Str("op", op_name)
+            .U64("attempts", attempt + 1)
+            .Str("status", s.ToString());
+      }
+      return s;
+    }
+    uint64_t delay_ms = BackoffDelayMs(policy_, attempt, rng_);
+    if (policy_.deadline_ms > 0) {
+      if (slept_ms + delay_ms > policy_.deadline_ms) {
+        ++exhausted_;
+        COMMSIG_COUNTER_ADD("robust/io_retries_exhausted", 1);
+        obs::LogError("io_retries_exhausted")
+            .Str("op", op_name)
+            .U64("attempts", attempt + 1)
+            .Str("reason", "deadline")
+            .U64("deadline_ms", policy_.deadline_ms)
+            .Str("status", s.ToString());
+        return s;
+      }
+      slept_ms += delay_ms;
+    }
+    ++retries_;
+    COMMSIG_COUNTER_ADD("robust/io_retries", 1);
+    obs::LogWarn("io_retry")
+        .Str("op", op_name)
+        .U64("attempt", attempt + 1)
+        .U64("delay_ms", delay_ms)
+        .Str("status", s.ToString());
+    sleep_fn_(delay_ms);
+  }
+}
+
+}  // namespace commsig

@@ -1,0 +1,77 @@
+#ifndef COMMSIG_ROBUST_RETRY_H_
+#define COMMSIG_ROBUST_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace commsig {
+
+/// Exponential backoff with jitter, bounded by attempt and wall-clock caps.
+/// Applied to every retryable IO in the self-healing runtime: checkpoint
+/// save, metrics/trace re-flush, log-file sink open, reader open.
+struct RetryPolicy {
+  /// Total attempts including the first; minimum 1.
+  uint32_t max_attempts = 4;
+  /// Backoff before the first retry.
+  uint64_t initial_backoff_ms = 5;
+  /// Growth factor per retry (clamped >= 1.0).
+  double multiplier = 2.0;
+  /// Ceiling on any single backoff.
+  uint64_t max_backoff_ms = 200;
+  /// Uniform jitter as a fraction of the delay: the actual sleep is
+  /// delay * [1 - jitter, 1 + jitter]. Clamped to [0, 1].
+  double jitter = 0.25;
+  /// Total wall-clock budget across attempts; once the accumulated backoff
+  /// would exceed it, retrying stops. 0 = no deadline.
+  uint64_t deadline_ms = 0;
+};
+
+/// Whether a failed operation is worth retrying at all. Transient IO
+/// errors are; corruption, bad arguments, and not-found are determinate —
+/// retrying them only delays the real recovery path (checkpoint fallback,
+/// quarantine).
+bool IsRetryableIo(const Status& status);
+
+/// The backoff before retry number `retry_index` (0-based), jittered by
+/// `rng`. Pure given the rng state — the unit-testable core of the policy.
+uint64_t BackoffDelayMs(const RetryPolicy& policy, uint32_t retry_index,
+                        Rng& rng);
+
+/// Runs operations under a RetryPolicy. One Retrier per logical actor
+/// (supervisor, CLI); it accumulates attempt/retry counters across Run
+/// calls for the run report, and its sleep can be replaced so tests cover
+/// the whole schedule without waiting for it.
+class Retrier {
+ public:
+  explicit Retrier(RetryPolicy policy, uint64_t seed = 0x5e7);
+
+  /// Invokes `op` up to policy.max_attempts times, sleeping the jittered
+  /// backoff between attempts, while the failure stays retryable and the
+  /// deadline allows. Returns the first success, or the last failure.
+  /// Each retry logs a structured `io_retry` warning; exhaustion logs
+  /// `io_retries_exhausted`.
+  Status Run(std::string_view op_name, const std::function<Status()>& op);
+
+  /// Replaces the real sleep (tests pass a collector).
+  void SetSleepFnForTest(std::function<void(uint64_t delay_ms)> sleep_fn);
+
+  const RetryPolicy& policy() const { return policy_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t exhausted() const { return exhausted_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  std::function<void(uint64_t)> sleep_fn_;
+  uint64_t retries_ = 0;
+  uint64_t exhausted_ = 0;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_ROBUST_RETRY_H_

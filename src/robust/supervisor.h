@@ -1,0 +1,166 @@
+#ifndef COMMSIG_ROBUST_SUPERVISOR_H_
+#define COMMSIG_ROBUST_SUPERVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/windower.h"
+#include "obs/window_stats.h"
+#include "robust/checkpoint.h"
+#include "robust/degradation.h"
+#include "robust/record_errors.h"
+#include "robust/retry.h"
+#include "sketch/streaming_signatures.h"
+
+namespace commsig {
+
+/// What one supervised run did — the `commsig stream` / `chaoscheck`
+/// run report, and the assertion surface for recovery tests.
+struct StreamRunReport {
+  /// --kill-after triggered a simulated crash; the run is incomplete and
+  /// the CLI maps this to exit code 3 (restartable).
+  bool killed = false;
+  /// Resume position chosen at startup (0 = fresh start).
+  uint64_t start_event = 0;
+  /// Events observed by the builder this run (excludes quarantined ones).
+  uint64_t events_processed = 0;
+  /// Stream cursor when the run ended (== total events unless killed).
+  uint64_t final_position = 0;
+  uint64_t epochs = 0;
+  /// Failed epoch attempts that were rolled back and retried in place.
+  uint64_t epoch_retries = 0;
+  /// Epochs recovered by a from-scratch rebuild after in-place retries
+  /// were exhausted.
+  uint64_t epochs_rebuilt = 0;
+  /// Poison epochs skipped with a dead-letter record. Their events are
+  /// counted in `events_quarantined`, not `events_processed`.
+  uint64_t epochs_quarantined = 0;
+  uint64_t events_quarantined = 0;
+  uint64_t checkpoints_saved = 0;
+  /// Saves that still failed after the retry policy was exhausted.
+  uint64_t checkpoint_save_failures = 0;
+  /// IO retries across all retried operations (checkpoint saves and
+  /// telemetry flushes) this run.
+  uint64_t io_retries = 0;
+  bool restored_from_checkpoint = false;
+  /// The newest on-disk checkpoint was torn/corrupt and an older
+  /// generation was used instead.
+  bool restored_from_fallback = false;
+  DegradationTier final_tier = DegradationTier::kOk;
+};
+
+/// Owns the `commsig stream` epoch loop and keeps it alive through faults.
+///
+/// The stream is processed in epochs (the emit cadence when set, else the
+/// checkpoint cadence). Each epoch is transactional: when fail-points are
+/// armed, the supervisor snapshots the builder before the epoch and, on a
+/// failed attempt, rolls back to that snapshot and retries in place. An
+/// epoch that fails `max_epoch_attempts` times is rebuilt from scratch —
+/// a fresh builder replaying the stream from event zero, bypassing the
+/// incremental resume path entirely — and if even that fails, the epoch is
+/// quarantined: its events are skipped and a typed kPoisonWindow
+/// dead-letter record lands in `dead_letters`.
+///
+/// All durable IO (checkpoint saves, telemetry flushes) runs under one
+/// RetryPolicy with exponential backoff + jitter. Epoch outcomes feed a
+/// DegradationController whose tier ladder sheds load under sustained
+/// faults (drop tracing spans, stretch the checkpoint cadence, drop the
+/// expensive UT extraction) and surfaces through /healthz.
+///
+/// Startup restores the newest valid checkpoint when `checkpoint_dir` is
+/// set, with the input-fingerprint staleness check and corrupt-newest
+/// fallback; `--kill-after` crashes mid-run so a following invocation
+/// proves the restore path end to end.
+class StreamSupervisor {
+ public:
+  struct Options {
+    /// Signature length for periodic emissions.
+    size_t k = 10;
+    /// Checkpoint + telemetry-flush cadence in events (0 = never).
+    uint64_t checkpoint_every = 10000;
+    /// Signature re-emission cadence in events (0 = never).
+    uint64_t emit_every = 0;
+    /// Simulated crash after this many events processed this run (0 = off).
+    uint64_t kill_after = 0;
+    /// Per-event pacing for demos/smoke tests.
+    uint64_t replay_delay_us = 0;
+    /// Durable checkpoint directory (empty = no checkpoints).
+    std::string checkpoint_dir;
+    /// Attempts per epoch before the from-scratch rebuild (minimum 1).
+    uint32_t max_epoch_attempts = 3;
+    /// Soft wall-clock budget per epoch; exceeding it reports an overload
+    /// signal to the degradation ladder (0 = off).
+    uint64_t epoch_budget_us = 0;
+    RetryPolicy retry;
+    DegradationController::Options degrade;
+    StreamingSignatureBuilder::Options builder;
+    /// Dead-letter sink for quarantined poison epochs (not owned; may be
+    /// null, in which case quarantine only logs and counts).
+    RecordErrorLog* dead_letters = nullptr;
+    /// In-run telemetry flush (the CLI's --metrics-out/--trace-out write),
+    /// invoked at the checkpoint cadence under the retry policy. Null
+    /// disables in-run flushes.
+    std::function<Status()> flush_telemetry;
+    /// When true, the shed_tracing tier toggles TraceCollector off and
+    /// restores the enabled state captured at construction on recovery.
+    bool manage_tracing = false;
+  };
+
+  StreamSupervisor(std::vector<NodeId> focal, Options options);
+
+  /// Runs the stream to completion (or simulated crash). `events` is the
+  /// full input stream; the resume position comes from the restored
+  /// checkpoint. Call once per supervisor.
+  StreamRunReport Run(const std::vector<TraceEvent>& events);
+
+  /// Final builder state (null only before Run). Valid after Run for
+  /// signature extraction by the CLI / chaos harness.
+  const StreamingSignatureBuilder* builder() const { return builder_.get(); }
+  const std::vector<NodeId>& focal() const { return focal_; }
+  DegradationController& degradation() { return degradation_; }
+  Retrier& retrier() { return retrier_; }
+
+  /// Order-sensitive digest of the event stream, stored in every
+  /// checkpoint so a restore against a different (edited, re-generated)
+  /// input is detected as stale instead of silently resuming mid-stream.
+  static uint64_t FingerprintEvents(const std::vector<TraceEvent>& events);
+
+ private:
+  /// Restores the newest valid checkpoint (staleness-checked against
+  /// `fingerprint`) or builds fresh state. Returns the resume position.
+  uint64_t RestoreOrFresh(uint64_t fingerprint, size_t total_events,
+                          StreamRunReport& report);
+  /// Observes events [begin, end) and evaluates the epoch fail-point
+  /// `site`. On failure the builder is NOT rolled back — the caller owns
+  /// the snapshot.
+  Status ObserveSlice(const std::vector<TraceEvent>& events, uint64_t begin,
+                      uint64_t end, obs::WindowRecord& epoch,
+                      std::string_view site);
+  /// One transactional epoch [begin, end): snapshot, attempt loop, scratch
+  /// rebuild, quarantine. Updates `report` and the degradation ladder.
+  void RunEpoch(const std::vector<TraceEvent>& events, uint64_t begin,
+                uint64_t end, obs::WindowRecord& epoch,
+                StreamRunReport& report);
+  void SaveCheckpoint(uint64_t consumed, uint64_t fingerprint,
+                      StreamRunReport& report);
+  void Emit(uint64_t position, obs::WindowRecord& epoch);
+  /// Applies the current tier's sheds (tracing on/off).
+  void ApplyTierEffects();
+
+  std::vector<NodeId> focal_;
+  Options options_;
+  std::unique_ptr<CheckpointManager> manager_;
+  std::unique_ptr<StreamingSignatureBuilder> builder_;
+  Retrier retrier_;
+  DegradationController degradation_;
+  bool tracing_baseline_ = false;
+  bool tracing_current_ = false;
+};
+
+}  // namespace commsig
+
+#endif  // COMMSIG_ROBUST_SUPERVISOR_H_

@@ -1,0 +1,77 @@
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include "json_check.h"
+
+namespace commsig::obs {
+namespace {
+
+class HealthRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { HealthRegistry::Global().Reset(); }
+  void TearDown() override { HealthRegistry::Global().Reset(); }
+};
+
+TEST_F(HealthRegistryTest, LevelNamesAreStable) {
+  EXPECT_EQ(HealthLevelName(HealthLevel::kOk), "ok");
+  EXPECT_EQ(HealthLevelName(HealthLevel::kDegraded), "degraded");
+  EXPECT_EQ(HealthLevelName(HealthLevel::kCritical), "critical");
+}
+
+TEST_F(HealthRegistryTest, EmptyBoardIsOk) {
+  auto& reg = HealthRegistry::Global();
+  EXPECT_EQ(reg.Worst(), HealthLevel::kOk);
+  EXPECT_EQ(reg.LevelOf("anything"), HealthLevel::kOk);
+  EXPECT_EQ(reg.ToJson(), "{}");
+  EXPECT_EQ(reg.transitions(), 0u);
+}
+
+TEST_F(HealthRegistryTest, WorstAcrossComponents) {
+  auto& reg = HealthRegistry::Global();
+  reg.Set("stream", HealthLevel::kOk, "tier=ok");
+  reg.Set("ingest", HealthLevel::kDegraded, "slow disk");
+  EXPECT_EQ(reg.Worst(), HealthLevel::kDegraded);
+  reg.Set("stream", HealthLevel::kCritical, "tier=sketch_only");
+  EXPECT_EQ(reg.Worst(), HealthLevel::kCritical);
+  EXPECT_EQ(reg.LevelOf("ingest"), HealthLevel::kDegraded);
+  reg.Set("stream", HealthLevel::kOk, "recovered");
+  EXPECT_EQ(reg.Worst(), HealthLevel::kDegraded);
+}
+
+TEST_F(HealthRegistryTest, TransitionsCountLevelChangesOnly) {
+  auto& reg = HealthRegistry::Global();
+  reg.Set("stream", HealthLevel::kOk, "a");
+  EXPECT_EQ(reg.transitions(), 0u);  // first sighting at kOk is not a change
+  reg.Set("stream", HealthLevel::kOk, "b");  // detail-only update
+  EXPECT_EQ(reg.transitions(), 0u);
+  reg.Set("stream", HealthLevel::kDegraded, "c");
+  EXPECT_EQ(reg.transitions(), 1u);
+  reg.Set("stream", HealthLevel::kDegraded, "d");
+  EXPECT_EQ(reg.transitions(), 1u);
+  reg.Set("stream", HealthLevel::kOk, "e");
+  EXPECT_EQ(reg.transitions(), 2u);
+}
+
+TEST_F(HealthRegistryTest, ClearRemovesOneComponent) {
+  auto& reg = HealthRegistry::Global();
+  reg.Set("stream", HealthLevel::kCritical, "x");
+  reg.Set("ingest", HealthLevel::kDegraded, "y");
+  reg.Clear("stream");
+  EXPECT_EQ(reg.Worst(), HealthLevel::kDegraded);
+  EXPECT_EQ(reg.LevelOf("stream"), HealthLevel::kOk);
+}
+
+TEST_F(HealthRegistryTest, ToJsonIsValidAndCarriesDetail) {
+  auto& reg = HealthRegistry::Global();
+  reg.Set("stream", HealthLevel::kDegraded,
+          "tier=widen_checkpoints reason=checkpoint_save_failed");
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(obs_test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"stream\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"degraded\""), std::string::npos) << json;
+  EXPECT_NE(json.find("widen_checkpoints"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace commsig::obs

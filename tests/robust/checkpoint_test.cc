@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "robust/failpoints.h"
+
 namespace commsig {
 namespace {
 
@@ -165,6 +167,113 @@ TEST_F(CheckpointTest, EmptyPayloadRoundTrips) {
   auto r = manager.LoadLatest();
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->payload.empty());
+}
+
+// Durability regression tests: Save must route its whole fsync-the-tmp,
+// rename, fsync-the-directory dance through the fail-point layer, fail
+// loudly on any injected fault, and never leave a half-written file under
+// the live checkpoint name (except for the torn rename, whose tear the
+// CRC-validated loader must absorb via the previous generation).
+class CheckpointDurabilityTest : public CheckpointTest {
+ protected:
+  void SetUp() override {
+    CheckpointTest::SetUp();
+    if (!failpoints::Enabled()) {
+      GTEST_SKIP() << "built without COMMSIG_FAILPOINTS";
+    }
+    FailPointRegistry::Global().Reset();
+  }
+  void TearDown() override {
+    if (failpoints::Enabled()) FailPointRegistry::Global().Reset();
+    CheckpointTest::TearDown();
+  }
+
+  size_t FileCount() const {
+    size_t files = 0;
+    if (fs::exists(dir_)) {
+      for (const auto& entry : fs::directory_iterator(dir_)) {
+        (void)entry;
+        ++files;
+      }
+    }
+    return files;
+  }
+};
+
+TEST_F(CheckpointDurabilityTest, SaveHitsEveryDurabilitySite) {
+  // Arm every durability site with a spec that never fires (after=1000),
+  // then Save once: each site must record a hit, proving the whole
+  // open → write → fsync → rename → dirsync dance routes through the
+  // fail-point layer and the chaos schedule can target any stage of it.
+  auto& reg = FailPointRegistry::Global();
+  const char* kSites[] = {"checkpoint/open", "checkpoint/write",
+                          "checkpoint/fsync", "checkpoint/rename",
+                          "checkpoint/dirsync"};
+  for (const char* site : kSites) {
+    reg.Arm(site, {FailPointKind::kEio, /*after=*/1000, /*count=*/1});
+  }
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(manager.Save(1, "payload").ok());
+  for (const char* site : kSites) {
+    EXPECT_GE(reg.stats(site).hits, 1u) << site;
+    EXPECT_EQ(reg.stats(site).fires, 0u) << site;
+  }
+}
+
+TEST_F(CheckpointDurabilityTest, FsyncFailureFailsTheSaveAndRemovesTmp) {
+  CheckpointManager manager(dir_.string());
+  FailPointRegistry::Global().Arm("checkpoint/fsync",
+                                  {FailPointKind::kFsyncFail, 0, 1});
+  Status s = manager.Save(1, "must not survive");
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(FileCount(), 0u);  // neither tmp nor live name left behind
+  // A clean retry (the supervisor's RetryPolicy) must then succeed.
+  ASSERT_TRUE(manager.Save(1, "second try").ok());
+  auto r = manager.LoadLatest();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->payload, "second try");
+}
+
+TEST_F(CheckpointDurabilityTest, ShortWriteNeverReachesTheLiveName) {
+  CheckpointManager manager(dir_.string());
+  FailPointRegistry::Global().Arm("checkpoint/write",
+                                  {FailPointKind::kShortWrite, 0, 1});
+  EXPECT_TRUE(manager.Save(1, std::string(4096, 'x')).IsIOError());
+  EXPECT_EQ(FileCount(), 0u);
+}
+
+TEST_F(CheckpointDurabilityTest, EnospcOnOpenFailsCleanly) {
+  CheckpointManager manager(dir_.string());
+  FailPointRegistry::Global().Arm("checkpoint/open",
+                                  {FailPointKind::kEnospc, 0, 1});
+  EXPECT_TRUE(manager.Save(1, "p").IsIOError());
+  EXPECT_EQ(FileCount(), 0u);
+}
+
+TEST_F(CheckpointDurabilityTest, TornRenameFallsBackToPreviousGeneration) {
+  CheckpointManager manager(dir_.string());
+  ASSERT_TRUE(manager.Save(1, std::string(256, 'a')).ok());
+  // The torn rename reports success — the tear lands silently under the
+  // live name, exactly like a crash between rename and dir-fsync.
+  FailPointRegistry::Global().Arm("checkpoint/rename",
+                                  {FailPointKind::kTornRename, 0, 1});
+  ASSERT_TRUE(manager.Save(2, std::string(256, 'b')).ok());
+  auto r = manager.LoadLatest();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->sequence, 1u);
+  EXPECT_EQ(r->payload, std::string(256, 'a'));
+  EXPECT_TRUE(r->recovered_from_fallback);
+  EXPECT_EQ(r->corrupt_skipped, 1u);
+}
+
+TEST_F(CheckpointDurabilityTest, DirsyncFailureSurfacesAsSaveFailure) {
+  CheckpointManager manager(dir_.string());
+  FailPointRegistry::Global().Arm("checkpoint/dirsync",
+                                  {FailPointKind::kFsyncFail, 0, 1});
+  // The rename already landed, but the save must still report failure: the
+  // directory entry is not durable until the dirsync, and the caller's
+  // retry rewrites the checkpoint from scratch.
+  EXPECT_TRUE(manager.Save(1, "p").IsIOError());
 }
 
 }  // namespace

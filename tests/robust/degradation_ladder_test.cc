@@ -1,0 +1,144 @@
+// The runtime load-shedding ladder (DegradationController) — distinct from
+// degradation_test.cc, which covers the numeric RWR fallback ladder.
+
+#include "robust/degradation.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/health.h"
+
+namespace commsig {
+namespace {
+
+class DegradationLadderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::HealthRegistry::Global().Reset(); }
+  void TearDown() override { obs::HealthRegistry::Global().Reset(); }
+};
+
+TEST_F(DegradationLadderTest, TierNamesAreStable) {
+  EXPECT_EQ(DegradationTierName(DegradationTier::kOk), "ok");
+  EXPECT_EQ(DegradationTierName(DegradationTier::kShedTracing),
+            "shed_tracing");
+  EXPECT_EQ(DegradationTierName(DegradationTier::kWidenCheckpoints),
+            "widen_checkpoints");
+  EXPECT_EQ(DegradationTierName(DegradationTier::kSketchOnly), "sketch_only");
+}
+
+TEST_F(DegradationLadderTest, StartsHealthyWithNoShedding) {
+  DegradationController ctrl;
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kOk);
+  EXPECT_FALSE(ctrl.shed_tracing());
+  EXPECT_EQ(ctrl.checkpoint_stretch(), 1u);
+  EXPECT_FALSE(ctrl.sketch_only());
+  EXPECT_EQ(ctrl.health(), obs::HealthLevel::kOk);
+}
+
+TEST_F(DegradationLadderTest, EscalatesOneTierPerBadStreak) {
+  DegradationController::Options opts;
+  opts.escalate_after = 2;
+  opts.checkpoint_stretch = 8;
+  DegradationController ctrl(opts);
+
+  ctrl.ReportFailure("io");
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kOk);  // streak of 1 < 2
+  ctrl.ReportFailure("io");
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kShedTracing);
+  EXPECT_TRUE(ctrl.shed_tracing());
+  EXPECT_EQ(ctrl.checkpoint_stretch(), 1u);  // stretch starts at tier 2
+
+  ctrl.ReportFailure("io");
+  ctrl.ReportFailure("io");
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kWidenCheckpoints);
+  EXPECT_EQ(ctrl.checkpoint_stretch(), 8u);
+  EXPECT_FALSE(ctrl.sketch_only());
+
+  ctrl.ReportOverload("budget");
+  ctrl.ReportOverload("budget");
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kSketchOnly);
+  EXPECT_TRUE(ctrl.sketch_only());
+  EXPECT_EQ(ctrl.transitions(), 3u);
+
+  // Already at the top: more bad signals cannot overflow the ladder.
+  ctrl.ReportFailure("io");
+  ctrl.ReportFailure("io");
+  ctrl.ReportFailure("io");
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kSketchOnly);
+}
+
+TEST_F(DegradationLadderTest, HealthySignalsRecoverOneTierAtATime) {
+  DegradationController::Options opts;
+  opts.escalate_after = 1;
+  opts.recover_after = 3;
+  DegradationController ctrl(opts);
+  ctrl.ReportFailure("a");
+  ctrl.ReportFailure("b");
+  ASSERT_EQ(ctrl.tier(), DegradationTier::kWidenCheckpoints);
+
+  ctrl.ReportHealthy();
+  ctrl.ReportHealthy();
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kWidenCheckpoints);
+  ctrl.ReportHealthy();
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kShedTracing);
+  ctrl.ReportHealthy();
+  ctrl.ReportHealthy();
+  ctrl.ReportHealthy();
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kOk);
+
+  // Fully recovered: healthy signals are now a no-op.
+  for (int i = 0; i < 10; ++i) ctrl.ReportHealthy();
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kOk);
+}
+
+TEST_F(DegradationLadderTest, BadSignalResetsRecoveryStreak) {
+  DegradationController::Options opts;
+  opts.escalate_after = 1;
+  opts.recover_after = 2;
+  DegradationController ctrl(opts);
+  ctrl.ReportFailure("a");
+  ASSERT_EQ(ctrl.tier(), DegradationTier::kShedTracing);
+
+  ctrl.ReportHealthy();
+  ctrl.ReportFailure("b");  // resets the healthy streak, escalates again
+  ctrl.ReportHealthy();
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kWidenCheckpoints);
+}
+
+TEST_F(DegradationLadderTest, TiersMapToHealthLevels) {
+  DegradationController::Options opts;
+  opts.escalate_after = 1;
+  opts.component = "ladder_test";
+  DegradationController ctrl(opts);
+  auto& health = obs::HealthRegistry::Global();
+  EXPECT_EQ(health.LevelOf("ladder_test"), obs::HealthLevel::kOk);
+
+  ctrl.ReportFailure("x");  // tier 1
+  EXPECT_EQ(ctrl.health(), obs::HealthLevel::kDegraded);
+  EXPECT_EQ(health.LevelOf("ladder_test"), obs::HealthLevel::kDegraded);
+
+  ctrl.ReportFailure("x");  // tier 2
+  EXPECT_EQ(ctrl.health(), obs::HealthLevel::kDegraded);
+
+  ctrl.ReportFailure("x");  // tier 3
+  EXPECT_EQ(ctrl.health(), obs::HealthLevel::kCritical);
+  EXPECT_EQ(health.LevelOf("ladder_test"), obs::HealthLevel::kCritical);
+  EXPECT_EQ(health.Worst(), obs::HealthLevel::kCritical);
+}
+
+TEST_F(DegradationLadderTest, ZeroThresholdsAreClampedToOne) {
+  DegradationController::Options opts;
+  opts.escalate_after = 0;
+  opts.recover_after = 0;
+  opts.checkpoint_stretch = 0;
+  DegradationController ctrl(opts);
+  ctrl.ReportFailure("x");
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kShedTracing);
+  ctrl.ReportFailure("x");
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kWidenCheckpoints);
+  EXPECT_EQ(ctrl.checkpoint_stretch(), 1u);  // stretch clamped up from 0
+  ctrl.ReportHealthy();
+  EXPECT_EQ(ctrl.tier(), DegradationTier::kShedTracing);
+}
+
+}  // namespace
+}  // namespace commsig

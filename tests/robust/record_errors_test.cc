@@ -129,5 +129,78 @@ TEST(HandleBadRecordTest, QuarantineWithoutLogDegradesToSkip) {
           .ok());
 }
 
+TEST(GlobalErrorBudgetTest, SharedAcrossReaders) {
+  // The run-wide budget (--max-total-errors) is charged across readers even
+  // when each stays under its own per-file limit: two files can absorb two
+  // rejections total, and the third — wherever it lands — stops the run.
+  GlobalErrorBudget budget;
+  budget.max_total_errors = 2;
+
+  IngestOptions file_a;
+  file_a.policy = ErrorPolicy::kSkip;
+  file_a.max_errors = 0;  // per-file budget unlimited
+  file_a.global_budget = &budget;
+  IngestOptions file_b = file_a;
+
+  uint64_t errors_a = 0;
+  uint64_t errors_b = 0;
+  EXPECT_TRUE(HandleBadRecord(file_a, &errors_a,
+                              RecordErrorReason::kBadField, 1, "d")
+                  .ok());
+  EXPECT_TRUE(HandleBadRecord(file_b, &errors_b,
+                              RecordErrorReason::kBadField, 1, "d")
+                  .ok());
+  EXPECT_FALSE(budget.exhausted());
+
+  Status s = HandleBadRecord(file_b, &errors_b,
+                             RecordErrorReason::kTruncated, 2, "d");
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.ToString().find("global error budget exhausted"),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.total, 3u);
+}
+
+TEST(GlobalErrorBudgetTest, ZeroDisablesTheBudget) {
+  GlobalErrorBudget budget;  // max_total_errors = 0
+  IngestOptions opts;
+  opts.policy = ErrorPolicy::kSkip;
+  opts.max_errors = 0;
+  opts.global_budget = &budget;
+  uint64_t errors = 0;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(HandleBadRecord(opts, &errors,
+                                RecordErrorReason::kBadField, i, "d")
+                    .ok());
+  }
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.total, 500u);
+}
+
+TEST(GlobalErrorBudgetTest, KFailStillFailsFirstWithoutCharging) {
+  GlobalErrorBudget budget;
+  budget.max_total_errors = 10;
+  IngestOptions opts;  // policy = kFail
+  opts.global_budget = &budget;
+  uint64_t errors = 0;
+  Status s =
+      HandleBadRecord(opts, &errors, RecordErrorReason::kBadField, 0, "d");
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(budget.total, 0u);  // kFail aborts before the budget is charged
+}
+
+TEST(PoisonWindowReasonTest, HasAStableNameAndQuarantines) {
+  // The supervisor's epoch quarantine dead-letters through the same sink
+  // as reader rejections, under its own stable reason code.
+  EXPECT_EQ(RecordErrorReasonName(RecordErrorReason::kPoisonWindow),
+            "poison_window");
+  RecordErrorLog log;
+  log.Record(RecordErrorReason::kPoisonWindow, 400,
+             "epoch [400, 600) skipped after 3 attempts");
+  EXPECT_EQ(log.count(RecordErrorReason::kPoisonWindow), 1u);
+  EXPECT_EQ(log.entries()[0].position, 400u);
+}
+
 }  // namespace
 }  // namespace commsig

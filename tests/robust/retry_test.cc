@@ -1,0 +1,152 @@
+#include "robust/retry.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace commsig {
+namespace {
+
+TEST(IsRetryableIoTest, OnlyIoErrorsAreRetryable) {
+  EXPECT_TRUE(IsRetryableIo(Status::IOError("disk hiccup")));
+  EXPECT_FALSE(IsRetryableIo(Status::OK()));
+  EXPECT_FALSE(IsRetryableIo(Status::Corruption("bad crc")));
+  EXPECT_FALSE(IsRetryableIo(Status::NotFound("gone")));
+  EXPECT_FALSE(IsRetryableIo(Status::InvalidArgument("bad flag")));
+}
+
+TEST(BackoffDelayMsTest, GrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 50;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(BackoffDelayMs(policy, 0, rng), 10u);
+  EXPECT_EQ(BackoffDelayMs(policy, 1, rng), 20u);
+  EXPECT_EQ(BackoffDelayMs(policy, 2, rng), 40u);
+  EXPECT_EQ(BackoffDelayMs(policy, 3, rng), 50u);  // capped
+  EXPECT_EQ(BackoffDelayMs(policy, 30, rng), 50u);
+}
+
+TEST(BackoffDelayMsTest, JitterStaysWithinBand) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100;
+  policy.multiplier = 1.0;
+  policy.max_backoff_ms = 1000;
+  policy.jitter = 0.25;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t d = BackoffDelayMs(policy, 0, rng);
+    EXPECT_GE(d, 75u);
+    EXPECT_LE(d, 125u);
+  }
+}
+
+TEST(BackoffDelayMsTest, SubUnitMultiplierIsClampedUp) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.multiplier = 0.1;  // nonsense; must not shrink the backoff
+  policy.max_backoff_ms = 1000;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(BackoffDelayMs(policy, 5, rng), 10u);
+}
+
+class RetrierTest : public ::testing::Test {
+ protected:
+  /// A policy with deterministic, instantly-recorded sleeps.
+  Retrier MakeRetrier(uint32_t max_attempts, uint64_t deadline_ms = 0) {
+    RetryPolicy policy;
+    policy.max_attempts = max_attempts;
+    policy.initial_backoff_ms = 10;
+    policy.multiplier = 2.0;
+    policy.max_backoff_ms = 1000;
+    policy.jitter = 0.0;
+    policy.deadline_ms = deadline_ms;
+    Retrier retrier(policy);
+    return retrier;
+  }
+
+  std::vector<uint64_t> sleeps_;
+};
+
+TEST_F(RetrierTest, SucceedsAfterTransientFailures) {
+  Retrier retrier = MakeRetrier(4);
+  retrier.SetSleepFnForTest(
+      [this](uint64_t ms) { sleeps_.push_back(ms); });
+  int calls = 0;
+  Status s = retrier.Run("op", [&calls]() {
+    return ++calls < 3 ? Status::IOError("transient") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.retries(), 2u);
+  EXPECT_EQ(retrier.exhausted(), 0u);
+  ASSERT_EQ(sleeps_.size(), 2u);
+  EXPECT_EQ(sleeps_[0], 10u);
+  EXPECT_EQ(sleeps_[1], 20u);  // exponential, jitter off
+}
+
+TEST_F(RetrierTest, ExhaustsAfterMaxAttempts) {
+  Retrier retrier = MakeRetrier(3);
+  retrier.SetSleepFnForTest([](uint64_t) {});
+  int calls = 0;
+  Status s = retrier.Run("op", [&calls]() {
+    ++calls;
+    return Status::IOError("still broken");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.retries(), 2u);
+  EXPECT_EQ(retrier.exhausted(), 1u);
+}
+
+TEST_F(RetrierTest, NonRetryableFailsImmediately) {
+  Retrier retrier = MakeRetrier(5);
+  retrier.SetSleepFnForTest([](uint64_t) { FAIL() << "must not sleep"; });
+  int calls = 0;
+  Status s = retrier.Run("op", [&calls]() {
+    ++calls;
+    return Status::Corruption("determinate");
+  });
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retrier.retries(), 0u);
+  EXPECT_EQ(retrier.exhausted(), 0u);
+}
+
+TEST_F(RetrierTest, DeadlineStopsRetrying) {
+  // Backoffs would be 10 + 20 + 40...; a 25ms deadline admits only the
+  // first retry.
+  Retrier retrier = MakeRetrier(10, /*deadline_ms=*/25);
+  retrier.SetSleepFnForTest(
+      [this](uint64_t ms) { sleeps_.push_back(ms); });
+  int calls = 0;
+  Status s = retrier.Run("op", [&calls]() {
+    ++calls;
+    return Status::IOError("slow disk");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(retrier.retries(), 1u);
+  EXPECT_EQ(retrier.exhausted(), 1u);
+}
+
+TEST_F(RetrierTest, CountersAccumulateAcrossRuns) {
+  Retrier retrier = MakeRetrier(2);
+  retrier.SetSleepFnForTest([](uint64_t) {});
+  for (int i = 0; i < 3; ++i) {
+    int calls = 0;
+    Status s = retrier.Run("op", [&calls]() {
+      return ++calls < 2 ? Status::IOError("once") : Status::OK();
+    });
+    EXPECT_TRUE(s.ok());
+  }
+  EXPECT_EQ(retrier.retries(), 3u);
+}
+
+}  // namespace
+}  // namespace commsig

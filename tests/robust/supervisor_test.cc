@@ -1,0 +1,367 @@
+// StreamSupervisor recovery semantics: transactional epochs with rollback
+// and retry, from-scratch rebuild, poison-window quarantine, checkpoint
+// restore (including the corrupt-newest fallback) and the degradation
+// ladder's tier effects — all driven deterministically through the IO
+// fail-point registry.
+
+#include "robust/supervisor.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "obs/health.h"
+#include "robust/failpoints.h"
+
+namespace commsig {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr NodeId kNumNodes = 20;
+
+/// Deterministic synthetic stream: each of 8 sources talks mostly to one
+/// favourite plus a rotating side channel.
+std::vector<TraceEvent> MakeEvents(uint64_t n) {
+  std::vector<TraceEvent> events;
+  events.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const NodeId src = static_cast<NodeId>(i % 8);
+    const NodeId dst = static_cast<NodeId>(
+        8 + (i % 13 == 0 ? (i / 13) % (kNumNodes - 8) : src));
+    events.push_back({src, dst, i, 1.0 + static_cast<double>(i % 5)});
+  }
+  return events;
+}
+
+std::vector<NodeId> Focal() { return {0, 1, 2, 3, 4, 5, 6, 7}; }
+
+/// Canonical end-state comparison: the builder's serialized bytes cover
+/// sketches, heavy hitters and history, so equality here is bit-identical
+/// signatures.
+std::string BuilderBytes(const StreamSupervisor& supervisor) {
+  ByteWriter out;
+  supervisor.builder()->AppendTo(out);
+  return std::move(out).Take();
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (failpoints::Enabled()) FailPointRegistry::Global().Reset();
+    obs::HealthRegistry::Global().Reset();
+    dir_ = fs::temp_directory_path() /
+           ("commsig_sup_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    if (failpoints::Enabled()) FailPointRegistry::Global().Reset();
+    obs::HealthRegistry::Global().Reset();
+    fs::remove_all(dir_);
+  }
+
+  StreamSupervisor::Options BaseOptions(const std::string& checkpoint_dir) {
+    StreamSupervisor::Options opts;
+    opts.checkpoint_every = 200;
+    opts.emit_every = 0;
+    opts.checkpoint_dir = checkpoint_dir;
+    opts.retry.max_attempts = 4;
+    opts.retry.initial_backoff_ms = 0;  // tests must not sleep
+    opts.retry.max_backoff_ms = 0;
+    return opts;
+  }
+
+  /// The reference end state: one fault-free, checkpoint-free run.
+  std::string ReferenceBytes(const std::vector<TraceEvent>& events) {
+    StreamSupervisor reference(Focal(), BaseOptions(""));
+    StreamRunReport report = reference.Run(events);
+    EXPECT_FALSE(report.killed);
+    EXPECT_EQ(report.events_processed, events.size());
+    return BuilderBytes(reference);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SupervisorTest, FingerprintIsOrderAndContentSensitive) {
+  auto events = MakeEvents(50);
+  const uint64_t fp = StreamSupervisor::FingerprintEvents(events);
+  EXPECT_EQ(StreamSupervisor::FingerprintEvents(events), fp);
+  auto edited = events;
+  edited[10].weight += 1.0;
+  EXPECT_NE(StreamSupervisor::FingerprintEvents(edited), fp);
+  auto swapped = events;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(StreamSupervisor::FingerprintEvents(swapped), fp);
+}
+
+TEST_F(SupervisorTest, FaultFreeRunProcessesEverything) {
+  auto events = MakeEvents(1000);
+  StreamSupervisor supervisor(Focal(), BaseOptions(dir_.string()));
+  StreamRunReport report = supervisor.Run(events);
+  EXPECT_FALSE(report.killed);
+  EXPECT_EQ(report.start_event, 0u);
+  EXPECT_EQ(report.events_processed, 1000u);
+  EXPECT_EQ(report.final_position, 1000u);
+  EXPECT_EQ(report.epoch_retries, 0u);
+  EXPECT_EQ(report.epochs_quarantined, 0u);
+  // 200..1000 in-loop plus the end-of-run save (which rewrites seq 1000).
+  EXPECT_EQ(report.checkpoints_saved, 6u);
+  EXPECT_EQ(report.final_tier, DegradationTier::kOk);
+  EXPECT_EQ(BuilderBytes(supervisor), ReferenceBytes(events));
+}
+
+TEST_F(SupervisorTest, KillAndResumeConvergesToFaultFreeState) {
+  auto events = MakeEvents(1000);
+  auto opts = BaseOptions(dir_.string());
+  opts.kill_after = 450;
+  StreamSupervisor first(Focal(), std::move(opts));
+  StreamRunReport killed = first.Run(events);
+  EXPECT_TRUE(killed.killed);
+  EXPECT_EQ(killed.final_position, 450u);
+
+  StreamSupervisor second(Focal(), BaseOptions(dir_.string()));
+  StreamRunReport resumed = second.Run(events);
+  EXPECT_FALSE(resumed.killed);
+  EXPECT_TRUE(resumed.restored_from_checkpoint);
+  EXPECT_FALSE(resumed.restored_from_fallback);
+  EXPECT_EQ(resumed.start_event, 400u);  // newest checkpoint before the kill
+  EXPECT_EQ(resumed.final_position, 1000u);
+  EXPECT_EQ(BuilderBytes(second), ReferenceBytes(events));
+}
+
+TEST_F(SupervisorTest, StaleCheckpointTriggersFreshStart) {
+  auto events = MakeEvents(600);
+  auto opts = BaseOptions(dir_.string());
+  opts.kill_after = 300;
+  StreamSupervisor first(Focal(), std::move(opts));
+  (void)first.Run(events);
+
+  // Same directory, different input: the fingerprint must reject the
+  // checkpoint instead of resuming 300 events into the wrong stream.
+  auto other = MakeEvents(600);
+  other[0].weight = 99.0;
+  StreamSupervisor second(Focal(), BaseOptions(dir_.string()));
+  StreamRunReport report = second.Run(other);
+  EXPECT_FALSE(report.restored_from_checkpoint);
+  EXPECT_EQ(report.start_event, 0u);
+  EXPECT_EQ(report.events_processed, 600u);
+}
+
+// Satellite: restore-under-corruption. The newest checkpoint generation is
+// truncated (and, separately, bit-flipped); the supervisor must fall back
+// to the previous generation and keep streaming to the correct end state.
+TEST_F(SupervisorTest, TruncatedNewestCheckpointFallsBackToPreviousGen) {
+  auto events = MakeEvents(1000);
+  auto opts = BaseOptions(dir_.string());
+  opts.kill_after = 450;  // leaves checkpoints at 200 and 400
+  StreamSupervisor first(Focal(), std::move(opts));
+  ASSERT_TRUE(first.Run(events).killed);
+
+  fs::path newest;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (newest.empty() || entry.path().filename() > newest.filename()) {
+      newest = entry.path();
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  fs::resize_file(newest, fs::file_size(newest) / 2);
+
+  StreamSupervisor second(Focal(), BaseOptions(dir_.string()));
+  StreamRunReport report = second.Run(events);
+  EXPECT_TRUE(report.restored_from_checkpoint);
+  EXPECT_TRUE(report.restored_from_fallback);
+  EXPECT_EQ(report.start_event, 200u);  // previous generation
+  EXPECT_FALSE(report.killed);
+  EXPECT_EQ(report.final_position, 1000u);
+  EXPECT_EQ(BuilderBytes(second), ReferenceBytes(events));
+}
+
+TEST_F(SupervisorTest, BitFlippedNewestCheckpointFallsBackToPreviousGen) {
+  auto events = MakeEvents(1000);
+  auto opts = BaseOptions(dir_.string());
+  opts.kill_after = 450;
+  StreamSupervisor first(Focal(), std::move(opts));
+  ASSERT_TRUE(first.Run(events).killed);
+
+  fs::path newest;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (newest.empty() || entry.path().filename() > newest.filename()) {
+      newest = entry.path();
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  {
+    std::fstream f(newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(40);
+    char byte = 0;
+    ASSERT_TRUE(f.read(&byte, 1));
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(40);
+    ASSERT_TRUE(f.write(&byte, 1));
+  }
+
+  StreamSupervisor second(Focal(), BaseOptions(dir_.string()));
+  StreamRunReport report = second.Run(events);
+  EXPECT_TRUE(report.restored_from_fallback);
+  EXPECT_EQ(report.start_event, 200u);
+  EXPECT_EQ(BuilderBytes(second), ReferenceBytes(events));
+}
+
+class SupervisorFaultTest : public SupervisorTest {
+ protected:
+  void SetUp() override {
+    SupervisorTest::SetUp();
+    if (!failpoints::Enabled()) {
+      GTEST_SKIP() << "built without COMMSIG_FAILPOINTS";
+    }
+  }
+};
+
+TEST_F(SupervisorFaultTest, TransientEpochFaultIsRolledBackAndRetried) {
+  auto events = MakeEvents(1000);
+  ASSERT_TRUE(
+      FailPointRegistry::Global().ArmFromSpec("stream/epoch=eio@1x2").ok());
+  StreamSupervisor supervisor(Focal(), BaseOptions(dir_.string()));
+  StreamRunReport report = supervisor.Run(events);
+  EXPECT_FALSE(report.killed);
+  EXPECT_EQ(report.epoch_retries, 2u);
+  EXPECT_EQ(report.epochs_rebuilt, 0u);
+  EXPECT_EQ(report.epochs_quarantined, 0u);
+  EXPECT_EQ(report.events_processed, 1000u);
+  FailPointRegistry::Global().Reset();
+  EXPECT_EQ(BuilderBytes(supervisor), ReferenceBytes(events));
+}
+
+TEST_F(SupervisorFaultTest, PersistentEpochFaultRecoversViaScratchRebuild) {
+  auto events = MakeEvents(600);
+  // Every incremental attempt fails (x0 = fire forever); the rebuild path
+  // (its own fail-point site) stays healthy, so every epoch must recover
+  // via scratch replay.
+  ASSERT_TRUE(
+      FailPointRegistry::Global().ArmFromSpec("stream/epoch=eiox0").ok());
+  auto opts = BaseOptions(dir_.string());
+  opts.max_epoch_attempts = 2;
+  StreamSupervisor supervisor(Focal(), std::move(opts));
+  StreamRunReport report = supervisor.Run(events);
+  EXPECT_FALSE(report.killed);
+  EXPECT_EQ(report.epochs, 3u);
+  EXPECT_EQ(report.epoch_retries, 6u);   // 2 failed attempts per epoch
+  EXPECT_EQ(report.epochs_rebuilt, 3u);  // every epoch rebuilt from scratch
+  EXPECT_EQ(report.epochs_quarantined, 0u);
+  EXPECT_EQ(report.events_processed, 600u);
+  FailPointRegistry::Global().Reset();
+  EXPECT_EQ(BuilderBytes(supervisor), ReferenceBytes(events));
+}
+
+TEST_F(SupervisorFaultTest, PoisonEpochIsQuarantinedWithDeadLetter) {
+  auto events = MakeEvents(500);
+  // Both the incremental path and the scratch rebuild fail for the first
+  // epoch only: it is poison and must be skipped, not retried forever.
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpec("stream/epoch=eio@0x2;stream/rebuild=eio@0x1")
+                  .ok());
+  RecordErrorLog dead_letters;
+  auto opts = BaseOptions(dir_.string());
+  opts.max_epoch_attempts = 2;
+  opts.dead_letters = &dead_letters;
+  StreamSupervisor supervisor(Focal(), std::move(opts));
+  StreamRunReport report = supervisor.Run(events);
+
+  EXPECT_FALSE(report.killed);
+  EXPECT_EQ(report.epochs_quarantined, 1u);
+  EXPECT_EQ(report.events_quarantined, 200u);
+  EXPECT_EQ(report.events_processed, 300u);
+  EXPECT_EQ(report.final_position, 500u);  // the stream kept going
+
+  ASSERT_EQ(dead_letters.total(), 1u);
+  EXPECT_EQ(dead_letters.entries()[0].reason,
+            RecordErrorReason::kPoisonWindow);
+  EXPECT_EQ(dead_letters.entries()[0].position, 0u);
+  EXPECT_NE(dead_letters.entries()[0].detail.find("epoch [0, 200)"),
+            std::string::npos)
+      << dead_letters.entries()[0].detail;
+}
+
+TEST_F(SupervisorFaultTest, CheckpointSaveFailureIsRetriedThroughPolicy) {
+  auto events = MakeEvents(600);
+  // First two fsyncs fail; the retry policy must absorb both and still
+  // land every checkpoint.
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpec("checkpoint/fsync=fsync_fail@0x2")
+                  .ok());
+  StreamSupervisor supervisor(Focal(), BaseOptions(dir_.string()));
+  StreamRunReport report = supervisor.Run(events);
+  EXPECT_EQ(report.checkpoints_saved, 4u);  // 200, 400, 600 + end-of-run
+  EXPECT_EQ(report.checkpoint_save_failures, 0u);
+  EXPECT_GE(report.io_retries, 2u);
+  FailPointRegistry::Global().Reset();
+  EXPECT_EQ(BuilderBytes(supervisor), ReferenceBytes(events));
+}
+
+TEST_F(SupervisorFaultTest, ExhaustedSaveRetriesDegradeTheTier) {
+  auto events = MakeEvents(1000);
+  // Every checkpoint save fails permanently: the stream must still finish,
+  // with the degradation ladder escalating instead of the run dying.
+  ASSERT_TRUE(
+      FailPointRegistry::Global().ArmFromSpec("checkpoint/open=eiox0").ok());
+  auto opts = BaseOptions(dir_.string());
+  opts.retry.max_attempts = 2;
+  opts.degrade.escalate_after = 1;
+  StreamSupervisor supervisor(Focal(), std::move(opts));
+  StreamRunReport report = supervisor.Run(events);
+  EXPECT_FALSE(report.killed);
+  EXPECT_EQ(report.events_processed, 1000u);
+  EXPECT_EQ(report.checkpoints_saved, 0u);
+  EXPECT_GE(report.checkpoint_save_failures, 3u);
+  EXPECT_EQ(report.final_tier, DegradationTier::kSketchOnly);
+  EXPECT_EQ(obs::HealthRegistry::Global().LevelOf("stream"),
+            obs::HealthLevel::kCritical);
+}
+
+TEST_F(SupervisorFaultTest, WidenedCadenceCheckpointsLessOften) {
+  auto events = MakeEvents(1200);
+  ASSERT_TRUE(
+      FailPointRegistry::Global().ArmFromSpec("checkpoint/open=eio@0x2").ok());
+  auto opts = BaseOptions(dir_.string());
+  opts.retry.max_attempts = 1;     // each armed save fails once, no retry
+  opts.degrade.escalate_after = 1;  // escalate per failure
+  opts.degrade.checkpoint_stretch = 3;
+  StreamSupervisor supervisor(Focal(), std::move(opts));
+  StreamRunReport report = supervisor.Run(events);
+  // Saves at 200 and 400 fail and push the tier to widen_checkpoints; the
+  // cadence becomes 600, so only 600, 1200 and the end-of-run save land.
+  EXPECT_EQ(report.checkpoint_save_failures, 2u);
+  EXPECT_EQ(report.checkpoints_saved, 3u);
+  EXPECT_EQ(report.final_tier, DegradationTier::kWidenCheckpoints);
+  EXPECT_EQ(report.events_processed, 1200u);
+}
+
+TEST_F(SupervisorFaultTest, TelemetryFlushRunsUnderRetryPolicy) {
+  auto events = MakeEvents(400);
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .ArmFromSpec("test/telemetry=enospc@0x1")
+                  .ok());
+  auto opts = BaseOptions(dir_.string());
+  uint64_t flushes = 0;
+  opts.flush_telemetry = [&flushes]() {
+    ++flushes;
+    return failpoints::Inject("test/telemetry");
+  };
+  StreamSupervisor supervisor(Focal(), std::move(opts));
+  StreamRunReport report = supervisor.Run(events);
+  EXPECT_FALSE(report.killed);
+  // Two cadences, one injected failure absorbed by a retry.
+  EXPECT_EQ(flushes, 3u);
+  EXPECT_GE(report.io_retries, 1u);
+}
+
+}  // namespace
+}  // namespace commsig

@@ -11,12 +11,17 @@
 //               optional crash-safe checkpointing
 //   faultcheck  inject a fixed fraction of faults into the event stream and
 //               report per-scheme signature drift (robustness gate)
+//   chaoscheck  run the supervised stream under randomized kill / IO-fault
+//               schedules and verify the recovered signatures are
+//               bit-identical to a fault-free run (self-healing gate)
 //   timeline    per-transition and per-lag persistence over a (possibly
 //               sliding) window sequence, computed incrementally with
 //               dirty-node tracking or from scratch
 //
 // Common flags:
-//   --trace PATH        input trace CSV (this or --netflow is required)
+//   --trace PATHS       input trace CSV (this or --netflow is required);
+//                       comma-separated paths concatenate multiple files
+//                       into one stream, sharing --max-total-errors
 //   --netflow PATH      input NetFlow v5 binary export (TCP flows only
 //                       unless --protocol 0)
 //   --window-length N   window length in trace time units (default 86400)
@@ -62,9 +67,36 @@
 //   --on-error MODE     fail | skip | quarantine — what a reader does with
 //                       a malformed record (default fail)
 //   --error-budget N    with skip/quarantine, abort anyway after N rejected
-//                       records (default 100000; 0 = unlimited)
+//                       records per file (default 100000; 0 = unlimited)
+//   --max-total-errors N  run-wide budget shared across every input file:
+//                       abort once more than N records were rejected in
+//                       total, with a typed `budget_exhausted` log event
+//                       (default 0 = off)
 //   --quarantine-out P  with quarantine, write rejected records (reason,
 //                       position, detail) to this dead-letter CSV
+//
+// Self-healing runtime flags (stream / chaoscheck; see DESIGN.md §13):
+//   --retry-max-attempts N  attempts per retryable IO operation —
+//                       checkpoint save, telemetry flush, log-file open,
+//                       reader open (default 4)
+//   --retry-initial-ms N   backoff before the first retry (default 5)
+//   --retry-max-ms N       ceiling on any single backoff (default 200)
+//   --retry-multiplier F   backoff growth factor (default 2.0)
+//   --retry-jitter F       uniform jitter fraction in [0,1] (default 0.25)
+//   --retry-deadline-ms N  total backoff budget per operation (0 = off)
+//   --degrade-escalate-after N  consecutive failure/overload signals that
+//                       step the degradation ladder one tier up (default 3)
+//   --degrade-recover-after N   consecutive healthy epochs that step it
+//                       back down (default 8)
+//   --degrade-checkpoint-stretch N  checkpoint-cadence multiplier at the
+//                       widen_checkpoints tier (default 4)
+//   --max-epoch-attempts N  in-place retries per stream epoch before the
+//                       from-scratch rebuild and, failing that, poison
+//                       quarantine (default 3)
+//   --failpoints SPEC   arm deterministic IO fail-points, e.g.
+//                       'checkpoint/write=enospc@2;stream/epoch=eio@1x2'
+//                       (site=kind[@after][xcount], ';'-separated; needs a
+//                       build with COMMSIG_FAILPOINTS, the default)
 //
 // stream flags:
 //   --checkpoint-dir D    durable checkpoint directory (enables restore)
@@ -77,6 +109,16 @@
 //   --replay-delay-us N   sleep N microseconds after each event — replays
 //                         the trace as a live stream so the introspection
 //                         plane can be watched while windows advance
+//   --dead-letter-out P   write poison-epoch dead-letter records (reason,
+//                         position, detail) to this CSV
+//
+// chaoscheck flags (plus the stream + self-healing flags above):
+//   --trials N          randomized kill/fault schedules to run (default 3)
+//   --seed S            schedule RNG seed (default 1); the same seed
+//                       replays the same schedule
+//   --chaos-dir D       scratch checkpoint directory (default: a fresh
+//                       directory under the system temp dir, removed on
+//                       success)
 //
 // timeline flags:
 //   --stride N          window start spacing in trace time units (default =
@@ -104,11 +146,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "apps/anomaly.h"
 #include "apps/masquerade_detector.h"
@@ -133,8 +179,12 @@
 #include "obs/trace.h"
 #include "obs/window_stats.h"
 #include "robust/checkpoint.h"
+#include "robust/degradation.h"
+#include "robust/failpoints.h"
 #include "robust/fault_injector.h"
 #include "robust/record_errors.h"
+#include "robust/retry.h"
+#include "robust/supervisor.h"
 #include "sketch/streaming_signatures.h"
 
 namespace commsig {
@@ -192,7 +242,8 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: commsig <signatures|selfmatch|multiusage|masquerade|"
-               "anomalies|stream|faultcheck|timeline> --trace PATH [flags]\n"
+               "anomalies|stream|faultcheck|chaoscheck|timeline> "
+               "--trace PATH [flags]\n"
                "see the header of tools/commsig_main.cc for all flags\n");
   return 2;
 }
@@ -215,6 +266,43 @@ IngestOptions IngestFromArgs(const Args& args, RecordErrorLog* log) {
   return opts;
 }
 
+/// Builds the IO retry policy from the --retry-* flags.
+RetryPolicy RetryFromArgs(const Args& args) {
+  RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<uint32_t>(args.GetInt("retry-max-attempts", 4));
+  policy.initial_backoff_ms = args.GetInt("retry-initial-ms", 5);
+  policy.max_backoff_ms = args.GetInt("retry-max-ms", 200);
+  policy.multiplier = args.GetDouble("retry-multiplier", 2.0);
+  policy.jitter = args.GetDouble("retry-jitter", 0.25);
+  policy.deadline_ms = args.GetInt("retry-deadline-ms", 0);
+  return policy;
+}
+
+/// Builds the degradation-ladder knobs from the --degrade-* flags.
+DegradationController::Options DegradeFromArgs(const Args& args) {
+  DegradationController::Options opts;
+  opts.escalate_after =
+      static_cast<uint32_t>(args.GetInt("degrade-escalate-after", 3));
+  opts.recover_after =
+      static_cast<uint32_t>(args.GetInt("degrade-recover-after", 8));
+  opts.checkpoint_stretch = args.GetInt("degrade-checkpoint-stretch", 4);
+  return opts;
+}
+
+/// Splits a comma-separated flag value into its non-empty components.
+std::vector<std::string> SplitPaths(const std::string& value) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= value.size()) {
+    size_t comma = value.find(',', begin);
+    if (comma == std::string::npos) comma = value.size();
+    if (comma > begin) out.push_back(value.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return out;
+}
+
 /// Microseconds on the shared steady clock (the trace collector epoch), so
 /// pipeline attribution and span timestamps line up in /varz and /tracez.
 uint64_t NowMicros() { return obs::TraceCollector::Global().NowMicros(); }
@@ -233,28 +321,65 @@ bool LoadEvents(const Args& args, Interner& interner,
   }
   RecordErrorLog error_log;
   IngestOptions ingest = IngestFromArgs(args, &error_log);
+  // Run-wide budget shared by every file of this ingest (--trace accepts a
+  // comma-separated list); 0 leaves only the per-file budget active.
+  GlobalErrorBudget global_budget;
+  global_budget.max_total_errors = args.GetInt("max-total-errors", 0);
+  if (global_budget.max_total_errors > 0) {
+    ingest.global_budget = &global_budget;
+  }
+  // Opening an input is retryable IO: a file served off flaky network
+  // storage gets the same backoff treatment as a checkpoint write.
+  Retrier retrier(RetryFromArgs(args));
   const uint64_t parse_start_us = NowMicros();
   if (!trace_path.empty()) {
-    auto loaded = ReadTraceCsv(trace_path, interner, ingest);
-    if (!loaded.ok()) {
-      obs::LogError("trace_load_failed")
-          .Str("path", trace_path)
-          .Str("error", loaded.status().ToString());
+    const std::vector<std::string> paths = SplitPaths(trace_path);
+    if (paths.empty()) {
+      obs::LogError("bad_flags").Str("error", "--trace lists no paths");
       return false;
     }
-    events = std::move(*loaded);
+    for (const std::string& path : paths) {
+      std::vector<TraceEvent> file_events;
+      Status s = retrier.Run("reader_open", [&]() {
+        Status fp = failpoints::Inject("reader/open");
+        if (!fp.ok()) return fp;
+        auto loaded = ReadTraceCsv(path, interner, ingest);
+        if (!loaded.ok()) return loaded.status();
+        file_events = std::move(*loaded);
+        return Status::OK();
+      });
+      if (!s.ok()) {
+        obs::LogError("trace_load_failed")
+            .Str("path", path)
+            .Str("error", s.ToString());
+        return false;
+      }
+      if (events.empty()) {
+        events = std::move(file_events);
+      } else {
+        events.insert(events.end(), file_events.begin(), file_events.end());
+      }
+    }
   } else {
-    auto records = ReadNetflowV5File(netflow_path, ingest);
-    if (!records.ok()) {
+    std::vector<NetflowV5Record> records_out;
+    Status s = retrier.Run("reader_open", [&]() {
+      Status fp = failpoints::Inject("reader/open");
+      if (!fp.ok()) return fp;
+      auto records = ReadNetflowV5File(netflow_path, ingest);
+      if (!records.ok()) return records.status();
+      records_out = std::move(*records);
+      return Status::OK();
+    });
+    if (!s.ok()) {
       obs::LogError("netflow_load_failed")
           .Str("path", netflow_path)
-          .Str("error", records.status().ToString());
+          .Str("error", s.ToString());
       return false;
     }
     NetflowReadOptions opts;
     opts.protocol_filter =
         static_cast<uint8_t>(args.GetInt("protocol", 6));
-    events = NetflowToEvents(*records, interner, opts);
+    events = NetflowToEvents(records_out, interner, opts);
   }
   obs::WindowStatsAggregator::Global().RecordSetupStage(
       obs::PipelineStage::kParse, NowMicros() - parse_start_us);
@@ -481,202 +606,276 @@ int RunAnomalies(const Args& args, Workspace& ws) {
   return 0;
 }
 
-/// Order-sensitive digest of the event stream. Stored in every checkpoint
-/// so a restore against a different (edited, re-generated) input is
-/// detected as stale instead of silently resuming mid-stream.
-uint64_t FingerprintEvents(const std::vector<TraceEvent>& events) {
-  uint64_t h = SplitMix64(0x5160 ^ events.size());
+/// Writes the --metrics-out / --trace-out artifacts (defined after the
+/// subcommands; `stream` also calls it mid-run at the checkpoint cadence,
+/// under the retry policy — hence the Status).
+Status FlushTelemetry(const Args& args, bool final_export);
+
+/// Nodes with outgoing traffic anywhere in the stream — the focal
+/// population whose signatures `stream` maintains.
+std::vector<NodeId> FocalFromEvents(const Interner& interner,
+                                    const std::vector<TraceEvent>& events) {
+  std::vector<bool> is_src(interner.size(), false);
   for (const TraceEvent& e : events) {
-    h = SplitMix64(h ^ e.src);
-    h = SplitMix64(h ^ e.dst);
-    h = SplitMix64(h ^ e.time);
-    uint64_t w = 0;
-    std::memcpy(&w, &e.weight, sizeof(w));
-    h = SplitMix64(h ^ w);
+    if (e.src < is_src.size()) is_src[e.src] = true;
   }
-  return h;
+  std::vector<NodeId> focal;
+  for (NodeId v = 0; v < is_src.size(); ++v) {
+    if (is_src[v]) focal.push_back(v);
+  }
+  return focal;
 }
 
-/// Writes the --metrics-out / --trace-out artifacts (defined after the
-/// subcommands; `stream` also calls it mid-run at the checkpoint cadence).
-void FlushTelemetry(const Args& args, bool final_export);
+/// Assembles the supervisor configuration shared by `stream` and
+/// `chaoscheck` from the flags.
+StreamSupervisor::Options SupervisorFromArgs(const Args& args,
+                                             const std::string& ckpt_dir,
+                                             RecordErrorLog* dead_letters) {
+  StreamSupervisor::Options opts;
+  opts.k = args.GetInt("k", 10);
+  opts.checkpoint_every = args.GetInt("checkpoint-every", 10000);
+  opts.emit_every = args.GetInt("emit-every", 0);
+  opts.kill_after = args.GetInt("kill-after", 0);
+  opts.replay_delay_us = args.GetInt("replay-delay-us", 0);
+  opts.checkpoint_dir = ckpt_dir;
+  opts.max_epoch_attempts =
+      static_cast<uint32_t>(args.GetInt("max-epoch-attempts", 3));
+  opts.epoch_budget_us = args.GetInt("window-budget-ms", 0) * 1000;
+  opts.retry = RetryFromArgs(args);
+  opts.degrade = DegradeFromArgs(args);
+  opts.builder.seed = args.GetInt("seed", 0xc0de);
+  opts.dead_letters = dead_letters;
+  opts.manage_tracing = true;
+  if (!args.Get("metrics-out", "").empty() ||
+      !args.Get("trace-out", "").empty()) {
+    opts.flush_telemetry = [&args]() {
+      return FlushTelemetry(args, /*final_export=*/false);
+    };
+  }
+  return opts;
+}
 
 int RunStream(const Args& args) {
   Interner interner;
   std::vector<TraceEvent> events;
   if (!LoadEvents(args, interner, events)) return 1;
   const size_t k = args.GetInt("k", 10);
-  const uint64_t every = args.GetInt("checkpoint-every", 10000);
-  const uint64_t kill_after = args.GetInt("kill-after", 0);
-  const uint64_t emit_every = args.GetInt("emit-every", 0);
-  const uint64_t replay_delay_us = args.GetInt("replay-delay-us", 0);
-  const std::string ckpt_dir = args.Get("checkpoint-dir", "");
 
-  std::vector<NodeId> focal;
-  {
-    std::vector<bool> is_src(interner.size(), false);
-    for (const TraceEvent& e : events) {
-      if (e.src < is_src.size()) is_src[e.src] = true;
-    }
-    for (NodeId v = 0; v < is_src.size(); ++v) {
-      if (is_src[v]) focal.push_back(v);
-    }
-  }
+  RecordErrorLog dead_letters;
+  StreamSupervisor::Options opts =
+      SupervisorFromArgs(args, args.Get("checkpoint-dir", ""), &dead_letters);
+  StreamSupervisor supervisor(FocalFromEvents(interner, events),
+                              std::move(opts));
+  StreamRunReport report = supervisor.Run(events);
 
-  StreamingSignatureBuilder::Options opts;
-  opts.seed = args.GetInt("seed", 0xc0de);
-  const uint64_t fingerprint = FingerprintEvents(events);
+  obs::LogInfo("stream_supervisor_report")
+      .U64("start_event", report.start_event)
+      .U64("events_processed", report.events_processed)
+      .U64("epoch_retries", report.epoch_retries)
+      .U64("epochs_rebuilt", report.epochs_rebuilt)
+      .U64("epochs_quarantined", report.epochs_quarantined)
+      .U64("checkpoints_saved", report.checkpoints_saved)
+      .U64("checkpoint_save_failures", report.checkpoint_save_failures)
+      .U64("io_retries", report.io_retries)
+      .Str("final_tier", DegradationTierName(report.final_tier))
+      .Bool("restored", report.restored_from_checkpoint)
+      .Bool("fallback_restore", report.restored_from_fallback);
 
-  std::unique_ptr<CheckpointManager> manager;
-  std::unique_ptr<StreamingSignatureBuilder> builder;
-  uint64_t start = 0;
-  if (!ckpt_dir.empty()) {
-    manager = std::make_unique<CheckpointManager>(ckpt_dir);
-    auto loaded = manager->LoadLatest();
-    if (loaded.ok()) {
-      if (loaded->corrupt_skipped > 0) {
-        obs::LogWarn("checkpoint_corrupt_skipped")
-            .U64("skipped", loaded->corrupt_skipped)
-            .U64("sequence", loaded->sequence);
-      }
-      ByteReader in(loaded->payload);
-      auto ckpt_fp = in.U64();
-      auto consumed = in.U64();
-      if (!ckpt_fp.ok() || !consumed.ok()) {
-        obs::LogWarn("checkpoint_unreadable").Str("action", "starting fresh");
-      } else if (*ckpt_fp != fingerprint || *consumed > events.size()) {
-        obs::LogWarn("checkpoint_stale")
-            .Str("reason", "input changed")
-            .Str("action", "starting fresh");
-      } else {
-        auto restored = StreamingSignatureBuilder::FromBytes(in);
-        if (restored.ok() && in.AtEnd()) {
-          builder = std::make_unique<StreamingSignatureBuilder>(
-              *std::move(restored));
-          start = *consumed;
-          obs::LogInfo("checkpoint_restored")
-              .U64("resume_event", start)
-              .U64("total_events", events.size());
-        } else {
-          obs::LogWarn("checkpoint_invalid")
-              .Str("detail", restored.ok()
-                                 ? "trailing bytes"
-                                 : restored.status().ToString())
-              .Str("action", "starting fresh");
-        }
-      }
-    } else if (!loaded.status().IsNotFound()) {
-      obs::LogWarn("checkpoint_restore_failed")
-          .Str("status", loaded.status().ToString())
-          .Str("action", "starting fresh");
-    }
-  }
-  if (builder == nullptr) {
-    builder = std::make_unique<StreamingSignatureBuilder>(focal, opts);
-  }
-
-  auto save = [&](uint64_t consumed) {
-    ByteWriter out;
-    out.PutU64(fingerprint);
-    out.PutU64(consumed);
-    builder->AppendTo(out);
-    Status s = manager->Save(consumed, out.bytes());
+  std::string dead_letter_out = args.Get("dead-letter-out", "");
+  if (!dead_letter_out.empty() && dead_letters.total() > 0) {
+    Status s = dead_letters.WriteCsv(dead_letter_out);
     if (!s.ok()) {
-      obs::LogError("checkpoint_save_failed")
-          .U64("consumed", consumed)
-          .Str("status", s.ToString());
-    }
-  };
-
-  // Stream attribution: the builder is cumulative (no discrete graph
-  // windows), so each epoch — the emit cadence when set, else the
-  // checkpoint cadence — is reported as one pipeline window. Observe time
-  // is the window-build stage and extraction the extract stage, which is
-  // enough for /pipelinez to tell a flowing stream from a wedged one.
-  const uint64_t epoch_len = emit_every > 0 ? emit_every : every;
-  obs::WindowRecord epoch;
-  uint64_t epoch_index = 0;
-  auto begin_epoch = [&]() {
-    epoch = obs::WindowRecord{};
-    epoch.window_index = epoch_index;
-    epoch.focal_nodes = focal.size();
-  };
-  auto finish_epoch = [&]() {
-    obs::WindowStatsAggregator::Global().Record(epoch);
-    ++epoch_index;
-    begin_epoch();
-  };
-  begin_epoch();
-
-  const bool flush_telemetry = !args.Get("metrics-out", "").empty() ||
-                               !args.Get("trace-out", "").empty();
-  uint64_t processed_this_run = 0;
-  for (uint64_t i = start; i < events.size(); ++i) {
-    {
-      obs::ScopedStageTimer timer(epoch, obs::PipelineStage::kWindowBuild);
-      builder->Observe(events[i]);
-    }
-    ++epoch.events;
-    ++processed_this_run;
-    // Cadence keyed to the absolute stream position, so a restored run
-    // checkpoints at the same offsets as an uninterrupted one.
-    if (every > 0 && (i + 1) % every == 0) {
-      if (manager != nullptr) save(i + 1);
-      // In-run telemetry flush, keyed to the checkpoint cadence so a
-      // watcher tailing --metrics-out sees progress before the run ends.
-      if (flush_telemetry) FlushTelemetry(args, /*final_export=*/false);
-    }
-    // Periodic re-emission. The builder memoizes extractions per focal
-    // node, so between two emissions only the nodes that actually talked
-    // pay for a re-extraction; everyone else is a cache hit.
-    if (emit_every > 0 && (i + 1) % emit_every == 0) {
-      size_t active = 0;
-      {
-        COMMSIG_SPAN("stream/emit");
-        obs::ScopedStageTimer timer(epoch, obs::PipelineStage::kExtract);
-        for (NodeId v : focal) {
-          if (!builder->TopTalkers(v, k).empty()) ++active;
-          builder->UnexpectedTalkers(v, k);
-        }
-      }
-      epoch.dirty_nodes = active;
-      epoch.reused_nodes = focal.size() - active;
-      obs::LogInfo("stream_emit")
-          .U64("position", i + 1)
-          .U64("active", active)
-          .U64("focal", focal.size());
-    }
-    if (epoch_len > 0 && (i + 1) % epoch_len == 0) finish_epoch();
-    if (kill_after > 0 && processed_this_run >= kill_after &&
-        i + 1 < events.size()) {
-      obs::LogWarn("stream_simulated_crash")
-          .U64("position", i + 1)
-          .U64("total_events", events.size());
-      return 3;
-    }
-    // Replay pacing for demos and smoke tests: stretches the run so the
-    // introspection endpoints can be probed while the stream is live.
-    if (replay_delay_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(replay_delay_us));
+      obs::LogError("dead_letter_write_failed")
+          .Str("path", dead_letter_out)
+          .Str("error", s.ToString());
     }
   }
-  if (epoch.events > 0) finish_epoch();
-  if (manager != nullptr && start < events.size()) {
-    save(events.size());
-  }
+  if (report.killed) return 3;
 
-  for (NodeId v : focal) {
-    Signature tt = builder->TopTalkers(v, k);
-    Signature ut = builder->UnexpectedTalkers(v, k);
+  for (NodeId v : supervisor.focal()) {
+    Signature tt = supervisor.builder()->TopTalkers(v, k);
+    Signature ut = supervisor.builder()->UnexpectedTalkers(v, k);
     std::printf("%s\ttt\t%s\n", interner.LabelOf(v).c_str(),
                 tt.ToString(interner).c_str());
     std::printf("%s\tut\t%s\n", interner.LabelOf(v).c_str(),
                 ut.ToString(interner).c_str());
   }
-  obs::LogInfo("stream_done")
-      .U64("events_this_run", processed_this_run)
-      .U64("events_total", builder->events_observed());
   return 0;
+}
+
+/// One fault scenario of the chaos schedule: a fail-point spec armed for a
+/// segment of the stream. Empty spec = a pure kill/restart segment.
+struct ChaosScenario {
+  const char* name;
+  const char* spec;
+};
+
+constexpr ChaosScenario kChaosScenarios[] = {
+    {"clean_kill", ""},
+    {"enospc_on_checkpoint_write", "checkpoint/write=enospc@0x1"},
+    {"fsync_fail_on_checkpoint", "checkpoint/fsync=fsync_fail@0x1"},
+    {"torn_checkpoint_rename", "checkpoint/rename=torn_rename@0x1"},
+    {"enospc_on_telemetry_flush", "telemetry/flush=enospc@0x2"},
+    {"transient_epoch_fault", "stream/epoch=eio@0x2"},
+    {"short_write_on_checkpoint", "checkpoint/write=short_write@0x1"},
+};
+
+int RunChaoscheck(const Args& args) {
+  if (!failpoints::Enabled()) {
+    obs::LogError("chaoscheck_unavailable")
+        .Str("error", "binary built without COMMSIG_FAILPOINTS");
+    return 2;
+  }
+  Interner interner;
+  std::vector<TraceEvent> events;
+  if (!LoadEvents(args, interner, events)) return 1;
+  if (events.empty()) {
+    obs::LogError("chaoscheck_no_events");
+    return 1;
+  }
+  const size_t k = args.GetInt("k", 10);
+  const uint64_t trials = args.GetInt("trials", 3);
+  const uint64_t seed = args.GetInt("seed", 1);
+  const std::vector<NodeId> focal = FocalFromEvents(interner, events);
+
+  namespace fs = std::filesystem;
+  std::string chaos_dir = args.Get("chaos-dir", "");
+  const bool own_dir = chaos_dir.empty();
+  if (own_dir) {
+    chaos_dir = (fs::temp_directory_path() /
+                 ("commsig_chaos_" + std::to_string(::getpid())))
+                    .string();
+  }
+
+  // Reference: one fault-free supervised run. Everything after it must
+  // converge to these exact signature bytes.
+  FailPointRegistry::Global().Reset();
+  std::vector<std::string> reference;
+  {
+    RecordErrorLog dead_letters;
+    StreamSupervisor::Options opts =
+        SupervisorFromArgs(args, "", &dead_letters);
+    opts.kill_after = 0;
+    StreamSupervisor ref(focal, std::move(opts));
+    StreamRunReport report = ref.Run(events);
+    if (report.killed || report.epochs_quarantined > 0) {
+      obs::LogError("chaoscheck_reference_failed");
+      return 1;
+    }
+    for (NodeId v : focal) {
+      reference.push_back(ref.builder()->TopTalkers(v, k).ToString(interner));
+      reference.push_back(
+          ref.builder()->UnexpectedTalkers(v, k).ToString(interner));
+    }
+  }
+
+  Rng rng(seed != 0 ? seed : 1);
+  int rc = 0;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    std::error_code ec;
+    fs::remove_all(chaos_dir, ec);
+    uint64_t position = 0;
+    uint64_t segments = 0;
+    uint64_t retries = 0;
+    uint64_t rebuilt = 0;
+    uint64_t quarantined = 0;
+    uint64_t fallback_restores = 0;
+    StreamRunReport report;
+    std::string final_signatures_verdict = "pass";
+
+    // Keep killing and restarting until a segment runs to completion; each
+    // segment gets a fresh supervisor (a new process, morally) plus one
+    // randomly drawn fault scenario.
+    while (true) {
+      const ChaosScenario& scenario =
+          kChaosScenarios[rng.UniformInt(std::size(kChaosScenarios))];
+      FailPointRegistry::Global().Reset();
+      if (scenario.spec[0] != '\0') {
+        Status armed = FailPointRegistry::Global().ArmFromSpec(scenario.spec);
+        if (!armed.ok()) {
+          obs::LogError("chaoscheck_bad_scenario")
+              .Str("scenario", scenario.name)
+              .Str("error", armed.ToString());
+          return 1;
+        }
+      }
+      const uint64_t remaining = events.size() - position;
+      // Kill somewhere inside the remaining stream on most segments; a
+      // draw past the end lets the segment complete.
+      const uint64_t kill_after =
+          1 + rng.UniformInt(remaining + remaining / 2 + 1);
+
+      RecordErrorLog dead_letters;
+      StreamSupervisor::Options opts =
+          SupervisorFromArgs(args, chaos_dir, &dead_letters);
+      opts.kill_after = kill_after;
+      StreamSupervisor supervisor(focal, std::move(opts));
+      report = supervisor.Run(events);
+      ++segments;
+      retries += report.epoch_retries;
+      rebuilt += report.epochs_rebuilt;
+      quarantined += report.epochs_quarantined;
+      if (report.restored_from_fallback) ++fallback_restores;
+      position = report.final_position;
+      obs::LogInfo("chaos_segment")
+          .U64("trial", trial)
+          .U64("segment", segments)
+          .Str("scenario", scenario.name)
+          .U64("kill_after", kill_after)
+          .U64("position", position)
+          .Bool("killed", report.killed);
+      if (!report.killed) {
+        FailPointRegistry::Global().Reset();
+        if (quarantined > 0) {
+          // Quarantine is correct behaviour for poison input, but these
+          // scenarios are all recoverable — reaching it means the
+          // supervisor gave up on an epoch it should have healed.
+          final_signatures_verdict = "quarantined";
+        } else {
+          size_t idx = 0;
+          for (NodeId v : focal) {
+            if (supervisor.builder()->TopTalkers(v, k).ToString(interner) !=
+                    reference[idx] ||
+                supervisor.builder()
+                        ->UnexpectedTalkers(v, k)
+                        .ToString(interner) != reference[idx + 1]) {
+              final_signatures_verdict = "diverged";
+              break;
+            }
+            idx += 2;
+          }
+        }
+        break;
+      }
+    }
+
+    const bool pass = final_signatures_verdict == "pass";
+    if (!pass) rc = 1;
+    std::printf(
+        "trial %llu: %s  segments=%llu retries=%llu rebuilt=%llu "
+        "quarantined=%llu fallback_restores=%llu\n",
+        static_cast<unsigned long long>(trial),
+        final_signatures_verdict.c_str(),
+        static_cast<unsigned long long>(segments),
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(rebuilt),
+        static_cast<unsigned long long>(quarantined),
+        static_cast<unsigned long long>(fallback_restores));
+    obs::LogInfo("chaos_trial_done")
+        .U64("trial", trial)
+        .Str("verdict", final_signatures_verdict)
+        .U64("segments", segments);
+  }
+
+  if (own_dir) {
+    std::error_code ec;
+    fs::remove_all(chaos_dir, ec);
+  }
+  std::printf("chaoscheck: %s (%llu trial(s), seed %llu)\n",
+              rc == 0 ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(trials),
+              static_cast<unsigned long long>(seed));
+  return rc;
 }
 
 int RunFaultcheck(const Args& args) {
@@ -833,16 +1032,20 @@ int RunTimeline(const Args& args) {
 /// Writes the requested observability artifacts. `final_export` is the
 /// end-of-command export (logged at info); the periodic in-run flushes
 /// during `stream` log at debug so they don't drown the event stream.
-void FlushTelemetry(const Args& args, bool final_export) {
+/// Returns the first write failure so the supervisor's retry loop can
+/// re-drive a flush that hit a transient IO error.
+Status FlushTelemetry(const Args& args, bool final_export) {
+  Status first = failpoints::Inject("telemetry/flush");
   const obs::LogLevel ok_level =
       final_export ? obs::LogLevel::kInfo : obs::LogLevel::kDebug;
   std::string metrics_out = args.Get("metrics-out", "");
-  if (!metrics_out.empty()) {
+  if (!metrics_out.empty() && first.ok()) {
     Status s = obs::MetricsRegistry::Global().WriteJsonFile(metrics_out);
     if (!s.ok()) {
       obs::LogError("metrics_write_failed")
           .Str("path", metrics_out)
           .Str("status", s.ToString());
+      first = s;
     } else {
       obs::Log(ok_level, "metrics_written")
           .Str("path", metrics_out)
@@ -850,12 +1053,13 @@ void FlushTelemetry(const Args& args, bool final_export) {
     }
   }
   std::string trace_out = args.Get("trace-out", "");
-  if (!trace_out.empty()) {
+  if (!trace_out.empty() && first.ok()) {
     Status s = obs::TraceCollector::Global().WriteChromeTraceFile(trace_out);
     if (!s.ok()) {
       obs::LogError("trace_write_failed")
           .Str("path", trace_out)
           .Str("status", s.ToString());
+      first = s;
     } else {
       obs::Log(ok_level, "trace_written")
           .Str("path", trace_out)
@@ -863,6 +1067,7 @@ void FlushTelemetry(const Args& args, bool final_export) {
           .Bool("final", final_export);
     }
   }
+  return first;
 }
 
 /// Applies the logging flags before anything can emit a structured line.
@@ -881,7 +1086,14 @@ bool ConfigureLogging(const Args& args) {
   }
   std::string log_file = args.Get("log-file", "");
   if (!log_file.empty()) {
-    Status s = obs::LogSink::Global().OpenFile(log_file);
+    // The log sink is itself retryable IO: a transient open failure (NFS
+    // hiccup, slow mount) should not kill the whole run.
+    Retrier retrier(RetryFromArgs(args));
+    Status s = retrier.Run("logsink_open", [&log_file]() {
+      Status fp = failpoints::Inject("logsink/open");
+      if (!fp.ok()) return fp;
+      return obs::LogSink::Global().OpenFile(log_file);
+    });
     if (!s.ok()) {
       std::fprintf(stderr, "cannot open --log-file %s: %s\n",
                    log_file.c_str(), s.ToString().c_str());
@@ -899,6 +1111,24 @@ int Main(int argc, char** argv) {
     std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) return Usage();
     args.flags[flag.substr(2)] = argv[i + 1];
+  }
+
+  // Arm fail-points before anything does IO (including the log sink), so a
+  // spec can target every site in the process.
+  std::string failpoint_spec = args.Get("failpoints", "");
+  if (!failpoint_spec.empty()) {
+    if (!failpoints::Enabled()) {
+      std::fprintf(stderr,
+                   "--failpoints requires a build with -DCOMMSIG_FAILPOINTS "
+                   "(this binary was built without it)\n");
+      return 2;
+    }
+    Status armed = FailPointRegistry::Global().ArmFromSpec(failpoint_spec);
+    if (!armed.ok()) {
+      DieInvalidFlag("failpoints", failpoint_spec,
+                     "site=kind[@afterN][xM];... with kind one of eio | "
+                     "enospc | short_write | torn_rename | fsync_fail");
+    }
   }
 
   if (!ConfigureLogging(args)) return 1;
@@ -934,9 +1164,10 @@ int Main(int argc, char** argv) {
   // stream, faultcheck and timeline manage their own event loading (they
   // need the raw stream or a sliding split, not the windowed Workspace).
   if (args.command == "stream" || args.command == "faultcheck" ||
-      args.command == "timeline") {
+      args.command == "timeline" || args.command == "chaoscheck") {
     rc = args.command == "stream"       ? RunStream(args)
          : args.command == "faultcheck" ? RunFaultcheck(args)
+         : args.command == "chaoscheck" ? RunChaoscheck(args)
                                         : RunTimeline(args);
   } else {
     Workspace ws;
@@ -949,7 +1180,10 @@ int Main(int argc, char** argv) {
     else return Usage();
   }
 
-  FlushTelemetry(args, /*final_export=*/true);
+  // Final export failures are already logged inside; they don't override
+  // the command's exit code.
+  Status flushed = FlushTelemetry(args, /*final_export=*/true);
+  (void)flushed;
 
   if (stats_server != nullptr) {
     const uint64_t linger_ms = args.GetInt("stats-linger-ms", 0);
