@@ -1,6 +1,12 @@
 // Microbenchmarks: distance-function evaluation cost per kind and
 // signature length — the inner loop of every application (uniqueness
 // scans are O(n^2) distance evaluations).
+//
+// BM_PairwiseDistances sweeps every kernel over size-skew ratios 1:1,
+// 1:16, 1:256 in both implementations (impl:0 = the pre-SIMD single-merge
+// reference, impl:1 = the packed tiered kernels); main() derives the
+// in-run `distance/<kind>_speedup` gauges that
+// bench/baselines/BENCH_distance.baseline.json guards in CI.
 
 #include <benchmark/benchmark.h>
 
@@ -43,6 +49,72 @@ BENCHMARK(BM_Distance)
     ->ArgsProduct({{0, 1, 2, 3}, {3, 10, 50, 200}})
     ->ArgNames({"kind", "k"});
 
+// --- skew-sweep pairwise bench ---------------------------------------------
+
+// Signature sizes per skew level. Level 0 exercises the similar-size merge
+// tiers, level 1 (1:16) sits at the gallop threshold, level 2 (1:256) is
+// deep gallop territory.
+struct SkewShape {
+  size_t small;
+  size_t large;
+  const char* label;
+};
+constexpr SkewShape kSkews[] = {
+    {192, 192, "1:1"}, {64, 1024, "1:16"}, {16, 4096, "1:256"}};
+
+// One signature of `k` entries drawn from an id universe sized so that
+// ~half of the smaller signature intersects the larger one.
+Signature MakeSized(size_t k, uint32_t universe, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Signature::Entry> entries;
+  entries.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    entries.push_back({static_cast<NodeId>(rng.UniformInt(universe)),
+                       rng.UniformDouble() + 0.01});
+  }
+  return Signature::FromTopK(std::move(entries), k);
+}
+
+// A small corpus of pairs per shape, so one benchmark iteration touches
+// varied id layouts instead of replaying one branch-predictable pair.
+std::vector<std::pair<Signature, Signature>> MakeCorpus(
+    const SkewShape& shape) {
+  // Universe ~4x the large side keeps id ranges dense enough that the
+  // bitset tier is reachable at 1:1 while the skewed shapes stay in their
+  // intended tiers.
+  const uint32_t universe = static_cast<uint32_t>(4 * shape.large);
+  std::vector<std::pair<Signature, Signature>> corpus;
+  for (uint64_t s = 0; s < 16; ++s) {
+    corpus.emplace_back(MakeSized(shape.small, universe, 2 * s + 1),
+                        MakeSized(shape.large, universe, 2 * s + 2));
+  }
+  return corpus;
+}
+
+// args: kind (extended lineup, 0..5), skew level (0..2), impl (0 =
+// single-merge reference, 1 = packed tiered kernels). items/sec counts
+// pairs, so real_time_ns is ns/pair.
+void BM_PairwiseDistances(benchmark::State& state) {
+  const DistanceKind kind = static_cast<DistanceKind>(state.range(0));
+  const SkewShape& shape = kSkews[state.range(1)];
+  const bool packed = state.range(2) == 1;
+  const auto corpus = MakeCorpus(shape);
+  const SignatureDistance dist(kind);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& [a, b] : corpus) {
+      sum += packed ? dist(a, b) : DistanceReference(kind, a, b);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.size());
+  state.SetLabel(std::string(DistanceName(kind)) + " " + shape.label +
+                 (packed ? " packed" : " reference"));
+}
+BENCHMARK(BM_PairwiseDistances)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1, 2}, {0, 1}})
+    ->ArgNames({"kind", "skew", "impl"});
+
 void BM_PairwiseUniquenessScan(benchmark::State& state) {
   // n signatures, full O(n^2) scan — the multiusage hot path.
   const size_t n = static_cast<size_t>(state.range(0));
@@ -50,11 +122,12 @@ void BM_PairwiseUniquenessScan(benchmark::State& state) {
   for (size_t i = 0; i < n; ++i) {
     sigs.push_back(MakePair(10, i).first);
   }
+  const SignatureDistance dist(DistanceKind::kScaledHellinger);
   for (auto _ : state) {
     double sum = 0.0;
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
-        sum += Distance(DistanceKind::kScaledHellinger, sigs[i], sigs[j]);
+        sum += dist(sigs[i], sigs[j]);
       }
     }
     benchmark::DoNotOptimize(sum);
@@ -67,5 +140,39 @@ BENCHMARK(BM_PairwiseUniquenessScan)->Arg(100)->Arg(300)->ArgNames({"n"});
 }  // namespace commsig
 
 int main(int argc, char** argv) {
-  return commsig::bench::BenchMain(argc, argv, "distance");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  commsig::bench::RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // Derived per-kernel speedup gauges, measured within this run: reference
+  // single-merge time over packed tiered-kernel time, averaged across the
+  // three skew shapes so no single tier can carry the number. These are
+  // what tools/bench_guard.py holds against the checked-in baseline.
+  auto& reg = commsig::obs::MetricsRegistry::Global();
+  for (int kind = 0; kind < 6; ++kind) {
+    double ratio_sum = 0.0;
+    int ratios = 0;
+    for (int skew = 0; skew < 3; ++skew) {
+      const std::string base = "bench/BM_PairwiseDistances/kind:" +
+                               std::to_string(kind) +
+                               "/skew:" + std::to_string(skew);
+      const double ref =
+          reg.GetGauge(base + "/impl:0/real_time_ns").Value();
+      const double packed =
+          reg.GetGauge(base + "/impl:1/real_time_ns").Value();
+      if (ref > 0.0 && packed > 0.0) {
+        ratio_sum += ref / packed;
+        ++ratios;
+      }
+    }
+    if (ratios > 0) {
+      const auto name =
+          commsig::DistanceName(static_cast<commsig::DistanceKind>(kind));
+      reg.GetGauge("distance/" + std::string(name) + "_speedup")
+          .Set(ratio_sum / ratios);
+    }
+  }
+  commsig::bench::WriteBenchSnapshot("distance");
+  return 0;
 }

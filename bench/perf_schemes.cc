@@ -9,10 +9,13 @@
 
 #include "bench/bench_common.h"
 #include "bench/bench_registry.h"
+#include "common/simd.h"
 #include "core/rwr.h"
+#include "core/rwr_batch.h"
 #include "core/rwr_push.h"
 #include "core/top_talkers.h"
 #include "core/unexpected_talkers.h"
+#include "graph/graph_builder.h"
 
 namespace commsig::bench {
 namespace {
@@ -141,6 +144,69 @@ void BM_RwrAllNodes(benchmark::State& state) {
 }
 BENCHMARK(BM_RwrAllNodes)->Arg(0)->Arg(1)->ArgNames({"batched"});
 
+// A window dense enough that the block power iteration's B-wide row
+// kernels dominate the profile: every node carries ~64 out-edges and the
+// occupancy block stays L1-resident, so each dense scan is edge-scatter
+// (AxpyRow) work, not frontier bookkeeping or cache misses. The
+// paper-shaped bipartite windows are too sparse to expose the kernels —
+// a truncated RWR^h there measures the frontier machinery instead.
+const CommGraph& SimdKernelGraph() {
+  static auto* graph = new CommGraph([] {
+    constexpr size_t kNodes = 128;
+    constexpr size_t kDegree = 64;
+    GraphBuilder builder(kNodes);
+    builder.Reserve(kNodes * kDegree);
+    uint64_t s = 0x9e3779b97f4a7c15ull;  // xorshift64, fixed seed
+    auto next = [&s] {
+      s ^= s << 13;
+      s ^= s >> 7;
+      s ^= s << 17;
+      return s;
+    };
+    for (NodeId v = 0; v < kNodes; ++v) {
+      for (size_t i = 0; i < kDegree; ++i) {
+        const NodeId dst = static_cast<NodeId>(next() % kNodes);
+        const double w = 1.0 + static_cast<double>(next() % 1000) / 100.0;
+        builder.AddEdge(v, dst, w);
+      }
+    }
+    return std::move(builder).Build();
+  }());
+  return *graph;
+}
+
+// The batched engine with its vectorized loop kernels toggled off (simd:0,
+// honestly scalar — the reference loops carry a no-tree-vectorize
+// attribute) vs on (simd:1), solving one wide (4×16-source) unbounded
+// batch on the kernel-dominated window above — the wide block keeps the
+// per-edge vector work large relative to the toggle-independent edge
+// bookkeeping. Results are bit-identical either way, so the ratio
+// isolates what the SIMD pass itself buys on the block power iteration;
+// main() derives the rwr_batch/simd_speedup gauge from these rows. On
+// -DCOMMSIG_SIMD=off builds both rows run scalar and the gauge sits at ~1
+// (and is not guarded).
+void BM_RwrBatchSimd(benchmark::State& state) {
+  const CommGraph& g = SimdKernelGraph();
+  const RwrOptions opts{.reset = 0.1,
+                        .max_hops = 0,
+                        .tolerance = 1e-8,
+                        .traversal = TraversalMode::kDirected};
+  static auto* cache = new TransitionCache(g, opts.traversal);
+  const RwrBatchEngine engine(opts, *cache);
+  std::vector<NodeId> sources(4 * RwrBatchEngine::kDefaultBatchWidth);
+  for (size_t b = 0; b < sources.size(); ++b) {
+    sources[b] = static_cast<NodeId>(b * 2);
+  }
+  simd::SetEnabled(state.range(0) == 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.SolveBatch(sources));
+  }
+  simd::SetEnabled(true);
+  state.SetItemsProcessed(state.iterations() * sources.size());
+  state.SetLabel(state.range(0) == 1 ? "simd" : "scalar");
+}
+BENCHMARK(BM_RwrBatchSimd)->Arg(0)->Arg(1)->ArgNames({"simd"});
+
 }  // namespace
 }  // namespace commsig::bench
 
@@ -162,6 +228,18 @@ int main(int argc, char** argv) {
       reg.GetGauge("bench/BM_RwrAllNodes/batched:1/real_time_ns").Value();
   if (serial > 0.0 && batched > 0.0) {
     reg.GetGauge("rwr_batch/all_nodes_speedup").Set(serial / batched);
+  }
+
+  // Same-engine scalar vs SIMD ratio (BM_RwrBatchSimd rows). Guarded only
+  // on builds with an active backend: a scalar build legitimately measures
+  // ~1 here, so the gauge is tagged with the backend for the guard baseline
+  // to key on.
+  const double scalar_t =
+      reg.GetGauge("bench/BM_RwrBatchSimd/simd:0/real_time_ns").Value();
+  const double simd_t =
+      reg.GetGauge("bench/BM_RwrBatchSimd/simd:1/real_time_ns").Value();
+  if (scalar_t > 0.0 && simd_t > 0.0 && commsig::simd::kHasIsa) {
+    reg.GetGauge("rwr_batch/simd_speedup").Set(scalar_t / simd_t);
   }
   commsig::bench::WriteBenchSnapshot("schemes");
   commsig::bench::WriteBenchSnapshot("rwr_batch");

@@ -1,0 +1,11 @@
+#include "common/simd.h"
+
+namespace commsig {
+namespace simd {
+namespace detail {
+
+bool g_runtime_enabled = true;
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace commsig

@@ -1,0 +1,379 @@
+#ifndef COMMSIG_COMMON_SIMD_H_
+#define COMMSIG_COMMON_SIMD_H_
+
+// Portable SIMD abstraction for the RWR and distance hot loops.
+//
+// One backend is selected at configure time via -DCOMMSIG_SIMD=auto|avx2|
+// neon|off (see the resolution block in the top-level CMakeLists.txt):
+// AVX2 on x86-64, NEON on aarch64, or a scalar fallback that compiles the
+// same call sites to plain loops. Raw ISA intrinsics are confined to this
+// header — tools/commsig_lint.py's simd-intrinsics rule fails any
+// `_mm*`/`vld1q*` outside it — so kernel code in src/core/ only ever sees
+// the wrapper types below.
+//
+// Bit-identity contract. Every operation on VecD is elementwise and maps
+// to exactly one IEEE-754 double operation per lane (no FMA contraction,
+// no reassociation), so a kernel built from VecD ops performs, per logical
+// lane, the same rounded operations in the same order as its scalar
+// transliteration. VecD is always kLanes = 4 doubles wide regardless of
+// backend (NEON runs it as 2×2, the scalar fallback as 4 plain doubles),
+// and ReduceAdd fixes one canonical reduction order, so accumulations
+// built on VecD are bit-identical across -DCOMMSIG_SIMD=off/avx2/neon
+// builds. sqrt is correctly rounded on every backend; Abs is a sign-bit
+// mask; Min/Max assume no NaNs (signature weights are filtered finite).
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(COMMSIG_SIMD_AVX2)
+#include <immintrin.h>
+#elif defined(COMMSIG_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace commsig {
+namespace simd {
+
+/// Logical vector width in doubles — fixed across backends so accumulation
+/// patterns (and therefore results) do not depend on the ISA.
+inline constexpr size_t kLanes = 4;
+
+#if defined(COMMSIG_SIMD_AVX2) || defined(COMMSIG_SIMD_NEON)
+inline constexpr bool kHasIsa = true;
+#else
+inline constexpr bool kHasIsa = false;
+#endif
+
+/// Name of the active backend, for logs and bench snapshots.
+constexpr const char* IsaName() {
+#if defined(COMMSIG_SIMD_AVX2)
+  return "avx2";
+#elif defined(COMMSIG_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+namespace detail {
+// Runtime kill-switch for the vectorized loop kernels (the VecD type
+// itself is always available). Plain bool, not atomic: it is flipped only
+// from single-threaded setup code (benchmarks measuring the scalar
+// baseline, equivalence tests), never mid-computation.
+extern bool g_runtime_enabled;
+
+// The scalar reference loops double as the in-run benchmark baseline, so
+// they must stay honestly scalar even at -O3: without this attribute the
+// auto-vectorizer would turn the "scalar" path into SIMD and the measured
+// speedup gauges would compare vector against vector.
+#if defined(__GNUC__) && !defined(__clang__)
+#define COMMSIG_SIMD_NOVEC __attribute__((optimize("no-tree-vectorize")))
+#else
+#define COMMSIG_SIMD_NOVEC
+#endif
+}  // namespace detail
+
+/// True when the vectorized kernel paths are compiled in and enabled.
+inline bool Enabled() { return kHasIsa && detail::g_runtime_enabled; }
+
+/// Enables/disables the vectorized kernel paths at runtime. Call only from
+/// single-threaded setup (tests and benches); results are bit-identical
+/// either way, only the speed changes.
+inline void SetEnabled(bool on) { detail::g_runtime_enabled = on; }
+
+/// RAII guard forcing the scalar paths for one scope (bench baselines,
+/// scalar-vs-SIMD equivalence tests).
+class ScopedScalar {
+ public:
+  ScopedScalar() : prev_(detail::g_runtime_enabled) { SetEnabled(false); }
+  ~ScopedScalar() { SetEnabled(prev_); }
+  ScopedScalar(const ScopedScalar&) = delete;
+  ScopedScalar& operator=(const ScopedScalar&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// ---------------------------------------------------------------------------
+// VecD: four doubles, elementwise ops, one IEEE operation per lane.
+// ---------------------------------------------------------------------------
+
+#if defined(COMMSIG_SIMD_AVX2)
+
+struct VecD {
+  __m256d v;
+};
+
+inline VecD LoadU(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void StoreU(double* p, VecD x) { _mm256_storeu_pd(p, x.v); }
+inline VecD Broadcast(double x) { return {_mm256_set1_pd(x)}; }
+inline VecD Zero() { return {_mm256_setzero_pd()}; }
+inline VecD Add(VecD a, VecD b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline VecD Sub(VecD a, VecD b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline VecD Mul(VecD a, VecD b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline VecD Min(VecD a, VecD b) { return {_mm256_min_pd(a.v, b.v)}; }
+inline VecD Max(VecD a, VecD b) { return {_mm256_max_pd(a.v, b.v)}; }
+inline VecD Sqrt(VecD a) { return {_mm256_sqrt_pd(a.v)}; }
+inline VecD Abs(VecD a) {
+  const __m256d mask = _mm256_castsi256_pd(_mm256_set1_epi64x(
+      static_cast<int64_t>(0x7fffffffffffffffULL)));
+  return {_mm256_and_pd(a.v, mask)};
+}
+
+#elif defined(COMMSIG_SIMD_NEON)
+
+struct VecD {
+  float64x2_t lo;
+  float64x2_t hi;
+};
+
+inline VecD LoadU(const double* p) { return {vld1q_f64(p), vld1q_f64(p + 2)}; }
+inline void StoreU(double* p, VecD x) {
+  vst1q_f64(p, x.lo);
+  vst1q_f64(p + 2, x.hi);
+}
+inline VecD Broadcast(double x) { return {vdupq_n_f64(x), vdupq_n_f64(x)}; }
+inline VecD Zero() { return Broadcast(0.0); }
+inline VecD Add(VecD a, VecD b) {
+  return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+}
+inline VecD Sub(VecD a, VecD b) {
+  return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+}
+inline VecD Mul(VecD a, VecD b) {
+  return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+}
+inline VecD Min(VecD a, VecD b) {
+  return {vminq_f64(a.lo, b.lo), vminq_f64(a.hi, b.hi)};
+}
+inline VecD Max(VecD a, VecD b) {
+  return {vmaxq_f64(a.lo, b.lo), vmaxq_f64(a.hi, b.hi)};
+}
+inline VecD Sqrt(VecD a) { return {vsqrtq_f64(a.lo), vsqrtq_f64(a.hi)}; }
+inline VecD Abs(VecD a) { return {vabsq_f64(a.lo), vabsq_f64(a.hi)}; }
+
+#else  // scalar fallback
+
+struct VecD {
+  double v[4];
+};
+
+inline VecD LoadU(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+inline void StoreU(double* p, VecD x) {
+  p[0] = x.v[0];
+  p[1] = x.v[1];
+  p[2] = x.v[2];
+  p[3] = x.v[3];
+}
+inline VecD Broadcast(double x) { return {{x, x, x, x}}; }
+inline VecD Zero() { return Broadcast(0.0); }
+inline VecD Add(VecD a, VecD b) {
+  return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2],
+           a.v[3] + b.v[3]}};
+}
+inline VecD Sub(VecD a, VecD b) {
+  return {{a.v[0] - b.v[0], a.v[1] - b.v[1], a.v[2] - b.v[2],
+           a.v[3] - b.v[3]}};
+}
+inline VecD Mul(VecD a, VecD b) {
+  return {{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2],
+           a.v[3] * b.v[3]}};
+}
+inline VecD Min(VecD a, VecD b) {
+  // (a < b ? a : b) per lane, matching the min-instruction semantics of
+  // the vector backends for the NaN-free inputs the kernels feed in.
+  return {{a.v[0] < b.v[0] ? a.v[0] : b.v[0],
+           a.v[1] < b.v[1] ? a.v[1] : b.v[1],
+           a.v[2] < b.v[2] ? a.v[2] : b.v[2],
+           a.v[3] < b.v[3] ? a.v[3] : b.v[3]}};
+}
+inline VecD Max(VecD a, VecD b) {
+  return {{a.v[0] > b.v[0] ? a.v[0] : b.v[0],
+           a.v[1] > b.v[1] ? a.v[1] : b.v[1],
+           a.v[2] > b.v[2] ? a.v[2] : b.v[2],
+           a.v[3] > b.v[3] ? a.v[3] : b.v[3]}};
+}
+inline VecD Sqrt(VecD a) {
+  return {{std::sqrt(a.v[0]), std::sqrt(a.v[1]), std::sqrt(a.v[2]),
+           std::sqrt(a.v[3])}};
+}
+inline VecD Abs(VecD a) {
+  return {{std::fabs(a.v[0]), std::fabs(a.v[1]), std::fabs(a.v[2]),
+           std::fabs(a.v[3])}};
+}
+
+#endif
+
+/// Canonical horizontal sum: (l0 + l1) + (l2 + l3). Fixed across backends
+/// so reductions built on VecD are bit-identical everywhere; it runs once
+/// per kernel call, so the scalar extract cost is irrelevant.
+inline double ReduceAdd(VecD x) {
+  double lanes[kLanes];
+  StoreU(lanes, x);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+// ---------------------------------------------------------------------------
+// VecU32: eight 32-bit ids, for the vectorized sorted-set merge. Only the
+// AVX2 backend implements a wide integer path today; other backends expose
+// kHasU32Block = false and the intersection tiers fall back to the scalar
+// merge (identical output, just unaccelerated).
+// ---------------------------------------------------------------------------
+
+#if defined(COMMSIG_SIMD_AVX2)
+
+inline constexpr bool kHasU32Block = true;
+inline constexpr size_t kU32Lanes = 8;
+
+struct VecU32 {
+  __m256i v;
+};
+
+inline VecU32 LoadU32(const uint32_t* p) {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+}
+inline VecU32 BroadcastU32(uint32_t x) {
+  return {_mm256_set1_epi32(static_cast<int>(x))};
+}
+/// Bit i of the result is set iff a[i] == b[i].
+inline uint32_t EqMask(VecU32 a, VecU32 b) {
+  return static_cast<uint32_t>(_mm256_movemask_ps(
+      _mm256_castsi256_ps(_mm256_cmpeq_epi32(a.v, b.v))));
+}
+/// Bit i of the result is set iff a[i] < b[i], comparing as unsigned
+/// 32-bit (the epi32 compare is signed; flipping the sign bit of both
+/// operands maps unsigned order onto signed order).
+inline uint32_t LtMask(VecU32 a, VecU32 b) {
+  const __m256i flip = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i af = _mm256_xor_si256(a.v, flip);
+  const __m256i bf = _mm256_xor_si256(b.v, flip);
+  return static_cast<uint32_t>(_mm256_movemask_ps(
+      _mm256_castsi256_ps(_mm256_cmpgt_epi32(bf, af))));
+}
+
+#else
+
+inline constexpr bool kHasU32Block = false;
+inline constexpr size_t kU32Lanes = 8;
+
+// Stub with the same shape so call sites compile unguarded; tier selection
+// never takes the blocked path when kHasU32Block is false.
+struct VecU32 {
+  uint32_t v[8];
+};
+
+inline VecU32 LoadU32(const uint32_t* p) {
+  VecU32 r;
+  std::memcpy(r.v, p, sizeof(r.v));
+  return r;
+}
+inline VecU32 BroadcastU32(uint32_t x) {
+  return {{x, x, x, x, x, x, x, x}};
+}
+inline uint32_t EqMask(VecU32 a, VecU32 b) {
+  uint32_t m = 0;
+  for (size_t i = 0; i < 8; ++i) m |= (a.v[i] == b.v[i]) ? (1u << i) : 0u;
+  return m;
+}
+inline uint32_t LtMask(VecU32 a, VecU32 b) {
+  uint32_t m = 0;
+  for (size_t i = 0; i < 8; ++i) m |= (a.v[i] < b.v[i]) ? (1u << i) : 0u;
+  return m;
+}
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Fused loop kernels for the RWR block power iteration. All are strictly
+// elementwise (independent lanes, one mul and/or one add per element), so
+// the vectorized and scalar paths — and therefore every backend — produce
+// bit-identical results; the runtime Enabled() switch only selects speed.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+COMMSIG_SIMD_NOVEC inline void AxpyRowScalar(double* row, const double* scale,
+                                             double w, size_t n) {
+  for (size_t i = 0; i < n; ++i) row[i] += scale[i] * w;
+}
+
+COMMSIG_SIMD_NOVEC inline void AccumAddScalar(double* acc, const double* x,
+                                              size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+COMMSIG_SIMD_NOVEC inline void ScaleIntoScalar(double* dst, const double* src,
+                                               double s, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = src[i] * s;
+}
+
+COMMSIG_SIMD_NOVEC inline void AccumAbsDiffScalar(double* acc, const double* a,
+                                                  const double* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += std::fabs(a[i] - b[i]);
+}
+
+}  // namespace detail
+
+/// row[i] += scale[i] * w — the per-edge scatter of the block power
+/// iteration. Separate mul and add (never FMA): contracting would change
+/// the rounding and break bit-identity with the serial solver.
+inline void AxpyRow(double* row, const double* scale, double w, size_t n) {
+  if (!Enabled()) {
+    detail::AxpyRowScalar(row, scale, w, n);
+    return;
+  }
+  const VecD vw = Broadcast(w);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(row + i, Add(LoadU(row + i), Mul(LoadU(scale + i), vw)));
+  }
+  for (; i < n; ++i) row[i] += scale[i] * w;
+}
+
+/// acc[i] += x[i].
+inline void AccumAdd(double* acc, const double* x, size_t n) {
+  if (!Enabled()) {
+    detail::AccumAddScalar(acc, x, n);
+    return;
+  }
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(acc + i, Add(LoadU(acc + i), LoadU(x + i)));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+/// dst[i] = src[i] * s.
+inline void ScaleInto(double* dst, const double* src, double s, size_t n) {
+  if (!Enabled()) {
+    detail::ScaleIntoScalar(dst, src, s, n);
+    return;
+  }
+  const VecD vs = Broadcast(s);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(dst + i, Mul(LoadU(src + i), vs));
+  }
+  for (; i < n; ++i) dst[i] = src[i] * s;
+}
+
+/// acc[i] += |a[i] - b[i]| — the per-column L1 convergence accumulation.
+inline void AccumAbsDiff(double* acc, const double* a, const double* b,
+                         size_t n) {
+  if (!Enabled()) {
+    detail::AccumAbsDiffScalar(acc, a, b, n);
+    return;
+  }
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreU(acc + i, Add(LoadU(acc + i), Abs(Sub(LoadU(a + i), LoadU(b + i)))));
+  }
+  for (; i < n; ++i) acc[i] += std::fabs(a[i] - b[i]);
+}
+
+}  // namespace simd
+}  // namespace commsig
+
+#endif  // COMMSIG_COMMON_SIMD_H_

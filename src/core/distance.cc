@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
+#include <vector>
 
+#include "common/simd.h"
 #include "obs/obs.h"
 
 namespace commsig {
@@ -48,8 +51,8 @@ Result<DistanceKind> ParseDistanceName(std::string_view name) {
   return Status::InvalidArgument("unknown distance: " + std::string(name));
 }
 
-double Distance(DistanceKind kind, const Signature& a, const Signature& b) {
-  // Striped relaxed increment: cheap enough for the O(n^2) scan hot loop.
+double DistanceReference(DistanceKind kind, const Signature& a,
+                         const Signature& b) {
   COMMSIG_COUNTER_ADD("distance/evaluations", 1);
   const auto ea = a.entries();
   const auto eb = b.entries();
@@ -57,7 +60,7 @@ double Distance(DistanceKind kind, const Signature& a, const Signature& b) {
   if (ea.empty() || eb.empty()) return 1.0;
 
   // Single merge over the id-sorted entries accumulates every statistic any
-  // of the four distances needs.
+  // of the distances needs.
   size_t inter_count = 0;
   size_t union_count = 0;
   double sum_both_inter = 0.0;  // Σ_{∩} (w1 + w2)
@@ -124,5 +127,538 @@ double Distance(DistanceKind kind, const Signature& a, const Signature& b) {
   // Clamp against floating-point drift so callers can rely on [0, 1].
   return std::clamp(1.0 - similarity, 0.0, 1.0);
 }
+
+// ===========================================================================
+// Packed kernels. Design (DESIGN.md §14):
+//
+//  * Per-signature reductions (Σw, Σw²) are cached on the Signature, so a
+//    kernel only accumulates over the *intersection* of the two id sets:
+//      Σ_{∪}(w1+w2)  = totalA + totalB
+//      Σ_{∪} max     = totalA + totalB − Σ_{∩} min
+//      union count   = |A| + |B| − |A∩B|
+//    Exclusive entries are never touched — the old single-merge walked and
+//    branched over every union element for every pair.
+//
+//  * The intersection runs over the flat packed id arrays through one of
+//    four tiers (auto-selected per pair, forceable for tests). Every tier
+//    emits the same matches in the same ascending-id order, so downstream
+//    sums are bit-identical no matter which tier ran.
+//
+//  * Matched weights are accumulated 4 lanes at a time via simd::VecD,
+//    whose fixed logical width makes the result identical across
+//    -DCOMMSIG_SIMD=off/avx2/neon builds.
+//
+// Duplicate ids: FromTopK does not coalesce duplicate candidate nodes, so a
+// signature may (rarely, and only from adversarial inputs) contain repeated
+// ids. The merge/gallop/block tiers all pair occurrences greedily exactly
+// like the reference merge; the bitset tier cannot represent multiplicity,
+// so it detects in-range duplicates while building its bitmaps and falls
+// back to the merge tier.
+// ===========================================================================
+
+namespace {
+
+using distance_internal::IntersectTier;
+
+// --- tier selection thresholds ---------------------------------------------
+
+// Below this (smaller-set) size the scalar merge wins on setup cost alone.
+constexpr size_t kTinySize = 16;
+// Size ratio at or above which galloping search beats any linear merge.
+constexpr size_t kGallopRatio = 8;
+// Bitset tier when the overlapping id range is at most this many bits per
+// input element — the bitmap build is O(n) and the AND walk touches
+// range/64 words, so a dense range makes it word-parallel.
+constexpr size_t kBitsetRangeFactor = 8;
+
+// --- sinks ------------------------------------------------------------------
+
+struct CountSink {
+  static constexpr bool kCountOnly = true;
+  size_t matches = 0;
+  void Match(size_t /*ia*/, size_t /*ib*/) { ++matches; }
+  void Count(size_t n) { matches += n; }
+};
+
+/// Gathers matched weights into two flat arrays (ascending id order), the
+/// input of the 4-lane accumulators below.
+struct GatherSink {
+  static constexpr bool kCountOnly = false;
+  const double* wa;
+  const double* wb;
+  double* out_a;
+  double* out_b;
+  size_t matches = 0;
+  void Match(size_t ia, size_t ib) {
+    out_a[matches] = wa[ia];
+    out_b[matches] = wb[ib];
+    ++matches;
+  }
+  void Count(size_t) {}  // never called: count fast path is count-only
+};
+
+/// Adapter for tiers that iterate with the two sets exchanged.
+template <typename Sink>
+struct SwapSink {
+  static constexpr bool kCountOnly = Sink::kCountOnly;
+  Sink& inner;
+  void Match(size_t ia, size_t ib) { inner.Match(ib, ia); }
+  void Count(size_t n) { inner.Count(n); }
+};
+
+// --- intersection tiers ----------------------------------------------------
+// All take (a, na, b, nb) with sink indices meaning (index-in-a,
+// index-in-b), and emit matches in ascending id order.
+
+template <typename Sink>
+void IntersectMergeFrom(const NodeId* a, size_t na, const NodeId* b,
+                        size_t nb, size_t ia, size_t ib, Sink& sink) {
+  while (ia < na && ib < nb) {
+    const NodeId x = a[ia];
+    const NodeId y = b[ib];
+    if (x < y) {
+      ++ia;
+    } else if (y < x) {
+      ++ib;
+    } else {
+      sink.Match(ia, ib);
+      ++ia;
+      ++ib;
+    }
+  }
+}
+
+template <typename Sink>
+void IntersectMerge(const NodeId* a, size_t na, const NodeId* b, size_t nb,
+                    Sink& sink) {
+  IntersectMergeFrom(a, na, b, nb, 0, 0, sink);
+}
+
+/// Galloping search of the (smaller) a set in the (larger) b set: the b
+/// cursor advances by doubling steps then binary search, so a 1:256 skew
+/// costs O(na · log(nb/na)) instead of O(na + nb).
+template <typename Sink>
+void IntersectGallop(const NodeId* a, size_t na, const NodeId* b, size_t nb,
+                     Sink& sink) {
+  size_t ib = 0;
+  for (size_t ia = 0; ia < na && ib < nb; ++ia) {
+    const NodeId key = a[ia];
+    if (b[ib] < key) {
+      // Exponential probe from the cursor: invariant b[lo] < key.
+      size_t lo = ib;
+      size_t step = 1;
+      while (lo + step < nb && b[lo + step] < key) {
+        lo += step;
+        step <<= 1;
+      }
+      const size_t end = std::min(lo + step + 1, nb);
+      ib = static_cast<size_t>(
+          std::lower_bound(b + lo + 1, b + end, key) - b);
+    }
+    if (ib < nb && b[ib] == key) {
+      sink.Match(ia, ib);
+      ++ib;
+    }
+  }
+}
+
+/// Vectorized linear merge: each element of the (smaller) a side is
+/// compared against 8 ids of b at once; whole blocks of b below the cursor
+/// id are skipped per compare. Falls back to the scalar merge for the tail
+/// and on backends without a wide-integer path.
+template <typename Sink>
+void IntersectBlockMerge(const NodeId* a, size_t na, const NodeId* b,
+                         size_t nb, Sink& sink) {
+  size_t ia = 0, ib = 0;
+  if constexpr (simd::kHasU32Block) {
+    constexpr uint32_t kAllLt = (1u << simd::kU32Lanes) - 1;
+    while (ia < na && ib + simd::kU32Lanes <= nb) {
+      const simd::VecU32 va = simd::BroadcastU32(a[ia]);
+      const simd::VecU32 vb = simd::LoadU32(b + ib);
+      const uint32_t lt = simd::LtMask(vb, va);  // b[ib+i] < a[ia]
+      if (lt == kAllLt) {
+        ib += simd::kU32Lanes;
+        continue;
+      }
+      // b is sorted, so the lt mask is a run of low bits and its popcount
+      // is the offset of the first element >= a[ia].
+      const size_t skip = static_cast<size_t>(std::popcount(lt));
+      if (simd::EqMask(va, vb) != 0) {
+        sink.Match(ia, ib + skip);
+        ib += skip + 1;
+      } else {
+        ib += skip;
+      }
+      ++ia;
+    }
+  }
+  IntersectMergeFrom(a, na, b, nb, ia, ib, sink);
+}
+
+struct BitsetScratch {
+  std::vector<uint64_t> bits_a;
+  std::vector<uint64_t> bits_b;
+};
+
+/// Word-parallel bitmap intersection over the overlapping id range
+/// [lo, hi]: build one bitmap per set, AND 64 ids at a time. Count-only
+/// sinks take a pure popcount walk; gathering sinks advance two monotone
+/// cursors to recover entry positions for each set bit. Returns false —
+/// caller must fall back to the merge tier — when either set repeats an id
+/// inside the range (a bitmap cannot represent multiplicity).
+template <typename Sink>
+bool IntersectBitset(const NodeId* a, size_t na, const NodeId* b, size_t nb,
+                     BitsetScratch& scratch, Sink& sink) {
+  const NodeId lo = std::max(a[0], b[0]);
+  const NodeId hi = std::min(a[na - 1], b[nb - 1]);
+  if (lo > hi) return true;  // disjoint ranges: no matches
+  const size_t words = static_cast<size_t>(hi - lo) / 64 + 1;
+  scratch.bits_a.assign(words, 0);
+  scratch.bits_b.assign(words, 0);
+
+  auto fill = [lo, hi](const NodeId* ids, size_t n,
+                       std::vector<uint64_t>& bits) {
+    const NodeId* first = std::lower_bound(ids, ids + n, lo);
+    for (const NodeId* p = first; p != ids + n && *p <= hi; ++p) {
+      const size_t off = *p - lo;
+      const uint64_t bit = uint64_t{1} << (off % 64);
+      if (bits[off / 64] & bit) return false;  // in-range duplicate id
+      bits[off / 64] |= bit;
+    }
+    return true;
+  };
+  if (!fill(a, na, scratch.bits_a) || !fill(b, nb, scratch.bits_b)) {
+    return false;
+  }
+
+  if constexpr (Sink::kCountOnly) {
+    size_t m = 0;
+    for (size_t w = 0; w < words; ++w) {
+      m += static_cast<size_t>(
+          std::popcount(scratch.bits_a[w] & scratch.bits_b[w]));
+    }
+    sink.Count(m);
+    return true;
+  } else {
+    size_t ia = static_cast<size_t>(std::lower_bound(a, a + na, lo) - a);
+    size_t ib = static_cast<size_t>(std::lower_bound(b, b + nb, lo) - b);
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t x = scratch.bits_a[w] & scratch.bits_b[w];
+      while (x != 0) {
+        const NodeId id =
+            lo + static_cast<NodeId>(w * 64 +
+                                     static_cast<size_t>(std::countr_zero(x)));
+        x &= x - 1;
+        // Matched ids exist in both arrays, so these cursors always land.
+        while (a[ia] < id) ++ia;
+        while (b[ib] < id) ++ib;
+        sink.Match(ia, ib);
+        ++ia;
+        ++ib;
+      }
+    }
+    return true;
+  }
+}
+
+IntersectTier ChooseTier(const NodeId* a, size_t na, const NodeId* b,
+                         size_t nb) {
+  const size_t small = std::min(na, nb);
+  const size_t big = std::max(na, nb);
+  if (small < kTinySize) return IntersectTier::kMerge;
+  if (big >= small * kGallopRatio) return IntersectTier::kGallop;
+  const NodeId lo = std::max(a[0], b[0]);
+  const NodeId hi = std::min(a[na - 1], b[nb - 1]);
+  if (lo <= hi &&
+      static_cast<size_t>(hi - lo) <= kBitsetRangeFactor * (na + nb)) {
+    return IntersectTier::kBitset;
+  }
+  return simd::kHasU32Block ? IntersectTier::kBlockMerge
+                            : IntersectTier::kMerge;
+}
+
+/// Runs the chosen tier with the smaller set in the "iterated" role (the
+/// gallop and block tiers require it; merge and bitset don't care).
+template <typename Sink>
+void Intersect(const NodeId* a, size_t na, const NodeId* b, size_t nb,
+               IntersectTier tier, Sink& sink) {
+  if (na == 0 || nb == 0) return;
+  if (tier == IntersectTier::kAuto) tier = ChooseTier(a, na, b, nb);
+  if (tier == IntersectTier::kBitset) {
+    thread_local BitsetScratch scratch;
+    if (IntersectBitset(a, na, b, nb, scratch, sink)) return;
+    tier = IntersectTier::kMerge;  // in-range duplicate ids
+  }
+  switch (tier) {
+    case IntersectTier::kMerge:
+      IntersectMerge(a, na, b, nb, sink);
+      return;
+    case IntersectTier::kGallop:
+      if (na <= nb) {
+        IntersectGallop(a, na, b, nb, sink);
+      } else {
+        SwapSink<Sink> swapped{sink};
+        IntersectGallop(b, nb, a, na, swapped);
+      }
+      return;
+    case IntersectTier::kBlockMerge:
+      if (na <= nb) {
+        IntersectBlockMerge(a, na, b, nb, sink);
+      } else {
+        SwapSink<Sink> swapped{sink};
+        IntersectBlockMerge(b, nb, a, na, swapped);
+      }
+      return;
+    case IntersectTier::kAuto:
+    case IntersectTier::kBitset:
+      break;  // unreachable: resolved above
+  }
+}
+
+// --- matched-weight accumulation -------------------------------------------
+
+struct MatchScratch {
+  std::vector<double> wa;
+  std::vector<double> wb;
+};
+
+MatchScratch& LocalMatchScratch() {
+  thread_local MatchScratch scratch;
+  return scratch;
+}
+
+size_t CountMatches(const Signature::PackedView& a,
+                    const Signature::PackedView& b, IntersectTier tier) {
+  CountSink sink;
+  Intersect(a.ids, a.size, b.ids, b.size, tier, sink);
+  return sink.matches;
+}
+
+/// Intersects and gathers matched weights into the thread-local scratch;
+/// returns the match count. scratch.wa/wb hold the pairs afterwards.
+size_t GatherMatches(const Signature::PackedView& a,
+                     const Signature::PackedView& b, IntersectTier tier,
+                     MatchScratch& scratch) {
+  const size_t cap = std::min(a.size, b.size);
+  if (scratch.wa.size() < cap) {
+    scratch.wa.resize(cap);
+    scratch.wb.resize(cap);
+  }
+  GatherSink sink{a.weights, b.weights, scratch.wa.data(), scratch.wb.data()};
+  Intersect(a.ids, a.size, b.ids, b.size, tier, sink);
+  return sink.matches;
+}
+
+/// Σ op(wa[i], wb[i]) with the canonical 4-lane accumulation pattern:
+/// one VecD accumulator over the main body (reduced in ReduceAdd's fixed
+/// order), then a left-to-right scalar tail. Identical on every backend.
+template <typename LaneOp, typename ScalarOp>
+double AccumulateMatches(const double* x, const double* y, size_t m,
+                         LaneOp&& lane, ScalarOp&& scalar) {
+  simd::VecD acc = simd::Zero();
+  size_t i = 0;
+  for (; i + simd::kLanes <= m; i += simd::kLanes) {
+    acc = simd::Add(acc, lane(simd::LoadU(x + i), simd::LoadU(y + i)));
+  }
+  double total = simd::ReduceAdd(acc);
+  for (; i < m; ++i) total += scalar(x[i], y[i]);
+  return total;
+}
+
+// --- kernels ----------------------------------------------------------------
+
+inline double ClampDistance(double similarity) {
+  return std::clamp(1.0 - similarity, 0.0, 1.0);
+}
+
+/// Shared empty-signature contract of every kernel. Returns true when the
+/// pair is decided without an intersection.
+inline bool EmptyCase(const Signature::PackedView& a,
+                      const Signature::PackedView& b, double* out) {
+  if (a.size == 0 && b.size == 0) {
+    *out = 0.0;
+    return true;
+  }
+  if (a.size == 0 || b.size == 0) {
+    *out = 1.0;
+    return true;
+  }
+  return false;
+}
+
+double JaccardImpl(const Signature& a, const Signature& b,
+                   IntersectTier tier) {
+  const auto pa = a.packed();
+  const auto pb = b.packed();
+  double decided;
+  if (EmptyCase(pa, pb, &decided)) return decided;
+  const size_t m = CountMatches(pa, pb, tier);
+  return ClampDistance(static_cast<double>(m) /
+                       static_cast<double>(pa.size + pb.size - m));
+}
+
+double OverlapImpl(const Signature& a, const Signature& b,
+                   IntersectTier tier) {
+  const auto pa = a.packed();
+  const auto pb = b.packed();
+  double decided;
+  if (EmptyCase(pa, pb, &decided)) return decided;
+  const size_t m = CountMatches(pa, pb, tier);
+  return ClampDistance(static_cast<double>(m) /
+                       static_cast<double>(std::min(pa.size, pb.size)));
+}
+
+double DiceImpl(const Signature& a, const Signature& b, IntersectTier tier) {
+  const auto pa = a.packed();
+  const auto pb = b.packed();
+  double decided;
+  if (EmptyCase(pa, pb, &decided)) return decided;
+  MatchScratch& scratch = LocalMatchScratch();
+  const size_t m = GatherMatches(pa, pb, tier, scratch);
+  const double num = AccumulateMatches(
+      scratch.wa.data(), scratch.wb.data(), m,
+      [](simd::VecD x, simd::VecD y) { return simd::Add(x, y); },
+      [](double x, double y) { return x + y; });
+  return ClampDistance(num / (pa.total_weight + pb.total_weight));
+}
+
+double ScaledDiceImpl(const Signature& a, const Signature& b,
+                      IntersectTier tier) {
+  const auto pa = a.packed();
+  const auto pb = b.packed();
+  double decided;
+  if (EmptyCase(pa, pb, &decided)) return decided;
+  MatchScratch& scratch = LocalMatchScratch();
+  const size_t m = GatherMatches(pa, pb, tier, scratch);
+  const double sum_min = AccumulateMatches(
+      scratch.wa.data(), scratch.wb.data(), m,
+      [](simd::VecD x, simd::VecD y) { return simd::Min(x, y); },
+      [](double x, double y) { return x < y ? x : y; });
+  // Σ_{∪} max = Σ_A w + Σ_B w − Σ_{∩} min.
+  const double sum_max = pa.total_weight + pb.total_weight - sum_min;
+  return ClampDistance(sum_min / sum_max);
+}
+
+double ScaledHellingerImpl(const Signature& a, const Signature& b,
+                           IntersectTier tier) {
+  const auto pa = a.packed();
+  const auto pb = b.packed();
+  double decided;
+  if (EmptyCase(pa, pb, &decided)) return decided;
+  MatchScratch& scratch = LocalMatchScratch();
+  const size_t m = GatherMatches(pa, pb, tier, scratch);
+  // One fused pass, two accumulators: the geometric-mean numerator and the
+  // Σ min the denominator rewrite needs.
+  const double* x = scratch.wa.data();
+  const double* y = scratch.wb.data();
+  simd::VecD geo_acc = simd::Zero();
+  simd::VecD min_acc = simd::Zero();
+  size_t i = 0;
+  for (; i + simd::kLanes <= m; i += simd::kLanes) {
+    const simd::VecD vx = simd::LoadU(x + i);
+    const simd::VecD vy = simd::LoadU(y + i);
+    geo_acc = simd::Add(geo_acc, simd::Sqrt(simd::Mul(vx, vy)));
+    min_acc = simd::Add(min_acc, simd::Min(vx, vy));
+  }
+  double sum_geo = simd::ReduceAdd(geo_acc);
+  double sum_min = simd::ReduceAdd(min_acc);
+  for (; i < m; ++i) {
+    sum_geo += std::sqrt(x[i] * y[i]);
+    sum_min += x[i] < y[i] ? x[i] : y[i];
+  }
+  const double sum_max = pa.total_weight + pb.total_weight - sum_min;
+  return ClampDistance(sum_geo / sum_max);
+}
+
+double CosineImpl(const Signature& a, const Signature& b,
+                  IntersectTier tier) {
+  const auto pa = a.packed();
+  const auto pb = b.packed();
+  double decided;
+  if (EmptyCase(pa, pb, &decided)) return decided;
+  MatchScratch& scratch = LocalMatchScratch();
+  const size_t m = GatherMatches(pa, pb, tier, scratch);
+  const double dot = AccumulateMatches(
+      scratch.wa.data(), scratch.wb.data(), m,
+      [](simd::VecD x, simd::VecD y) { return simd::Mul(x, y); },
+      [](double x, double y) { return x * y; });
+  return ClampDistance(dot / std::sqrt(pa.sum_squares * pb.sum_squares));
+}
+
+// Kernel entry points with the auto tier baked in (function pointers can't
+// carry the tier argument).
+double JaccardKernel(const Signature& a, const Signature& b) {
+  return JaccardImpl(a, b, IntersectTier::kAuto);
+}
+double DiceKernel(const Signature& a, const Signature& b) {
+  return DiceImpl(a, b, IntersectTier::kAuto);
+}
+double ScaledDiceKernel(const Signature& a, const Signature& b) {
+  return ScaledDiceImpl(a, b, IntersectTier::kAuto);
+}
+double ScaledHellingerKernel(const Signature& a, const Signature& b) {
+  return ScaledHellingerImpl(a, b, IntersectTier::kAuto);
+}
+double CosineKernel(const Signature& a, const Signature& b) {
+  return CosineImpl(a, b, IntersectTier::kAuto);
+}
+double OverlapKernel(const Signature& a, const Signature& b) {
+  return OverlapImpl(a, b, IntersectTier::kAuto);
+}
+
+}  // namespace
+
+DistanceKernelFn DistanceKernel(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kJaccard:
+      return &JaccardKernel;
+    case DistanceKind::kDice:
+      return &DiceKernel;
+    case DistanceKind::kScaledDice:
+      return &ScaledDiceKernel;
+    case DistanceKind::kScaledHellinger:
+      return &ScaledHellingerKernel;
+    case DistanceKind::kCosine:
+      return &CosineKernel;
+    case DistanceKind::kOverlap:
+      return &OverlapKernel;
+  }
+  return &JaccardKernel;  // unreachable for valid kinds
+}
+
+double Distance(DistanceKind kind, const Signature& a, const Signature& b) {
+  // Striped relaxed increment: cheap enough for the O(n^2) scan hot loop.
+  COMMSIG_COUNTER_ADD("distance/evaluations", 1);
+  return DistanceKernel(kind)(a, b);
+}
+
+double SignatureDistance::operator()(const Signature& a,
+                                     const Signature& b) const {
+  COMMSIG_COUNTER_ADD("distance/evaluations", 1);
+  return kernel_(a, b);
+}
+
+namespace distance_internal {
+
+double DistanceWithTier(DistanceKind kind, const Signature& a,
+                        const Signature& b, IntersectTier tier) {
+  switch (kind) {
+    case DistanceKind::kJaccard:
+      return JaccardImpl(a, b, tier);
+    case DistanceKind::kDice:
+      return DiceImpl(a, b, tier);
+    case DistanceKind::kScaledDice:
+      return ScaledDiceImpl(a, b, tier);
+    case DistanceKind::kScaledHellinger:
+      return ScaledHellingerImpl(a, b, tier);
+    case DistanceKind::kCosine:
+      return CosineImpl(a, b, tier);
+    case DistanceKind::kOverlap:
+      return OverlapImpl(a, b, tier);
+  }
+  return 0.0;  // unreachable for valid kinds
+}
+
+}  // namespace distance_internal
 
 }  // namespace commsig

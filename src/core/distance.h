@@ -50,6 +50,18 @@ std::string_view DistanceName(DistanceKind kind);
 /// Inverse of DistanceName; InvalidArgument for unknown names.
 Result<DistanceKind> ParseDistanceName(std::string_view name);
 
+/// One distance kernel, specialized per kind over the packed signature
+/// views: it touches only the statistics its formula needs (Jaccard never
+/// reads a weight) and runs the tiered set intersection of Section §14 —
+/// vectorized linear merge for similar-size sets, galloping search for
+/// skewed sizes, and a bitset path for dense id ranges.
+using DistanceKernelFn = double (*)(const Signature&, const Signature&);
+
+/// The kernel for `kind`. Hoist this out of pairwise loops (or use
+/// SignatureDistance, which does it for you) so the kind dispatch runs
+/// once per scan instead of once per pair.
+DistanceKernelFn DistanceKernel(DistanceKind kind);
+
 /// Computes Dist_kind(a, b).
 ///
 /// Edge cases (both signatures must come from schemes that emit positive
@@ -58,22 +70,57 @@ Result<DistanceKind> ParseDistanceName(std::string_view name);
 /// distance 1.
 double Distance(DistanceKind kind, const Signature& a, const Signature& b);
 
+/// The pre-SIMD single-merge formulation: one linear merge over the entry
+/// pairs accumulating every statistic. Kept as the semantic reference the
+/// randomized equivalence tests compare the packed kernels against, and as
+/// the in-run baseline the BM_PairwiseDistances speedup gauges divide by.
+/// Values may differ from Distance() in the last few ulps (the packed
+/// kernels hoist per-signature sums to construction and accumulate matches
+/// 4 lanes at a time), never more.
+double DistanceReference(DistanceKind kind, const Signature& a,
+                         const Signature& b);
+
 /// Convenience value type bundling a kind with its evaluation; cheap to
-/// copy, usable as a function object.
+/// copy, usable as a function object. Resolves the kernel once at
+/// construction, so per-pair calls are a single indirect call with no kind
+/// switch.
 class SignatureDistance {
  public:
-  explicit SignatureDistance(DistanceKind kind) : kind_(kind) {}
+  explicit SignatureDistance(DistanceKind kind)
+      : kind_(kind), kernel_(DistanceKernel(kind)) {}
 
-  double operator()(const Signature& a, const Signature& b) const {
-    return Distance(kind_, a, b);
-  }
+  double operator()(const Signature& a, const Signature& b) const;
 
   DistanceKind kind() const { return kind_; }
   std::string_view name() const { return DistanceName(kind_); }
 
  private:
   DistanceKind kind_;
+  DistanceKernelFn kernel_;
 };
+
+namespace distance_internal {
+
+/// Intersection strategy, normally auto-selected per pair from the set
+/// sizes and id range. Exposed so the equivalence tests can force each
+/// tier and assert bit-identical results (every tier emits the same
+/// matched-weight sequence in ascending id order, so the accumulated sums
+/// are equal bit for bit).
+enum class IntersectTier {
+  kAuto,
+  kMerge,       // scalar two-pointer linear merge
+  kBlockMerge,  // 8-wide vectorized merge (falls back to kMerge without a
+                // wide-integer SIMD backend)
+  kGallop,      // galloping/binary search of the smaller set in the larger
+  kBitset,      // word-parallel bitmap over the overlapping id range
+};
+
+/// Distance with a forced intersection tier. Test seam; production code
+/// goes through Distance()/SignatureDistance, which always auto-select.
+double DistanceWithTier(DistanceKind kind, const Signature& a,
+                        const Signature& b, IntersectTier tier);
+
+}  // namespace distance_internal
 
 }  // namespace commsig
 

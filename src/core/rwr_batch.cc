@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "obs/obs.h"
 
 namespace commsig {
@@ -25,12 +26,18 @@ TransitionCache::TransitionCache(const CommGraph& g, TraversalMode mode)
   }
 }
 
+void TransitionCache::EnableDegreeOrder() {
+  traversal_order_ = graph_->NodesByTraversalDegree(
+      mode_ == TraversalMode::kSymmetric);
+}
+
 void TransitionCache::Rebase(const CommGraph& new_g,
                              std::span<const NodeId> changed_rows) {
   COMMSIG_CHECK(new_g.NumNodes() == norm_.size(),
                 "TransitionCache::Rebase requires a shared node universe");
   graph_ = &new_g;
   const bool symmetric = mode_ == TraversalMode::kSymmetric;
+  if (!traversal_order_.empty()) EnableDegreeOrder();
   for (NodeId x : changed_rows) {
     const double w = new_g.OutWeight(x) + (symmetric ? new_g.InWeight(x) : 0.0);
     num_walkable_ -= walkable_[x];
@@ -136,7 +143,7 @@ void RwrBatchEngine::Run(std::span<const NodeId> sources,
     if (!cache_->walkable(x)) {
       // Accumulating an all-zero row adds 0.0 everywhere — harmless, so no
       // occupancy pre-check is needed on this branch.
-      for (size_t b = 0; b < B; ++b) ws.dangling[b] += mass[b];
+      simd::AccumAdd(ws.dangling.data(), mass, B);
       return;
     }
     uint32_t* lanes = ws.lanes.data();
@@ -172,10 +179,8 @@ void RwrBatchEngine::Run(std::span<const NodeId> sources,
       }
       return;
     }
-    for (size_t b = 0; b < B; ++b) {
-      ws.walked[b] += mass[b];
-      ws.scale[b] = mass[b] * row_scale;
-    }
+    simd::AccumAdd(ws.walked.data(), mass, B);
+    simd::ScaleInto(ws.scale.data(), mass, row_scale, B);
     auto scatter_edges = [&](std::span<const Edge> edges) {
       for (const Edge& e : edges) {
         if (track && !ws.in_next[e.node]) {
@@ -183,8 +188,10 @@ void RwrBatchEngine::Run(std::span<const NodeId> sources,
           ws.touched.push_back(e.node);
         }
         double* row = &ws.next[static_cast<size_t>(e.node) * B];
-        const double w = e.weight;
-        for (size_t b = 0; b < B; ++b) row[b] += ws.scale[b] * w;
+        // 4-wide multiply-add over the column block; strictly elementwise
+        // (no FMA, no reassociation), so each column still adds the same
+        // terms in the same edge order as the serial path.
+        simd::AxpyRow(row, ws.scale.data(), e.weight, B);
       }
     };
     scatter_edges(g.OutEdges(x));
@@ -202,7 +209,17 @@ void RwrBatchEngine::Run(std::span<const NodeId> sources,
     if (ws.dense) {
       ++dense_iters;
       std::fill(ws.next.begin(), ws.next.end(), 0.0);
-      for (NodeId x = 0; x < n; ++x) scatter_row(x, /*track=*/false);
+      if (cache_->has_traversal_order()) {
+        // Degree-descending row order (opt-in via EnableDegreeOrder): the
+        // hub rows run first while the state slab is cache-hot. Reorders
+        // per-target accumulation, so results drift at rounding level from
+        // the ascending scan.
+        for (NodeId x : cache_->traversal_order()) {
+          scatter_row(x, /*track=*/false);
+        }
+      } else {
+        for (NodeId x = 0; x < n; ++x) scatter_row(x, /*track=*/false);
+      }
     } else {
       ++sparse_iters;
       // `next` is all-zero here (maintained below), so the scatter only
@@ -245,9 +262,7 @@ void RwrBatchEngine::Run(std::span<const NodeId> sources,
       std::fill(ws.delta.begin(), ws.delta.end(), 0.0);
       if (ws.dense) {
         for (size_t i = 0; i < n * B; i += B) {
-          for (size_t b = 0; b < B; ++b) {
-            ws.delta[b] += std::fabs(ws.next[i + b] - ws.r[i + b]);
-          }
+          simd::AccumAbsDiff(ws.delta.data(), &ws.next[i], &ws.r[i], B);
         }
       } else {
         size_t fi = 0, ti = 0;
@@ -262,9 +277,7 @@ void RwrBatchEngine::Run(std::span<const NodeId> sources,
             x = ws.touched[ti++];
           }
           const size_t row = static_cast<size_t>(x) * B;
-          for (size_t b = 0; b < B; ++b) {
-            ws.delta[b] += std::fabs(ws.next[row + b] - ws.r[row + b]);
-          }
+          simd::AccumAbsDiff(ws.delta.data(), &ws.next[row], &ws.r[row], B);
         }
       }
     }

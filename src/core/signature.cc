@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
 #include "obs/obs.h"
 
 namespace commsig {
@@ -105,9 +106,35 @@ double Signature::WeightOf(NodeId node) const {
 }
 
 void Signature::RecomputeTotal() {
-  double total = 0.0;
-  for (const Entry& e : entries_) total += e.weight;
+  const size_t n = entries_.size();
+  packed_ids_.resize(n);
+  packed_weights_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    packed_ids_[i] = entries_[i].node;
+    packed_weights_[i] = entries_[i].weight;
+  }
+  // Σw and Σw² must use the same canonical 4-lane accumulation order as the
+  // packed distance kernels (distance.cc AccumulateMatches): when two
+  // identical signatures intersect, the kernel's numerator sums exactly these
+  // weights in exactly this order, and identity distances come out as an
+  // exact 0 only if the cached totals match that sum bit-for-bit.
+  const double* w = packed_weights_.data();
+  simd::VecD total_acc = simd::Zero();
+  simd::VecD sq_acc = simd::Zero();
+  size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const simd::VecD v = simd::LoadU(w + i);
+    total_acc = simd::Add(total_acc, v);
+    sq_acc = simd::Add(sq_acc, simd::Mul(v, v));
+  }
+  double total = simd::ReduceAdd(total_acc);
+  double squares = simd::ReduceAdd(sq_acc);
+  for (; i < n; ++i) {
+    total += w[i];
+    squares += w[i] * w[i];
+  }
   total_weight_ = total;
+  sum_squares_ = squares;
 }
 
 Signature Signature::Normalized() const {

@@ -68,6 +68,31 @@ class Signature {
   /// Entries sorted ascending by node id.
   std::span<const Entry> entries() const { return entries_; }
 
+  /// Flat structure-of-arrays view of the entries, rebuilt whenever the
+  /// entries change. The distance kernels consume this instead of the
+  /// (node, weight) structs: the id array is contiguous u32s — what the
+  /// vectorized set-intersection tiers load 8 at a time — and the weight
+  /// array is contiguous doubles for the 4-lane match accumulators.
+  /// total_weight and sum_squares are the per-signature reductions every
+  /// kernel denominator needs, hoisted to construction time so a pairwise
+  /// scan never re-sums a signature. Pointers are valid while the
+  /// signature is alive and unmodified; ids/weights are null when empty.
+  struct PackedView {
+    const NodeId* ids = nullptr;
+    const double* weights = nullptr;
+    size_t size = 0;
+    double total_weight = 0.0;  // Σ w   (ascending-id accumulation order)
+    double sum_squares = 0.0;   // Σ w²  (same order)
+  };
+  PackedView packed() const {
+    return {packed_ids_.data(), packed_weights_.data(), packed_ids_.size(),
+            total_weight_, sum_squares_};
+  }
+
+  /// Σ w² over the entries, cached at construction (the cosine kernel's
+  /// per-signature norm).
+  double SumSquares() const { return sum_squares_; }
+
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
@@ -96,10 +121,16 @@ class Signature {
   }
 
  private:
+  /// Recomputes every piece of derived state from entries_: the cached
+  /// total and sum of squares, and the packed SoA arrays. Must be called
+  /// by every path that (re)sets entries_.
   void RecomputeTotal();
 
   std::vector<Entry> entries_;
+  std::vector<NodeId> packed_ids_;      // entries_[i].node, flat
+  std::vector<double> packed_weights_;  // entries_[i].weight, flat
   double total_weight_ = 0.0;
+  double sum_squares_ = 0.0;
 };
 
 }  // namespace commsig

@@ -15,6 +15,10 @@ Rules (suppress one occurrence with `NOLINT(commsig-<rule>)` on the line):
                   uses are the annotated intentionally-leaked singletons.
   endl            std::endl in library code ('\\n' without the flush; the
                   hot paths write through buffered FILE*/string anyway).
+  simd-intrinsics Raw SIMD intrinsics (_mm*/_mm256*/vld1q*/vst1q*/...)
+                  or ISA intrinsic headers outside src/common/simd.h —
+                  kernel code must go through the portable simd:: wrappers
+                  so every call site keeps its scalar fallback.
   header-tu       Every public header under src/ must compile as a
                   standalone translation unit (include-what-you-use smoke).
 
@@ -163,6 +167,39 @@ def check_endl(path, original, code, findings):
                              "std::endl flushes on every use; write '\\n'"))
 
 
+# Files allowed to contain raw ISA intrinsics: the portable wrapper itself.
+SIMD_ALLOWED = {os.path.join("src", "common", "simd.h")}
+
+SIMD_INTRINSIC = re.compile(
+    r"\b_mm\d*_\w+\s*\("          # SSE/AVX/AVX-512: _mm_*, _mm256_*, _mm512_*
+    r"|\b(?:vld1q?|vst1q?|vaddq|vsubq|vmulq|vminq|vmaxq|vdupq|vabsq|vsqrtq|"
+    r"vceqq|vcltq|vcgtq)_\w+\s*\("  # NEON
+    r"|__m(?:64|128|256|512)[di]?\b"  # vector register types
+    r"|\b(?:float|int|uint)(?:8|16|32|64)x\d+(?:x\d+)?_t\b")  # NEON types
+
+SIMD_HEADER_INCLUDE = re.compile(
+    r'#\s*include\s*<(?:immintrin|x86intrin|arm_neon|emmintrin|smmintrin|'
+    r'tmmintrin|avxintrin|avx2intrin)\.h>')
+
+
+def check_simd_intrinsics(path, original, code, findings):
+    if path.replace(os.sep, "/") in {p.replace(os.sep, "/")
+                                     for p in SIMD_ALLOWED}:
+        return
+    for pattern, what in ((SIMD_INTRINSIC, "raw SIMD intrinsic"),
+                          (SIMD_HEADER_INCLUDE, "ISA intrinsic header")):
+        for m in re.finditer(pattern, code if pattern is SIMD_INTRINSIC
+                             else original):
+            lineno = line_of(code if pattern is SIMD_INTRINSIC else original,
+                             m.start())
+            if suppressed(original, lineno, "simd-intrinsics"):
+                continue
+            findings.append(
+                (path, lineno, "simd-intrinsics",
+                 f"{what} outside src/common/simd.h — use the commsig::simd "
+                 "wrappers (VecD/VecU32 and the loop kernels)"))
+
+
 def check_headers(root, compiler, findings):
     src = os.path.join(root, "src")
     headers = []
@@ -209,6 +246,7 @@ def lint_tree(root, dirs, findings):
                 check_reader(rel, original, code, findings)
                 check_naked_new(rel, original, code, findings)
                 check_endl(rel, original, code, findings)
+                check_simd_intrinsics(rel, original, code, findings)
 
 
 def main():
