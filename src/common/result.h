@@ -18,7 +18,7 @@ namespace commsig {
 /// compile out in Release and dereference an empty optional — UB on exactly
 /// the corrupt-input paths where failed Results actually occur.)
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Success: wraps a value.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -12,7 +12,7 @@ namespace commsig {
 /// The commsig library does not throw exceptions; fallible operations return
 /// a `Status` (or a `Result<T>`, see result.h). A default-constructed Status
 /// is OK. Statuses are cheap to copy in the OK case (no allocation).
-class Status {
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

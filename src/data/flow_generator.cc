@@ -129,6 +129,10 @@ FlowDataset FlowTraceGenerator::Generate() const {
           rng.UniformInt(cfg.num_interest_groups)));
     }
     groups_of_user[u].assign(chosen.begin(), chosen.end());
+    // `chosen` iterates in hash order, which libstdc++/libc++ lay out
+    // differently; the group list indexes into rng draws, so an unsorted
+    // copy would make the seeded dataset differ across standard libraries.
+    std::sort(groups_of_user[u].begin(), groups_of_user[u].end());
   }
 
   auto fresh_entry = [&](uint32_t user, Category category,

@@ -279,15 +279,26 @@ std::string MetricsSnapshot::ToPrometheus() const {
 void PreRegisterCoreMetrics() {
   MetricsRegistry& reg = MetricsRegistry::Global();
   for (const char* name :
-       {"rwr/calls", "rwr/iterations", "rwr_push/calls", "rwr_push/pushes",
-        "signature/built", "distance/evaluations", "sketch/cm_updates",
-        "sketch/cm_queries", "sketch/fm_updates", "sketch/ss_updates",
+       {"rwr/calls", "rwr/iterations", "rwr/batch_solves",
+        "rwr/batch_dense_iterations", "rwr/batch_sparse_iterations",
+        "rwr_push/calls", "rwr_push/pushes",
+        "signature/built", "distance/evaluations", "distance/pairwise_pairs",
+        "sketch/cm_updates",
+        "sketch/cm_queries", "sketch/fm_updates", "sketch/fm_queries",
+        "sketch/ss_updates",
         "sketch/ss_evictions", "sketch/signature_cache_hits",
         "threadpool/tasks_executed",
         "windower/windows_built", "robust/records_rejected",
         "robust/windower_dropped_events", "robust/rwr_fallbacks",
         "robust/faults_injected", "robust/checkpoints_saved",
         "robust/checkpoints_loaded", "robust/checkpoints_corrupt",
+        "robust/quarantined_bad_field", "robust/quarantined_bad_magic",
+        "robust/quarantined_bad_record_count",
+        "robust/quarantined_non_finite_weight",
+        "robust/quarantined_non_positive_weight",
+        "robust/quarantined_poison_window",
+        "robust/quarantined_timestamp_regression",
+        "robust/quarantined_truncated", "robust/quarantined_zero_node",
         "timeline/nodes_dirty", "timeline/nodes_reused",
         "timeline/rwr_warm_start_fallbacks",
         "pipeline/windows_recorded", "pipeline/events_processed",
@@ -308,6 +319,17 @@ void PreRegisterCoreMetrics() {
   reg.GetGauge("pipeline/last_window_dirty_nodes");
   reg.GetGauge("robust/degradation_tier");
   reg.GetGauge("obs/health_worst_level");
+  reg.GetGauge("sketch/cm_error_bound");
+  // Histograms surface in /metrics and /varz exactly like counters; a
+  // scraper must see the full schema before the first observation lands.
+  for (const char* name :
+       {"pipeline/window_total_us", "pipeline/parse_us",
+        "pipeline/window_build_us", "pipeline/delta_diff_us",
+        "pipeline/dirty_recompute_us", "pipeline/extract_us",
+        "robust/checkpoint_bytes", "rwr/residual_at_convergence",
+        "signature/candidates", "windower/window_events"}) {
+    reg.GetHistogram(name);
+  }
 }
 
 }  // namespace commsig::obs

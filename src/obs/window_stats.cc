@@ -7,6 +7,29 @@
 #include "obs/trace.h"
 
 namespace commsig::obs {
+namespace {
+
+// Per-stage latency histograms, addressed by verbatim literals: the
+// obs-schema registry (docs/obs_schema.json) is extracted from call-site
+// string literals, so a name built by concatenation would never reach
+// scrape configs or the round-trip gate.
+Histogram& StageHistogram(MetricsRegistry& reg, PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kParse:
+      return reg.GetHistogram("pipeline/parse_us");
+    case PipelineStage::kWindowBuild:
+      return reg.GetHistogram("pipeline/window_build_us");
+    case PipelineStage::kDeltaDiff:
+      return reg.GetHistogram("pipeline/delta_diff_us");
+    case PipelineStage::kDirtyRecompute:
+      return reg.GetHistogram("pipeline/dirty_recompute_us");
+    case PipelineStage::kExtract:
+      return reg.GetHistogram("pipeline/extract_us");
+  }
+  return reg.GetHistogram("pipeline/unknown_us");
+}
+
+}  // namespace
 
 std::string_view PipelineStageName(PipelineStage stage) {
   switch (stage) {
@@ -46,10 +69,7 @@ void WindowStatsAggregator::Record(WindowRecord record) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   for (size_t i = 0; i < kNumPipelineStages; ++i) {
     if (record.stage_us[i] == 0) continue;
-    reg.GetHistogram("pipeline/" +
-                     std::string(PipelineStageName(
-                         static_cast<PipelineStage>(i))) +
-                     "_us")
+    StageHistogram(reg, static_cast<PipelineStage>(i))
         .Observe(static_cast<double>(record.stage_us[i]));
   }
   reg.GetHistogram("pipeline/window_total_us")
@@ -96,9 +116,7 @@ void WindowStatsAggregator::RecordSetupStage(PipelineStage stage,
                                              uint64_t dur_us) {
   setup_us_[static_cast<size_t>(stage)].fetch_add(dur_us,
                                                   std::memory_order_relaxed);
-  MetricsRegistry::Global()
-      .GetHistogram("pipeline/" + std::string(PipelineStageName(stage)) +
-                    "_us")
+  StageHistogram(MetricsRegistry::Global(), stage)
       .Observe(static_cast<double>(dur_us));
 }
 

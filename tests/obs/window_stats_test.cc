@@ -104,6 +104,25 @@ TEST_F(WindowStatsTest, SetupStagesAccumulateSeparately) {
   EXPECT_NE(json.find("\"window_build_us\": 30"), std::string::npos) << json;
 }
 
+TEST_F(WindowStatsTest, StageHistogramsUseLiteralRegistryNames) {
+  // Regression: stage histograms were once addressed by a concatenated
+  // name ("pipeline/" + stage + "_us"), which kept them out of the
+  // extracted obs schema (docs/obs_schema.json). Record() and
+  // RecordSetupStage() must feed the verbatim per-stage names.
+  WindowStatsAggregator& agg = WindowStatsAggregator::Global();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const uint64_t delta_before =
+      reg.GetHistogram("pipeline/delta_diff_us").Snapshot().count;
+  const uint64_t parse_before =
+      reg.GetHistogram("pipeline/parse_us").Snapshot().count;
+  agg.Record(MakeRecord(0));  // stages: delta_diff + dirty_recompute
+  agg.RecordSetupStage(PipelineStage::kParse, 42);
+  EXPECT_EQ(reg.GetHistogram("pipeline/delta_diff_us").Snapshot().count,
+            delta_before + 1);
+  EXPECT_EQ(reg.GetHistogram("pipeline/parse_us").Snapshot().count,
+            parse_before + 1);
+}
+
 TEST_F(WindowStatsTest, WatchdogCountsWindowsOverBudget) {
   WindowStatsAggregator& agg = WindowStatsAggregator::Global();
   Counter& slow = MetricsRegistry::Global().GetCounter("pipeline/slow_windows");

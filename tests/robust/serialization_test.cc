@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
+#include "common/result.h"
 #include "graph/windower.h"
 #include "sketch/count_min.h"
 #include "sketch/fm_sketch.h"
@@ -95,8 +96,11 @@ TEST(CountMinRoundTrip, CorruptBytesRejectedNotCrashed) {
   sketch.Add(42, 3.0);
   ByteWriter out;
   sketch.AppendTo(out);
-  FuzzBytes(out.bytes(),
-            [](ByteReader& in) { CountMinSketch::FromBytes(in); });
+  FuzzBytes(out.bytes(), [](ByteReader& in) {
+    Result<CountMinSketch> r = CountMinSketch::FromBytes(in);
+    // A flipped payload may still decode; a salvaged sketch must be usable.
+    if (r.ok()) r.value().Estimate(42);
+  });
   // A dimension header promising more cells than the buffer holds must be
   // rejected up front, not discovered via out-of-bounds reads.
   ByteWriter huge;
@@ -125,7 +129,10 @@ TEST(FmSketchRoundTrip, CorruptBytesRejectedNotCrashed) {
   sketch.Add(5);
   ByteWriter out;
   sketch.AppendTo(out);
-  FuzzBytes(out.bytes(), [](ByteReader& in) { FmSketch::FromBytes(in); });
+  FuzzBytes(out.bytes(), [](ByteReader& in) {
+    Result<FmSketch> r = FmSketch::FromBytes(in);
+    if (r.ok()) r.value().Estimate();
+  });
 }
 
 TEST(SpaceSavingRoundTrip, PreservesItemsAndDeterministicBytes) {
@@ -161,7 +168,10 @@ TEST(SpaceSavingRoundTrip, CorruptBytesRejectedNotCrashed) {
   summary.Add(2, 1.0);
   ByteWriter out;
   summary.AppendTo(out);
-  FuzzBytes(out.bytes(), [](ByteReader& in) { SpaceSaving::FromBytes(in); });
+  FuzzBytes(out.bytes(), [](ByteReader& in) {
+    Result<SpaceSaving> r = SpaceSaving::FromBytes(in);
+    if (r.ok()) r.value().Items();
+  });
 }
 
 TEST(WindowerRoundTrip, PreservesConfiguration) {
@@ -260,7 +270,9 @@ TEST(StreamingBuilderRoundTrip, CorruptBytesRejectedNotCrashed) {
   ByteWriter out;
   builder.AppendTo(out);
   FuzzBytes(out.bytes(), [](ByteReader& in) {
-    StreamingSignatureBuilder::FromBytes(in);
+    Result<StreamingSignatureBuilder> r =
+        StreamingSignatureBuilder::FromBytes(in);
+    if (r.ok()) r.value().MemoryBytes();
   });
 }
 

@@ -1,0 +1,58 @@
+// Analyzer fixture: every function below violates a determinism rule.
+// Parsed by tests/tools/analyzer_test.py as if it lived in src/core/, so
+// the deterministic-layer clock rules apply.  Never built.
+
+#include <algorithm>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace commsig {
+
+// unordered-order-escape: hash iteration order copied into a vector that
+// is never sorted, then indexed — layout differs across standard
+// libraries.
+std::vector<uint32_t> EscapeOrder(const std::unordered_set<uint32_t>& src) {
+  std::unordered_set<uint32_t> chosen = src;
+  std::vector<uint32_t> picks;
+  picks.assign(chosen.begin(), chosen.end());
+  return picks;
+}
+
+// unordered-iter-sink: serialization path iterates the map directly.
+class Table {
+ public:
+  void AppendTo(ByteWriter& out) const {
+    for (const auto& kv : weights_) {
+      out.PutU64(kv.first);
+      out.PutDouble(kv.second);
+    }
+  }
+
+ private:
+  std::unordered_map<uint64_t, double> weights_;
+};
+
+// raw-rand: libc randomness is not derived from the run seed.
+int RollDice() { return rand() % 6; }
+
+// nondeterministic-seed: random_device output differs per run.
+uint32_t PickSeed() {
+  std::random_device rd;
+  return rd();
+}
+
+// wall-clock-in-core: real time inside a deterministic layer.
+uint64_t StampNow() { return static_cast<uint64_t>(time(nullptr)); }
+
+// raw-simd-intrinsic: ISA code outside src/common/simd.h loses the scalar
+// fallback the portable wrappers guarantee.
+void ScaleRaw(float* data) {
+  __m128 v = _mm_loadu_ps(data);
+  _mm_storeu_ps(data, _mm_mul_ps(v, _mm_set1_ps(2.0f)));
+}
+
+}  // namespace commsig

@@ -1,0 +1,54 @@
+// Analyzer fixture: determinism-clean counterparts of determinism_bad.cc.
+// Exercises the sanctioned idioms the pass must NOT flag: collect-then-
+// sort staging, membership-only unordered use, and seeded Rng.  Parsed by
+// tests/tools/analyzer_test.py as src/core/; never built.
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace commsig {
+
+// Copying out of an unordered container is fine once the copy is sorted.
+std::vector<uint32_t> SortedOrder(const std::unordered_set<uint32_t>& src) {
+  std::unordered_set<uint32_t> chosen = src;
+  std::vector<uint32_t> picks;
+  picks.assign(chosen.begin(), chosen.end());
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+// The repo's serialization idiom: stage keys, sort, then emit.
+class Table {
+ public:
+  void AppendTo(ByteWriter& out) const {
+    std::vector<uint64_t> keys;
+    keys.reserve(weights_.size());
+    for (const auto& kv : weights_) keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t k : keys) {
+      out.PutU64(k);
+      out.PutDouble(weights_.at(k));
+    }
+  }
+
+ private:
+  std::unordered_map<uint64_t, double> weights_;
+};
+
+// Membership-only use never observes iteration order.
+bool Seen(const std::unordered_set<uint32_t>& seen, uint32_t key) {
+  return seen.count(key) > 0;
+}
+
+// Randomness through the seeded Rng is reproducible by construction.
+uint64_t Draw(Rng& rng) { return rng.UniformInt(6); }
+
+// Vector math through the portable wrappers keeps the scalar fallback.
+void ScalePortable(double* data, size_t n) {
+  simd::VecD two = simd::VecD::Broadcast(2.0);
+  simd::ScaleInPlace(data, n, two);
+}
+
+}  // namespace commsig

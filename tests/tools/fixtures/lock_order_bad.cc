@@ -1,0 +1,45 @@
+// Analyzer fixture: a lock acquisition cycle through the metrics macros —
+// the exact shape of the historical ThreadPool -> MetricsRegistry deadlock.
+// Registry::Poll holds Registry::mutex_ and submits to the worker, which
+// acquires Worker::mu_; Worker::Drain holds Worker::mu_ and bumps a
+// counter, which acquires MetricsRegistry::mutex_ behind the macro.
+// Parsed by tests/tools/analyzer_test.py; never built.
+
+#include "common/mutex.h"
+#include "obs/obs.h"
+
+namespace commsig {
+
+class Worker {
+ public:
+  void Submit() COMMSIG_EXCLUDES(mu_);
+  void Drain();
+
+ private:
+  mutable Mutex mu_;
+};
+
+class MetricsRegistry {
+ public:
+  void Poll(Worker& w);
+
+ private:
+  mutable Mutex mutex_;
+};
+
+void MetricsRegistry::Poll(Worker& w) {
+  MutexLock lock(mutex_);
+  w.Submit();  // MetricsRegistry::mutex_ -> Worker::mu_
+}
+
+void Worker::Submit() {
+  MutexLock lock(mu_);
+}
+
+void Worker::Drain() {
+  MutexLock lock(mu_);
+  // Worker::mu_ -> MetricsRegistry::mutex_: closes the cycle.
+  COMMSIG_COUNTER_ADD("fixture/drained", 1);
+}
+
+}  // namespace commsig

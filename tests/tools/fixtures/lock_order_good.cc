@@ -1,0 +1,45 @@
+// Analyzer fixture: the deadlock-free version of lock_order_bad.cc.
+// Worker::Drain bumps the counter AFTER releasing mu_ (the fix the
+// historical ThreadPool deadlock got), so every edge points one way:
+// MetricsRegistry::mutex_ -> Worker::mu_, and the macro edge originates
+// from no held lock.  Parsed by tests/tools/analyzer_test.py; never built.
+
+#include "common/mutex.h"
+#include "obs/obs.h"
+
+namespace commsig {
+
+class Worker {
+ public:
+  void Submit() COMMSIG_EXCLUDES(mu_);
+  void Drain();
+
+ private:
+  mutable Mutex mu_;
+};
+
+class MetricsRegistry {
+ public:
+  void Poll(Worker& w);
+
+ private:
+  mutable Mutex mutex_;
+};
+
+void MetricsRegistry::Poll(Worker& w) {
+  MutexLock lock(mutex_);
+  w.Submit();  // MetricsRegistry::mutex_ -> Worker::mu_, no reverse edge
+}
+
+void Worker::Submit() {
+  MutexLock lock(mu_);
+}
+
+void Worker::Drain() {
+  {
+    MutexLock lock(mu_);
+  }
+  COMMSIG_COUNTER_ADD("fixture/drained", 1);  // lock released first
+}
+
+}  // namespace commsig

@@ -1,0 +1,30 @@
+// Analyzer fixture: every observable below drifts from the fixture schema
+// (tests/tools/fixtures/obs_schema.json) in a different way.  Parsed by
+// tests/tools/analyzer_test.py; never built.
+
+#include <string>
+
+#include "obs/log.h"
+#include "obs/obs.h"
+
+namespace commsig {
+
+void PreRegisterCoreMetrics() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("fixture/known_counter");
+  // prereg-drift: the schema's preregistered list also expects
+  // fixture/known_histogram, which is not registered here.
+}
+
+void Record(const std::string& shard) {
+  // undeclared: not in the schema's counters list.
+  COMMSIG_COUNTER_ADD("fixture/surprise_counter", 1);
+  // naming: metric names are area/metric_name, not CamelCase.
+  COMMSIG_GAUGE_SET("FixtureBadName", 2.0);
+  // dynamic-name: the schema can never enumerate a computed name.
+  COMMSIG_COUNTER_ADD("fixture/" + shard, 1);
+  // undeclared + naming: log events are flat snake_case, no slashes.
+  obs::LogInfo("fixture/slashed_event");
+}
+
+}  // namespace commsig

@@ -1,0 +1,23 @@
+// Analyzer fixture: observables in perfect sync with the fixture schema
+// (tests/tools/fixtures/obs_schema.json).  Parsed by
+// tests/tools/analyzer_test.py; never built.
+
+#include "obs/log.h"
+#include "obs/obs.h"
+
+namespace commsig {
+
+void PreRegisterCoreMetrics() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("fixture/known_counter");
+  reg.GetHistogram("fixture/known_histogram");
+}
+
+void Record() {
+  COMMSIG_COUNTER_ADD("fixture/known_counter", 1);
+  COMMSIG_HISTOGRAM_OBSERVE("fixture/known_histogram", 3.5);
+  COMMSIG_SPAN("fixture/record");
+  obs::LogInfo("fixture_recorded");
+}
+
+}  // namespace commsig

@@ -1,0 +1,25 @@
+// Analyzer fixture: Result/Status discipline violations.  Parsed by
+// tests/tools/analyzer_test.py; never built.
+
+#include "common/result.h"
+
+namespace commsig {
+
+Result<int> ParseCount(const char* text);
+Status PersistCount(int count);
+
+void Ingest(const char* text) {
+  // discarded: the Result (and the parse failure inside it) vanishes.
+  ParseCount(text);
+  // discarded: a dropped Status loses the I/O error.
+  PersistCount(7);
+}
+
+int Applied(const char* text) {
+  Result<int> parsed = ParseCount(text);
+  // unchecked-value: no ok() check anywhere in this function, and
+  // COMMSIG_CHECK aborts the process on a bad access.
+  return parsed.value();
+}
+
+}  // namespace commsig

@@ -1,0 +1,24 @@
+// Analyzer fixture: Result/Status discipline done right — each shape here
+// must produce zero findings.  Parsed by tests/tools/analyzer_test.py;
+// never built.
+
+#include "common/result.h"
+
+namespace commsig {
+
+Result<int> ParseCount(const char* text);
+Status PersistCount(int count);
+int PlainCount();
+
+int Ingest(const char* text) {
+  // Bound and checked before use.
+  Result<int> parsed = ParseCount(text);
+  if (!parsed.ok()) return -1;
+  // Deliberate discard is spelled out.
+  (void)PersistCount(parsed.value());
+  // Non-Result returns may be dropped freely.
+  PlainCount();
+  return parsed.value();
+}
+
+}  // namespace commsig

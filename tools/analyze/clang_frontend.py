@@ -1,0 +1,465 @@
+"""Clang AST-JSON frontend for commsig-analyzer.
+
+Obtains a per-TU AST by running the TU's own command line from
+`compile_commands.json` with `-fsyntax-only -Xclang -ast-dump=json`, then
+walks the JSON into the shared `TuFacts` IR.  Raw dumps run to hundreds of
+megabytes, so only the distilled facts are cached: the cache key is the
+content hash of the preprocessed inputs (main file + repo headers) combined
+with the compiler identity and flags, so edits, flag changes, and compiler
+upgrades each invalidate exactly the TUs they affect.
+
+This frontend needs a clang binary (gcc has no `-ast-dump=json`).  The
+driver falls back to the built-in `cpplite` frontend when none is found, so
+`--target analyze` works on a GCC-only host; CI runs both, gating on the
+frontend it can verify.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shlex
+import subprocess
+
+from ir import (IR_VERSION, Call, Decl, FieldDecl, Function, LockAcq,
+                MethodDecl, RangeLoop, TuFacts)
+
+_LOCK_GUARD_TYPES = ("MutexLock", "lock_guard", "unique_lock", "scoped_lock",
+                     "shared_lock")
+
+# Clang spells thread-safety attributes with these AST node kinds.
+_ATTR_KINDS = {
+    "GuardedByAttr": "guarded_by",
+    "LocksExcludedAttr": "excludes",
+    "ExclusiveLocksRequiredAttr": "requires",
+    "RequiresCapabilityAttr": "requires",
+    "AcquiredBeforeAttr": "acquired_before",
+    "AcquiredAfterAttr": "acquired_after",
+}
+
+
+def find_clang(explicit: str = "") -> str:
+    """Absolute path of a usable clang++, or ""."""
+    candidates = [explicit] if explicit else []
+    candidates += ["clang++", "clang++-18", "clang++-17", "clang++-16",
+                   "clang++-15", "clang++-14", "clang"]
+    for c in candidates:
+        if not c:
+            continue
+        path = c if os.path.isabs(c) else _which(c)
+        if not path:
+            continue
+        try:
+            out = subprocess.run([path, "--version"], capture_output=True,
+                                 text=True, timeout=30)
+        except OSError:
+            continue
+        if out.returncode == 0 and "clang" in out.stdout.lower():
+            return path
+    return ""
+
+
+def _which(name: str) -> str:
+    for d in os.environ.get("PATH", "").split(os.pathsep):
+        p = os.path.join(d, name)
+        if os.path.isfile(p) and os.access(p, os.X_OK):
+            return p
+    return ""
+
+
+def clang_version(clang: str) -> str:
+    out = subprocess.run([clang, "--version"], capture_output=True, text=True)
+    return out.stdout.splitlines()[0].strip() if out.stdout else "unknown"
+
+
+def load_compile_commands(path: str) -> dict[str, dict]:
+    """Maps absolute source path -> compile-command entry."""
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    table: dict[str, dict] = {}
+    for e in entries:
+        src = e.get("file", "")
+        if not os.path.isabs(src):
+            src = os.path.normpath(os.path.join(e.get("directory", "."), src))
+        table[os.path.normpath(src)] = e
+    return table
+
+
+def _tu_args(entry: dict) -> list[str]:
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        args = shlex.split(entry.get("command", ""))
+    out: list[str] = []
+    skip = False
+    for a in args[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip = True
+            continue
+        if a in ("-c", "-MD", "-MMD", "-MP") or a.endswith((".cc", ".cpp",
+                                                            ".cxx", ".o")):
+            continue
+        out.append(a)
+    return out
+
+
+def cache_key(src: str, entry: dict, repo_root: str, version: str) -> str:
+    """Content hash covering the TU, every repo header, and the flags."""
+    h = hashlib.sha256()
+    h.update(f"ir={IR_VERSION};clang={version};".encode())
+    h.update(" ".join(_tu_args(entry)).encode())
+    with open(src, "rb") as f:
+        h.update(f.read())
+    # Repo headers are few and small; hashing them all keeps the key exact
+    # without running the preprocessor.
+    src_dir = os.path.join(repo_root, "src")
+    for dirpath, _, names in sorted(os.walk(src_dir)):
+        for n in sorted(names):
+            if n.endswith(".h"):
+                p = os.path.join(dirpath, n)
+                h.update(p.encode())
+                with open(p, "rb") as f:
+                    h.update(f.read())
+    return h.hexdigest()
+
+
+def dump_ast(clang: str, src: str, entry: dict) -> dict | None:
+    cmd = [clang] + _tu_args(entry) + [
+        "-fsyntax-only", "-Wno-everything",
+        "-Xclang", "-ast-dump=json", src]
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          cwd=entry.get("directory", "."))
+    if not proc.stdout:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except ValueError:
+        return None
+
+
+# --- AST walk --------------------------------------------------------------
+
+class _Walker:
+    """Walks a clang `-ast-dump=json` tree into TuFacts.
+
+    Clang omits repeated file/line fields in locations ("the previous value
+    still applies"), so the walker threads current-file / current-line state
+    through the traversal.
+    """
+
+    def __init__(self, path: str, abs_src: str):
+        self.tu = TuFacts(path=path)
+        self.abs_src = os.path.normpath(abs_src)
+        self.cur_file = ""
+        self.cur_line = 0
+
+    def _loc(self, node: dict) -> tuple[str, int]:
+        loc = node.get("loc") or {}
+        if "expansionLoc" in loc:
+            loc = loc["expansionLoc"]
+        if "file" in loc:
+            self.cur_file = os.path.normpath(loc["file"])
+        if "line" in loc:
+            self.cur_line = loc["line"]
+        return self.cur_file, self.cur_line
+
+    def _range_line(self, node: dict) -> int:
+        rng = (node.get("range") or {}).get("begin") or {}
+        if "expansionLoc" in rng:
+            rng = rng["expansionLoc"]
+        if "file" in rng:
+            self.cur_file = os.path.normpath(rng["file"])
+        if "line" in rng:
+            self.cur_line = rng["line"]
+        return self.cur_line
+
+    def _in_main_file(self) -> bool:
+        return self.cur_file in ("", self.abs_src)
+
+    def walk(self, root: dict) -> TuFacts:
+        for child in root.get("inner", []):
+            self._decl(child, cls="")
+        return self.tu
+
+    def _decl(self, node: dict, cls: str) -> None:
+        kind = node.get("kind", "")
+        self._loc(node)
+        if kind in ("NamespaceDecl", "LinkageSpecDecl", "ExportDecl"):
+            for c in node.get("inner", []):
+                self._decl(c, cls)
+            return
+        if kind in ("CXXRecordDecl", "ClassTemplateDecl",
+                    "ClassTemplateSpecializationDecl"):
+            name = node.get("name", cls)
+            for c in node.get("inner", []):
+                self._decl(c, name or cls)
+            return
+        if kind == "FieldDecl" and self._in_main_file():
+            self._field(node, cls)
+            return
+        if kind in ("FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+                    "CXXDestructorDecl", "FunctionTemplateDecl"):
+            if kind == "FunctionTemplateDecl":
+                for c in node.get("inner", []):
+                    if c.get("kind", "").endswith(("FunctionDecl",
+                                                   "MethodDecl")):
+                        self._function(c, cls)
+                return
+            self._function(node, cls)
+
+    def _attrs(self, node: dict) -> dict[str, list[str]]:
+        out: dict[str, list[str]] = {}
+        for c in node.get("inner", []):
+            slot = _ATTR_KINDS.get(c.get("kind", ""))
+            if slot:
+                args = [self._expr_text(a) for a in c.get("inner", [])]
+                out.setdefault(slot, []).extend(a for a in args if a)
+        return out
+
+    def _field(self, node: dict, cls: str) -> None:
+        _, line = self._loc(node)
+        attrs = self._attrs(node)
+        self.tu.fields.append(FieldDecl(
+            cls=cls, name=node.get("name", ""),
+            type_text=(node.get("type") or {}).get("qualType", ""),
+            line=line,
+            guarded_by=(attrs.get("guarded_by") or [""])[0],
+            acquired_before=attrs.get("acquired_before", []),
+            acquired_after=attrs.get("acquired_after", [])))
+
+    def _function(self, node: dict, cls: str) -> None:
+        file, line = self._loc(node)
+        in_main = self._in_main_file()
+        name = node.get("name", "")
+        qual = (node.get("type") or {}).get("qualType", "")
+        ret = qual.split("(")[0].strip() if "(" in qual else ""
+        attrs = self._attrs(node)
+        if name:
+            self.tu.methods.append(MethodDecl(
+                cls=cls, name=name, ret_type=ret, line=line,
+                excludes=attrs.get("excludes", []),
+                requires=attrs.get("requires", [])))
+        body = None
+        for c in node.get("inner", []):
+            if c.get("kind") == "CompoundStmt":
+                body = c
+        if body is None or not in_main or not name:
+            return
+        fn = Function(name=name, qual_class=cls, ret_type=ret,
+                      start_line=line, end_line=line,
+                      excludes=attrs.get("excludes", []),
+                      requires=attrs.get("requires", []))
+        for c in node.get("inner", []):
+            if c.get("kind") == "ParmVarDecl" and c.get("name"):
+                fn.decls.append(Decl(
+                    name=c["name"],
+                    type_text=(c.get("type") or {}).get("qualType", ""),
+                    line=line))
+        self._stmt(body, fn, depth=0)
+        self._collect_strings(body, fn)
+        fn.end_line = max([fn.start_line] + [c.line for c in fn.calls] +
+                          [l.line for l in fn.loops])
+        self.tu.functions.append(fn)
+
+    def _collect_strings(self, node: dict, fn: Function) -> None:
+        """Every string literal in the body lands in fn.tokens, mirroring
+        cpplite; initializer-list literals (PreRegisterCoreMetrics' name
+        tables) are reachable no other way."""
+        if node.get("kind") == "StringLiteral":
+            v = node.get("value", "")
+            if isinstance(v, str):
+                fn.tokens.append('"' + v.strip('"') + '"')
+                fn.token_lines.append(self.cur_line)
+        for c in node.get("inner", []):
+            self._collect_strings(c, fn)
+
+    def _stmt(self, node: dict, fn: Function, depth: int) -> None:
+        kind = node.get("kind", "")
+        if kind == "CompoundStmt":
+            for c in node.get("inner", []):
+                if c.get("kind") in ("CallExpr", "CXXMemberCallExpr",
+                                     "CXXOperatorCallExpr"):
+                    self._call(c, fn, depth, is_stmt=True)
+                elif c.get("kind") == "CompoundStmt":
+                    self._stmt(c, fn, depth + 1)
+                    # Guards declared in the nested scope die with it; the
+                    # last line visited inside approximates the brace.
+                    for l in fn.locks:
+                        if l.release_line == 0 and l.depth > depth:
+                            l.release_line = self.cur_line
+                else:
+                    self._stmt(c, fn, depth)
+            return
+        line = self._range_line(node)
+        if kind == "CXXForRangeStmt":
+            self._range_for(node, fn, depth, line)
+            return
+        if kind == "DeclStmt":
+            for c in node.get("inner", []):
+                if c.get("kind") == "VarDecl":
+                    self._var_decl(c, fn, depth)
+            return
+        if kind in ("CallExpr", "CXXMemberCallExpr", "CXXOperatorCallExpr"):
+            self._call(node, fn, depth, is_stmt=False)
+            return
+        for c in node.get("inner", []):
+            nested = kind in ("IfStmt", "ForStmt", "WhileStmt", "DoStmt",
+                              "SwitchStmt", "CXXTryStmt")
+            self._stmt(c, fn, depth + 1 if nested else depth)
+            if nested:
+                for l in fn.locks:
+                    if l.release_line == 0 and l.depth > depth:
+                        l.release_line = self.cur_line
+
+    def _range_for(self, node: dict, fn: Function, depth: int,
+                   line: int) -> None:
+        inner = node.get("inner", [])
+        # Layout: init?, range-decl, begin, end, cond, inc, loop-var, body.
+        seq_text = ""
+        for c in inner:
+            if c.get("kind") == "DeclStmt":
+                for v in c.get("inner", []):
+                    if v.get("kind") == "VarDecl" and \
+                            v.get("name") == "__range1":
+                        for e in v.get("inner", []):
+                            seq_text = self._expr_text(e)
+                break
+        base = ""
+        for part in seq_text.replace("->", ".").split("."):
+            part = part.strip("()&* ")
+            if part:
+                base = part.split("[")[0]
+                break
+        fn.loops.append(RangeLoop(seq_text=seq_text, seq_base=base,
+                                  line=line, subscripted="[" in seq_text))
+        if inner:
+            self._stmt(inner[-1], fn, depth + 1)
+
+    def _var_decl(self, node: dict, fn: Function, depth: int) -> None:
+        _, line = self._loc(node)
+        name = node.get("name", "")
+        type_text = (node.get("type") or {}).get("qualType", "")
+        init_call = ""
+        for c in node.get("inner", []):
+            init_call = init_call or self._first_callee(c)
+            self._stmt(c, fn, depth)
+        if not name:
+            return
+        fn.decls.append(Decl(name=name, type_text=type_text, line=line,
+                             init_call=init_call))
+        base = type_text.split("<")[0].split("::")[-1].strip()
+        if base in _LOCK_GUARD_TYPES:
+            arg = ""
+            for c in node.get("inner", []):
+                arg = arg or self._expr_text(c)
+            fn.locks.append(LockAcq(mutex_text=arg.lstrip("&* "), line=line,
+                                    depth=depth))
+
+    def _call(self, node: dict, fn: Function, depth: int,
+              is_stmt: bool) -> None:
+        line = self._range_line(node)
+        inner = node.get("inner", [])
+        callee = inner[0] if inner else {}
+        name, recv = self._callee_name(callee)
+        args = inner[1:]
+        arg_text = [self._expr_text(a) for a in args]
+        str_args = [self._str_literal(a) for a in args]
+        if name:
+            fn.calls.append(Call(name=name, line=line, recv=recv,
+                                 args=arg_text, str_args=str_args,
+                                 is_stmt=is_stmt, depth=depth))
+            if name in ("Lock", "lock") and recv and not args:
+                fn.locks.append(LockAcq(mutex_text=recv, line=line,
+                                        depth=depth, kind="manual"))
+        for a in args:
+            self._stmt(a, fn, depth)
+
+    # -- expression helpers -------------------------------------------------
+
+    def _callee_name(self, node: dict) -> tuple[str, str]:
+        kind = node.get("kind", "")
+        if kind == "MemberExpr":
+            name = node.get("name", "")
+            inner = node.get("inner", [])
+            recv = self._expr_text(inner[0]) if inner else ""
+            return name, recv
+        if kind == "DeclRefExpr":
+            ref = node.get("referencedDecl") or {}
+            return ref.get("name", ""), ""
+        for c in node.get("inner", []):
+            name, recv = self._callee_name(c)
+            if name:
+                return name, recv
+        return "", ""
+
+    def _first_callee(self, node: dict) -> str:
+        if node.get("kind", "") in ("CallExpr", "CXXMemberCallExpr"):
+            inner = node.get("inner", [])
+            if inner:
+                return self._callee_name(inner[0])[0]
+        for c in node.get("inner", []):
+            got = self._first_callee(c)
+            if got:
+                return got
+        return ""
+
+    def _str_literal(self, node: dict) -> str | None:
+        if node.get("kind") == "StringLiteral":
+            v = node.get("value", "")
+            return v.strip('"') if isinstance(v, str) else None
+        inner = node.get("inner", [])
+        if len(inner) == 1:
+            return self._str_literal(inner[0])
+        return None
+
+    def _expr_text(self, node: dict) -> str:
+        kind = node.get("kind", "")
+        if kind == "DeclRefExpr":
+            return (node.get("referencedDecl") or {}).get("name", "")
+        if kind == "MemberExpr":
+            inner = node.get("inner", [])
+            base = self._expr_text(inner[0]) if inner else ""
+            name = node.get("name", "")
+            if base in ("", "this"):
+                return name
+            return f"{base}.{name}"
+        if kind == "StringLiteral":
+            v = node.get("value", "")
+            return v if isinstance(v, str) else ""
+        if kind == "IntegerLiteral":
+            return node.get("value", "")
+        if kind == "CXXThisExpr":
+            return "this"
+        parts = [self._expr_text(c) for c in node.get("inner", [])]
+        parts = [p for p in parts if p]
+        return parts[0] if parts else ""
+
+
+def facts_from_ast(path: str, abs_src: str, ast: dict) -> TuFacts:
+    return _Walker(path, abs_src).walk(ast)
+
+
+def parse_file(clang: str, abs_src: str, rel: str, entry: dict,
+               cache_dir: str, repo_root: str, version: str) -> TuFacts | None:
+    """Facts for one TU, via the facts cache when the content hash matches."""
+    key = cache_key(abs_src, entry, repo_root, version)
+    cache_path = os.path.join(cache_dir, key + ".json")
+    if os.path.isfile(cache_path):
+        with open(cache_path, encoding="utf-8") as f:
+            cached = TuFacts.from_json(f.read())
+        if cached is not None:
+            return cached
+    ast = dump_ast(clang, abs_src, entry)
+    if ast is None:
+        return None
+    tu = facts_from_ast(rel, abs_src, ast)
+    os.makedirs(cache_dir, exist_ok=True)
+    tmp = cache_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(tu.to_json())
+    os.replace(tmp, cache_path)
+    return tu

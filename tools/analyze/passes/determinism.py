@@ -1,0 +1,189 @@
+"""Determinism pass: hash-order, randomness, and clock hazards.
+
+The pipeline's contract (ROADMAP, DESIGN §3) is that a seeded run produces
+bit-identical signatures, checkpoints, and CSV output on every platform.
+Unordered-container iteration order is the classic way to break that
+silently: libstdc++ and libc++ lay hash tables out differently, so any
+iteration order that escapes into persisted or rng-consuming state is a
+cross-platform divergence.  This pass flags:
+
+  unordered-order-escape   copying an unordered container's iteration range
+                           into an ordered sequence (assign / ctor / insert)
+                           without a subsequent sort in the same function
+  unordered-iter-sink      range-for over an unordered container inside a
+                           serialization/output function, again with no
+                           sort-based staging
+  raw-rand                 rand()/srand()/drand48()/random()/rand_r() —
+                           all randomness must flow through commsig::Rng
+  nondeterministic-seed    std::random_device use
+  wall-clock-in-core       wall/steady clock reads inside the deterministic
+                           layers (core, graph, sketch, lsh, data)
+  fp-contract              explicit fma outside src/common/simd.h, where
+                           contraction is platform-dependent
+  raw-simd-intrinsic       ISA intrinsics (_mm*/vld1q*/...) or intrinsic
+                           headers outside src/common/simd.h — kernel code
+                           goes through the commsig::simd wrappers so every
+                           call site keeps its scalar fallback (and the
+                           scalar/SIMD paths stay bit-identical)
+
+A collect-then-sort staging pattern (SpaceSaving::AppendTo) is the repo's
+sanctioned idiom and is recognised via the sort dampener.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ir import Finding, Function, Project, TuFacts
+
+_RAW_RAND = {"rand", "srand", "random", "drand48", "rand_r", "lrand48",
+             "srand48"}
+_WALL_CLOCK = {"time", "gettimeofday", "clock", "ftime", "localtime",
+               "gmtime"}
+_DET_LAYERS = ("src/core/", "src/graph/", "src/sketch/", "src/lsh/",
+               "src/data/")
+_SINK_FN = re.compile(
+    r"(Write|Serialize|Append|Save|Export|Print|Emit|ToCsv|ToJson|Dump|"
+    r"Checkpoint|Snapshot)")
+_ORDER_TAKING = {"assign", "insert", "push_back", "append"}
+
+# The portable wrapper is the one place raw ISA code may live.
+_SIMD_HOME = "src/common/simd.h"
+_SIMD_CALL = re.compile(
+    r"^_mm\d*_\w+$"
+    r"|^(?:vld\d|vst\d|vadd|vsub|vmul|vdiv|vmin|vmax|vdup|vabs|vsqrt|vceq|"
+    r"vclt|vcgt|vfma|vget|vset|vcombine|vpadd|vaddv)q?_\w+$")
+_SIMD_HEADERS = {"immintrin.h", "x86intrin.h", "arm_neon.h", "emmintrin.h",
+                 "smmintrin.h", "tmmintrin.h", "avxintrin.h", "avx2intrin.h"}
+
+
+def _unordered_names(fn: Function, tu: TuFacts) -> dict[str, int]:
+    """Names visible in `fn` with unordered container types -> decl line."""
+    out: dict[str, int] = {}
+    for f in tu.fields:
+        if f.cls == fn.qual_class and "unordered_" in f.type_text:
+            out[f.name] = 0
+    for d in fn.decls:
+        if "unordered_" in d.type_text:
+            out[d.name] = d.line
+    return out
+
+
+def _sorted_after(fn: Function, line: int) -> bool:
+    """True when a sort/stable_sort call appears at or after `line`."""
+    for c in fn.calls:
+        if c.name in ("sort", "stable_sort") and c.line >= line:
+            return True
+    # cpplite keeps body tokens; catch sorts the call scan missed.
+    for tok, tline in zip(fn.tokens, fn.token_lines):
+        if tok in ("sort", "stable_sort") and tline >= line:
+            return True
+    return False
+
+
+def run(project: Project, ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    for tu in project.tus:
+        in_det_layer = tu.path.startswith(_DET_LAYERS)
+        in_simd_home = tu.path == _SIMD_HOME or tu.path.endswith("/simd.h")
+        if not in_simd_home:
+            for inc in tu.includes:
+                if inc in _SIMD_HEADERS:
+                    findings.append(Finding(
+                        tu.path, 1, "determinism", "raw-simd-intrinsic",
+                        f"ISA intrinsic header <{inc}> outside "
+                        f"{_SIMD_HOME}; use the commsig::simd wrappers"))
+        for fn in tu.functions:
+            unordered = _unordered_names(fn, tu)
+            _check_order_escape(tu, fn, unordered, findings)
+            _check_iter_sink(tu, fn, unordered, findings)
+            for c in fn.calls:
+                if c.name in _RAW_RAND and not c.recv:
+                    findings.append(Finding(
+                        tu.path, c.line, "determinism", "raw-rand",
+                        f"{c.name}() bypasses the seeded commsig::Rng; "
+                        "all randomness must be reproducible from the "
+                        "run seed"))
+                if in_det_layer and c.name in _WALL_CLOCK and not c.recv:
+                    findings.append(Finding(
+                        tu.path, c.line, "determinism", "wall-clock-in-core",
+                        f"{c.name}() reads the wall clock inside a "
+                        "deterministic layer; derive time from event "
+                        "timestamps instead"))
+                if in_det_layer and c.name == "now" and not c.args:
+                    findings.append(Finding(
+                        tu.path, c.line, "determinism", "wall-clock-in-core",
+                        "clock now() inside a deterministic layer; derive "
+                        "time from event timestamps instead"))
+                if c.name in ("fma", "fmaf", "__builtin_fma") and \
+                        not in_simd_home:
+                    findings.append(Finding(
+                        tu.path, c.line, "determinism", "fp-contract",
+                        "explicit fused multiply-add outside "
+                        "src/common/simd.h gives platform-dependent "
+                        "rounding"))
+                if not in_simd_home and not c.recv and \
+                        _SIMD_CALL.match(c.name):
+                    findings.append(Finding(
+                        tu.path, c.line, "determinism", "raw-simd-intrinsic",
+                        f"raw SIMD intrinsic {c.name}() outside "
+                        f"{_SIMD_HOME}; use the commsig::simd wrappers so "
+                        "the scalar fallback stays equivalent"))
+            for d in fn.decls:
+                if "random_device" in d.type_text:
+                    findings.append(Finding(
+                        tu.path, d.line, "determinism",
+                        "nondeterministic-seed",
+                        "std::random_device is nondeterministic; seed "
+                        "commsig::Rng from configuration"))
+    return findings
+
+
+def _check_order_escape(tu: TuFacts, fn: Function,
+                        unordered: dict[str, int],
+                        findings: list[Finding]) -> None:
+    if not unordered:
+        return
+    for c in fn.calls:
+        hit = ""
+        if c.name in _ORDER_TAKING or (c.name not in ("begin", "end") and
+                                       not c.recv):
+            for arg in c.args:
+                for u in unordered:
+                    if f"{u}.begin" in arg or f"{u}. begin" in arg:
+                        hit = u
+        # Clang lowers `v(used.begin(), used.end())` to bare begin/end
+        # member calls on the unordered receiver.
+        if not hit and c.name == "begin" and c.recv in unordered:
+            hit = c.recv
+        if not hit:
+            continue
+        if _sorted_after(fn, c.line):
+            continue
+        findings.append(Finding(
+            tu.path, c.line, "determinism", "unordered-order-escape",
+            f"iteration order of unordered container '{hit}' is copied "
+            "into an ordered sequence without sorting; hash layout "
+            "differs across standard libraries"))
+        return  # one finding per function keeps the report readable
+
+
+def _check_iter_sink(tu: TuFacts, fn: Function,
+                     unordered: dict[str, int],
+                     findings: list[Finding]) -> None:
+    if not unordered or not _SINK_FN.search(fn.name):
+        return
+    for loop in fn.loops:
+        base = loop.seq_base
+        last = loop.seq_text.replace("->", ".").split(".")[-1].split("[")[0]
+        target = base if base in unordered else (
+            last if last in unordered else "")
+        if not target or loop.subscripted:
+            continue
+        if _sorted_after(fn, loop.line):
+            continue
+        findings.append(Finding(
+            tu.path, loop.line, "determinism", "unordered-iter-sink",
+            f"'{fn.name}' iterates unordered container '{target}' on an "
+            "output path; stage keys into a vector and sort before "
+            "emitting"))

@@ -1,0 +1,180 @@
+"""Lock-order pass: build the cross-TU lock acquisition graph, fail on cycles.
+
+Nodes are capability instances named `Class::member` (or the raw mutex
+expression for locals).  Edges mean "may be held while acquiring":
+
+  nested       a second guard constructed while an earlier guard in the
+               same function is still in scope
+  call-excl    a call made under a lock to a method annotated
+               COMMSIG_EXCLUDES(mu) — the callee acquires `mu` internally
+  obs-macro    COMMSIG_COUNTER_ADD / GAUGE_SET / HISTOGRAM_OBSERVE under a
+               lock; the macros acquire MetricsRegistry::mutex_ (and
+               Histogram::mutex_ for observes) behind the scenes.  This is
+               the exact shape of the historical ThreadPool -> Registry
+               deadlock, encoded statically.
+  declared     COMMSIG_ACQUIRED_BEFORE / ACQUIRED_AFTER annotations
+
+A cycle in the merged graph is a potential deadlock; the finding reports the
+full path with one witness site per edge.
+"""
+
+from __future__ import annotations
+
+from ir import Finding, Project
+
+_OBS_MACROS = {
+    "COMMSIG_COUNTER_ADD": ["MetricsRegistry::mutex_"],
+    "COMMSIG_GAUGE_SET": ["MetricsRegistry::mutex_"],
+    "COMMSIG_HISTOGRAM_OBSERVE": ["MetricsRegistry::mutex_",
+                                  "Histogram::mutex_"],
+}
+
+
+class _Graph:
+    def __init__(self):
+        # edge -> (path, line, why) witness for the first sighting
+        self.edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+
+    def add(self, a: str, b: str, path: str, line: int, why: str) -> None:
+        if a and b and a != b and (a, b) not in self.edges:
+            self.edges[(a, b)] = (path, line, why)
+
+
+def _mutex_node(project: Project, cls: str, fn, expr: str) -> str:
+    """Canonical node name for a mutex expression seen in class `cls`."""
+    expr = expr.strip().lstrip("&*").strip()
+    if not expr:
+        return ""
+    if "::" in expr:
+        return expr
+    head, _, member = expr.partition(".")
+    if member:
+        # `other.mu_`: resolve the declared type of `other` if we can.
+        base_type = fn.decl_type(head) if fn else ""
+        base_cls = base_type.split("<")[0].split("::")[-1].replace(
+            "&", "").replace("const", "").strip()
+        if (base_cls, member) in project.fields:
+            return f"{base_cls}::{member}"
+        owners = [c for (c, m) in project.fields if m == member]
+        if len(set(owners)) == 1:
+            return f"{owners[0]}::{member}"
+        return expr
+    if (cls, expr) in project.fields:
+        return f"{cls}::{expr}"
+    owners = [c for (c, m) in project.fields if m == expr]
+    if len(set(owners)) == 1:
+        return f"{owners[0]}::{expr}"
+    return expr
+
+
+def _callee_class(project: Project, fn, call) -> str:
+    """Best-effort class of `call`'s receiver."""
+    recv = call.recv.replace("->", ".").split(".")[0].strip("()& ")
+    if recv in ("", "this"):
+        return fn.qual_class
+    t = fn.decl_type(recv)
+    if not t and (fn.qual_class, recv) in project.fields:
+        t = project.fields[(fn.qual_class, recv)].type_text
+    if t:
+        for wrap in ("unique_ptr<", "shared_ptr<", "optional<"):
+            if wrap in t:
+                t = t.split(wrap, 1)[1]
+        return t.split("<")[0].split("::")[-1].replace("&", "").replace(
+            "*", "").replace("const", "").strip()
+    if call.recv.endswith("::" + call.recv.split("::")[-1]) and \
+            "::" in call.recv:
+        return call.recv.split("::")[0]
+    return ""
+
+
+def run(project: Project, ctx) -> list[Finding]:
+    g = _Graph()
+    for tu in project.tus:
+        for f in tu.fields:
+            me = f"{f.cls}::{f.name}"
+            for other in f.acquired_before:
+                g.add(me, _mutex_node(project, f.cls, None, other),
+                      tu.path, f.line, "declared ACQUIRED_BEFORE")
+            for other in f.acquired_after:
+                g.add(_mutex_node(project, f.cls, None, other), me,
+                      tu.path, f.line, "declared ACQUIRED_AFTER")
+        for fn in tu.functions:
+            held = [( _mutex_node(project, fn.qual_class, fn, l.mutex_text),
+                      l) for l in fn.locks]
+            # REQUIRES(mu) methods run with `mu` already held on entry.
+            entry = [(_mutex_node(project, fn.qual_class, fn, r), None)
+                     for r in fn.requires]
+            for i, (node_a, lock_a) in enumerate(held):
+                for node_b, lock_b in held[i + 1:]:
+                    if lock_b.line > lock_a.line and \
+                            lock_b.depth >= lock_a.depth and \
+                            (lock_a.release_line == 0 or
+                             lock_b.line <= lock_a.release_line):
+                        g.add(node_a, node_b, tu.path, lock_b.line,
+                              "nested guard")
+            for c in fn.calls:
+                acquired = list(_OBS_MACROS.get(c.name, []))
+                why = f"{c.name} under lock"
+                if not acquired:
+                    decl = None
+                    cls = _callee_class(project, fn, c)
+                    if cls and (cls, c.name) in project.methods:
+                        decl = project.methods[(cls, c.name)]
+                    else:
+                        cands = [m for m in
+                                 project.methods_by_name.get(c.name, [])
+                                 if m.excludes]
+                        if len({(m.cls, tuple(m.excludes))
+                                for m in cands}) == 1:
+                            decl = cands[0]
+                    if decl is not None and decl.excludes:
+                        acquired = [_mutex_node(project, decl.cls, None, e)
+                                    for e in decl.excludes]
+                        why = (f"call to {decl.cls}::{c.name} which "
+                               "acquires internally")
+                if not acquired:
+                    continue
+                holders = [n for n, l in held
+                           if l is not None and l.line < c.line and
+                           (l.release_line == 0 or
+                            c.line <= l.release_line)] + \
+                          [n for n, l in entry if l is None]
+                for h in holders:
+                    for a in acquired:
+                        g.add(h, a, tu.path, c.line, why)
+    return _find_cycles(g)
+
+
+def _find_cycles(g: _Graph) -> list[Finding]:
+    adj: dict[str, list[str]] = {}
+    for (a, b) in g.edges:
+        adj.setdefault(a, []).append(b)
+    findings: list[Finding] = []
+    seen_cycles: set[frozenset] = set()
+    state: dict[str, int] = {}   # 1 = on stack, 2 = done
+    stack: list[str] = []
+
+    def dfs(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for nxt in adj.get(node, []):
+            if state.get(nxt) == 1:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                key = frozenset(cycle)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    path, line, why = g.edges[(node, nxt)]
+                    findings.append(Finding(
+                        path, line, "lock-order", "cycle",
+                        "lock acquisition cycle: " + " -> ".join(cycle) +
+                        f" (closing edge: {why}); a concurrent interleaving "
+                        "can deadlock"))
+            elif nxt not in state:
+                dfs(nxt)
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(adj):
+        if node not in state:
+            dfs(node)
+    return findings

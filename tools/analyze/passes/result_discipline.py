@@ -1,0 +1,78 @@
+"""Result pass: AST-level discipline for Result<T> / Status error flow.
+
+Replaces the old regex heuristics in commsig_lint.py with rules that
+understand declarations: the return-kind table is built from every method
+declaration across the project, so a call is only flagged when *every*
+declaration of that name returns Result/Status — an overloaded or
+ambiguous name is never guessed at.
+
+  discarded        a full-statement call to a Result/Status-returning
+                   function whose return value is dropped (not bound,
+                   not (void)-cast).  [[nodiscard]] on Result/Status makes
+                   the compiler catch most of these; this rule also covers
+                   TUs compiled without -Wall and pre-compile review.
+  unchecked-value  r.value() / r.status() use on a Result local with no
+                   preceding r.ok() check in the same function —
+                   COMMSIG_CHECK aborts at runtime on a bad access, so an
+                   unchecked value() is a latent crash
+"""
+
+from __future__ import annotations
+
+from ir import Finding, Project
+
+# Generated/driver entry points where a trailing Run() statement's Status
+# feeds the process exit code via the call itself.
+_DISCARD_OK = {"main"}
+
+
+def run(project: Project, ctx) -> list[Finding]:
+    table = project.result_return_table()
+    result_only = {name for name, kinds in table.items()
+                   if kinds == {"result"}}
+    findings: list[Finding] = []
+    for tu in project.tus:
+        for fn in tu.functions:
+            if fn.name in _DISCARD_OK:
+                continue
+            _check_discards(tu, fn, result_only, findings)
+            _check_unchecked_value(tu, fn, findings)
+    return findings
+
+
+def _check_discards(tu, fn, result_only: set[str],
+                    findings: list[Finding]) -> None:
+    for c in fn.calls:
+        if not c.is_stmt or c.name not in result_only:
+            continue
+        findings.append(Finding(
+            tu.path, c.line, "result", "discarded",
+            f"return value of {c.name}() is a Result/Status and is "
+            "discarded; bind it, check ok(), or cast to (void) with a "
+            "reason"))
+
+
+def _check_unchecked_value(tu, fn, findings: list[Finding]) -> None:
+    # Result-typed locals in this function.
+    result_locals = {d.name: d.line for d in fn.decls
+                     if d.type_text.replace("commsig::", "")
+                     .lstrip("const ").startswith(("Result<", "Result "))}
+    if not result_locals:
+        return
+    checked: set[str] = set()
+    accesses: list = []
+    for c in fn.calls:
+        base = c.recv.replace("->", ".").split(".")[0].strip("()& ")
+        if base not in result_locals:
+            continue
+        if c.name in ("ok", "status"):
+            checked.add(base)
+        elif c.name == "value" and base not in checked:
+            accesses.append((base, c.line))
+    for base, line in accesses:
+        if base in checked:
+            continue  # checked later on another path; give the benefit
+        findings.append(Finding(
+            tu.path, line, "result", "unchecked-value",
+            f"'{base}.value()' is reached with no ok() check in this "
+            "function; COMMSIG_CHECK aborts the process on error"))

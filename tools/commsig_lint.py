@@ -3,10 +3,6 @@
 
 Rules (suppress one occurrence with `NOLINT(commsig-<rule>)` on the line):
 
-  result-check    Result<T>::value() (or operator*/->) on a named Result
-                  without a preceding ok()/has_value()/status() check in the
-                  same scope. COMMSIG_CHECK aborts on misuse at runtime; this
-                  catches it before the binary runs.
   reader-check    ByteReader read (.U8/.U32/.U64/.Double/.String) whose
                   Result is dereferenced in the same expression or discarded
                   outright — checkpoint payloads are untrusted input, every
@@ -15,14 +11,17 @@ Rules (suppress one occurrence with `NOLINT(commsig-<rule>)` on the line):
                   uses are the annotated intentionally-leaked singletons.
   endl            std::endl in library code ('\\n' without the flush; the
                   hot paths write through buffered FILE*/string anyway).
-  simd-intrinsics Raw SIMD intrinsics (_mm*/_mm256*/vld1q*/vst1q*/...)
-                  or ISA intrinsic headers outside src/common/simd.h —
-                  kernel code must go through the portable simd:: wrappers
-                  so every call site keeps its scalar fallback.
   header-tu       Every public header under src/ must compile as a
                   standalone translation unit (include-what-you-use smoke).
 
+The retired regex rules (unchecked Result::value(), SIMD intrinsic
+confinement) now live in the scope-aware analyzer (tools/analyze: `result`
+pass rules discarded/unchecked-value, `determinism` pass rule
+raw-simd-intrinsic). The lint runs the analyzer after its own rules so
+`--target lint` still covers everything; pass --no-analyzer to skip it.
+
 Usage: tools/commsig_lint.py [--root DIR] [--compiler CXX] [--no-headers]
+                             [--no-analyzer]
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
 
@@ -88,42 +87,6 @@ def suppressed(original, lineno, rule):
             or marker in line_at(original, lineno - 1))
 
 
-def enclosing_scope_start(code, pos):
-    """Offset of the enclosing function's start, approximated as the last
-    column-0 closing brace before `pos` (repo style closes all functions at
-    column 0)."""
-    last = 0
-    for m in re.finditer(r"^\}", code[:pos], re.MULTILINE):
-        last = m.end()
-    return last
-
-
-def check_result_value(path, original, code, findings):
-    # `x.value()` / `x->value()` on a named local; `(*x)` is operator* and
-    # funnels through value() too but produces too many false positives to
-    # match textually, so the lint anchors on the explicit accessor.
-    for m in re.finditer(r"\b([A-Za-z_]\w*)(?:\.|->)value\(\)", code):
-        var = m.group(1)
-        if var in ("std", "this"):
-            continue
-        lineno = line_of(code, m.start())
-        if suppressed(original, lineno, "result-check"):
-            continue
-        scope = code[enclosing_scope_start(code, m.start()) : m.start()]
-        var_re = re.escape(var)
-        checked = re.search(
-            rf"\b{var_re}(?:\.|->)(?:ok|has_value)\(\)"  # if (x.ok()) ...
-            rf"|\(\s*{var_re}\s*\)"  # ASSERT_TRUE(x) / if (x) via operator bool
-            rf"|!\s*{var_re}\b",  # if (!x) return ...
-            scope,
-        )
-        if not checked:
-            findings.append(
-                (path, lineno, "result-check",
-                 f"{var}.value() without a preceding {var}.ok() / "
-                 f"has_value() check in this scope"))
-
-
 def check_reader(path, original, code, findings):
     # Dereferenced in the same expression: reader.U32().value() / *reader.U32()
     for m in re.finditer(
@@ -165,39 +128,6 @@ def check_endl(path, original, code, findings):
         if not suppressed(original, lineno, "endl"):
             findings.append((path, lineno, "endl",
                              "std::endl flushes on every use; write '\\n'"))
-
-
-# Files allowed to contain raw ISA intrinsics: the portable wrapper itself.
-SIMD_ALLOWED = {os.path.join("src", "common", "simd.h")}
-
-SIMD_INTRINSIC = re.compile(
-    r"\b_mm\d*_\w+\s*\("          # SSE/AVX/AVX-512: _mm_*, _mm256_*, _mm512_*
-    r"|\b(?:vld1q?|vst1q?|vaddq|vsubq|vmulq|vminq|vmaxq|vdupq|vabsq|vsqrtq|"
-    r"vceqq|vcltq|vcgtq)_\w+\s*\("  # NEON
-    r"|__m(?:64|128|256|512)[di]?\b"  # vector register types
-    r"|\b(?:float|int|uint)(?:8|16|32|64)x\d+(?:x\d+)?_t\b")  # NEON types
-
-SIMD_HEADER_INCLUDE = re.compile(
-    r'#\s*include\s*<(?:immintrin|x86intrin|arm_neon|emmintrin|smmintrin|'
-    r'tmmintrin|avxintrin|avx2intrin)\.h>')
-
-
-def check_simd_intrinsics(path, original, code, findings):
-    if path.replace(os.sep, "/") in {p.replace(os.sep, "/")
-                                     for p in SIMD_ALLOWED}:
-        return
-    for pattern, what in ((SIMD_INTRINSIC, "raw SIMD intrinsic"),
-                          (SIMD_HEADER_INCLUDE, "ISA intrinsic header")):
-        for m in re.finditer(pattern, code if pattern is SIMD_INTRINSIC
-                             else original):
-            lineno = line_of(code if pattern is SIMD_INTRINSIC else original,
-                             m.start())
-            if suppressed(original, lineno, "simd-intrinsics"):
-                continue
-            findings.append(
-                (path, lineno, "simd-intrinsics",
-                 f"{what} outside src/common/simd.h — use the commsig::simd "
-                 "wrappers (VecD/VecU32 and the loop kernels)"))
 
 
 def check_headers(root, compiler, findings):
@@ -242,11 +172,9 @@ def lint_tree(root, dirs, findings):
                 with open(path, encoding="utf-8") as f:
                     original = f.read()
                 code = strip_comments_and_strings(original)
-                check_result_value(rel, original, code, findings)
                 check_reader(rel, original, code, findings)
                 check_naked_new(rel, original, code, findings)
                 check_endl(rel, original, code, findings)
-                check_simd_intrinsics(rel, original, code, findings)
 
 
 def main():
@@ -257,6 +185,8 @@ def main():
                         help="C++ compiler for the header-TU smoke check")
     parser.add_argument("--no-headers", action="store_true",
                         help="skip the (slower) header-TU compile check")
+    parser.add_argument("--no-analyzer", action="store_true",
+                        help="skip delegating to tools/analyze")
     args = parser.parse_args()
 
     root = os.path.abspath(args.root)
@@ -274,6 +204,17 @@ def main():
     if findings:
         print(f"commsig_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
+
+    # Delegate the AST-level rules (Result discipline, SIMD confinement,
+    # determinism, lock order, obs schema) to the analyzer: one source of
+    # truth, scope-aware instead of regex.
+    if not args.no_analyzer:
+        proc = subprocess.run(
+            [sys.executable,
+             os.path.join(root, "tools", "analyze", "analyze.py"),
+             "--root", root])
+        if proc.returncode != 0:
+            return proc.returncode
     print("commsig_lint: clean")
     return 0
 
