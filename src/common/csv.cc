@@ -2,6 +2,8 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <iterator>
 
 namespace commsig {
 
@@ -61,28 +63,175 @@ Status CsvWriter::Close() {
   return Status::OK();
 }
 
-Result<double> ParseDouble(std::string_view text) {
-  if (text.empty()) return Status::InvalidArgument("empty number");
-  std::string buf(text);
+namespace {
+
+// Powers of ten that are exactly representable as doubles (all of these have
+// mantissas within 53 bits). Index = decimal digits after the point.
+constexpr double kExactPow10[] = {1e0,  1e1,  1e2,  1e3,  1e4,  1e5,
+                                  1e6,  1e7,  1e8,  1e9,  1e10, 1e11,
+                                  1e12, 1e13, 1e14, 1e15};
+
+// Exact strtod slow path, byte-compatible with the historical ParseDouble:
+// errno-or-trailing-garbage rejects, everything else accepted. Short inputs
+// use a stack buffer so the hot readers never heap-allocate on this path.
+bool SlowParseDouble(std::string_view text, double& out) {
+  char stack_buf[64];
+  std::string heap_buf;
+  const char* begin;
+  if (text.size() < sizeof(stack_buf)) {
+    std::memcpy(stack_buf, text.data(), text.size());
+    stack_buf[text.size()] = '\0';
+    begin = stack_buf;
+  } else {
+    heap_buf.assign(text);
+    begin = heap_buf.c_str();
+  }
   errno = 0;
   char* end = nullptr;
-  double value = std::strtod(buf.c_str(), &end);
-  if (errno != 0 || end != buf.c_str() + buf.size()) {
-    return Status::InvalidArgument("bad double: " + buf);
+  double value = std::strtod(begin, &end);
+  if (errno != 0 || end != begin + text.size()) return false;
+  out = value;
+  return true;
+}
+
+bool SlowParseUint(std::string_view text, uint64_t& out) {
+  char stack_buf[64];
+  std::string heap_buf;
+  const char* begin;
+  if (text.size() < sizeof(stack_buf)) {
+    std::memcpy(stack_buf, text.data(), text.size());
+    stack_buf[text.size()] = '\0';
+    begin = stack_buf;
+  } else {
+    heap_buf.assign(text);
+    begin = heap_buf.c_str();
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(begin, &end, 10);
+  if (errno != 0 || end != begin + text.size()) return false;
+  out = static_cast<uint64_t>(value);
+  return true;
+}
+
+}  // namespace
+
+bool TryParseDouble(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  // Fast path: plain `digits[.digits]` with at most 15 significant digits.
+  // Mantissa and divisor are then both exact, and one IEEE division rounds
+  // correctly once (Clinger's fast-path theorem), so the result is bit
+  // identical to strtod's. Signs, exponents, hex floats, whitespace and
+  // overlong inputs fall through to the exact slow path.
+  uint64_t mantissa = 0;
+  int digits = 0;
+  int frac_digits = 0;
+  bool seen_dot = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      if (++digits > 15) return SlowParseDouble(text, out);
+      mantissa = mantissa * 10 + static_cast<uint64_t>(c - '0');
+      if (seen_dot) ++frac_digits;
+    } else if (c == '.' && !seen_dot) {
+      seen_dot = true;
+    } else {
+      return SlowParseDouble(text, out);
+    }
+  }
+  if (digits == 0) return SlowParseDouble(text, out);
+  out = static_cast<double>(mantissa) / kExactPow10[frac_digits];
+  return true;
+}
+
+bool TryParseUint(std::string_view text, uint64_t& out) {
+  if (text.empty()) return false;
+  // Fast path: up to 18 plain digits cannot overflow uint64_t and match
+  // strtoull exactly. Longer or non-digit inputs use the exact slow path.
+  if (text.size() <= 18) {
+    uint64_t value = 0;
+    size_t i = 0;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') break;
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (i == text.size()) {
+      out = value;
+      return true;
+    }
+  }
+  return SlowParseUint(text, out);
+}
+
+size_t SplitFields(std::string_view line, char delim, std::string_view* out,
+                   size_t max_out) {
+  // One SWAR pass instead of a memchr call per field: rows on the ingestion
+  // hot path are short (tens of bytes, 3-4 fields), so per-call setup
+  // dominated the split cost. The word trick marks the high bit of every
+  // byte equal to `delim`; hits pop out in position order via ctz.
+  const char* base = line.data();
+  const size_t n = line.size();
+  constexpr uint64_t kLow = 0x0101010101010101ull;
+  constexpr uint64_t kSeven = 0x7f7f7f7f7f7f7f7full;
+  const uint64_t pattern = kLow * static_cast<unsigned char>(delim);
+  size_t count = 0;
+  size_t start = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, base + i, 8);
+    const uint64_t diff = word ^ pattern;
+    // Exact zero-byte detector: the high bit of ((b&0x7f)+0x7f) | b is set
+    // iff byte b != 0, and the add cannot carry across bytes. The shorter
+    // (diff - kLow) & ~diff form is NOT exact — it also flags a byte equal
+    // to 1 (i.e. the character delim^1) when the byte below it matched,
+    // which for ',' would invent a delimiter out of ",-".
+    uint64_t hits = ~(((diff & kSeven) + kSeven) | diff | kSeven);
+    while (hits != 0) {
+      const size_t pos =
+          i + (static_cast<size_t>(__builtin_ctzll(hits)) >> 3);
+      if (count < max_out) out[count] = line.substr(start, pos - start);
+      ++count;
+      start = pos + 1;
+      hits &= hits - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (base[i] == delim) {
+      if (count < max_out) out[count] = line.substr(start, i - start);
+      ++count;
+      start = i + 1;
+    }
+  }
+  if (count < max_out) out[count] = line.substr(start);
+  return count + 1;
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read error on " + path);
+  return data;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  double value = 0.0;
+  if (!TryParseDouble(text, value)) {
+    return Status::InvalidArgument("bad double: " + std::string(text));
   }
   return value;
 }
 
 Result<uint64_t> ParseUint(std::string_view text) {
   if (text.empty()) return Status::InvalidArgument("empty number");
-  std::string buf(text);
-  errno = 0;
-  char* end = nullptr;
-  unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
-  if (errno != 0 || end != buf.c_str() + buf.size()) {
-    return Status::InvalidArgument("bad integer: " + buf);
+  uint64_t value = 0;
+  if (!TryParseUint(text, value)) {
+    return Status::InvalidArgument("bad integer: " + std::string(text));
   }
-  return static_cast<uint64_t>(value);
+  return value;
 }
 
 }  // namespace commsig

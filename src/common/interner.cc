@@ -1,19 +1,95 @@
 #include "common/interner.h"
 
+#include <cstring>
+
 namespace commsig {
 
-NodeId Interner::Intern(std::string_view label) {
-  auto it = index_.find(std::string(label));
-  if (it != index_.end()) return it->second;
-  NodeId id = static_cast<NodeId>(labels_.size());
+uint64_t Interner::HashOf(std::string_view label) {
+  // Word-at-a-time multiply-xorshift mix with a 64-bit avalanche
+  // finalizer. Two labels are hashed per record on the ingestion hot path,
+  // where byte-at-a-time FNV's serial per-byte 64-bit multiply dominated
+  // the parse profile, so blocks are read eight bytes at a time; the
+  // finalizer keeps enough entropy in the low bits for the power-of-two
+  // probe masks on short, similar labels (dotted-decimal IPs differing in
+  // the last octet). Hash values never leave the process and id assignment
+  // is insertion-order, so the exact mixing function is not part of any
+  // output contract.
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(label.data());
+  size_t n = label.size();
+  uint64_t h = 0x9e3779b97f4a7c15ull ^
+               (static_cast<uint64_t>(n) * 0xc2b2ae3d27d4eb4full);
+  while (n >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    k *= 0x9ddfea08eb382d69ull;
+    k ^= k >> 32;
+    h = (h ^ k) * 0xff51afd7ed558ccdull;
+    p += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  if (n >= 4) {
+    // Two possibly-overlapping 4-byte reads cover lengths 4..7.
+    uint32_t head = 0;
+    uint32_t back = 0;
+    std::memcpy(&head, p, 4);
+    std::memcpy(&back, p + n - 4, 4);
+    tail = (static_cast<uint64_t>(head) << 32) | back;
+  } else if (n > 0) {
+    // First, middle, and last byte cover lengths 1..3.
+    tail = (static_cast<uint64_t>(p[0]) << 16) |
+           (static_cast<uint64_t>(p[n >> 1]) << 8) |
+           static_cast<uint64_t>(p[n - 1]);
+  }
+  h ^= tail;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+NodeId Interner::InternPrehashed(std::string_view label, uint64_t hash) {
+  if (slots_.empty()) Grow();
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (true) {
+    const Slot& slot = slots_[i];
+    if (slot.id == kInvalidNode) break;
+    if (slot.hash == hash && labels_[slot.id] == label) return slot.id;
+    i = (i + 1) & mask;
+  }
+  const NodeId id = static_cast<NodeId>(labels_.size());
   labels_.emplace_back(label);
-  index_.emplace(labels_.back(), id);
+  slots_[i] = Slot{hash, id};
+  // Keep the load factor under ~0.7 so probe chains stay short.
+  if ((labels_.size() + 1) * 10 >= slots_.size() * 7) Grow();
   return id;
 }
 
-NodeId Interner::Find(std::string_view label) const {
-  auto it = index_.find(std::string(label));
-  return it == index_.end() ? kInvalidNode : it->second;
+NodeId Interner::FindPrehashed(std::string_view label, uint64_t hash) const {
+  if (slots_.empty()) return kInvalidNode;
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (true) {
+    const Slot& slot = slots_[i];
+    if (slot.id == kInvalidNode) return kInvalidNode;
+    if (slot.hash == hash && labels_[slot.id] == label) return slot.id;
+    i = (i + 1) & mask;
+  }
+}
+
+void Interner::Grow() {
+  const size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  const size_t mask = capacity - 1;
+  for (const Slot& slot : old) {
+    if (slot.id == kInvalidNode) continue;
+    size_t i = static_cast<size_t>(slot.hash) & mask;
+    while (slots_[i].id != kInvalidNode) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
 }
 
 }  // namespace commsig

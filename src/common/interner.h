@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace commsig {
@@ -37,10 +36,35 @@ class Interner {
   Interner& operator=(Interner&&) = default;
 
   /// Returns the id for `label`, interning it if new.
-  NodeId Intern(std::string_view label);
+  NodeId Intern(std::string_view label) {
+    return InternPrehashed(label, HashOf(label));
+  }
 
   /// Returns the id for `label`, or kInvalidNode if it was never interned.
-  NodeId Find(std::string_view label) const;
+  NodeId Find(std::string_view label) const {
+    return FindPrehashed(label, HashOf(label));
+  }
+
+  /// Hash used by the index below. Exposed so batch decoders can hash labels
+  /// once off the critical interning path (parse workers pre-hash per-chunk
+  /// unique labels; the serial merge then calls InternPrehashed).
+  static uint64_t HashOf(std::string_view label);
+
+  /// Intern/Find with a caller-supplied HashOf(label) value.
+  NodeId InternPrehashed(std::string_view label, uint64_t hash);
+  NodeId FindPrehashed(std::string_view label, uint64_t hash) const;
+
+  /// Warms the probe cache line for an upcoming InternPrehashed /
+  /// FindPrehashed with this hash. The ingestion merge stage walks a
+  /// batch's deduplicated label arena and prefetches a few entries ahead,
+  /// hiding the dependent random slot load that otherwise dominates bulk
+  /// interning. No-op on an empty table.
+  void Prefetch(uint64_t hash) const {
+    if (!slots_.empty()) {
+      __builtin_prefetch(&slots_[static_cast<size_t>(hash) &
+                                 (slots_.size() - 1)]);
+    }
+  }
 
   /// Label for a previously returned id. `id` must be < size().
   const std::string& LabelOf(NodeId id) const { return labels_[id]; }
@@ -49,8 +73,23 @@ class Interner {
   size_t size() const { return labels_.size(); }
 
  private:
-  std::unordered_map<std::string, NodeId> index_;
+  /// Doubles the open-addressing table and reinserts every id.
+  void Grow();
+
+  /// One open-addressing index entry: the label's full hash lives next to
+  /// its id so a probe rejects non-matching slots from the slot cache line
+  /// alone — no dependent load into a side table or the label heap until
+  /// the hash already agrees. `id == kInvalidNode` marks an empty slot.
+  struct Slot {
+    uint64_t hash = 0;
+    NodeId id = kInvalidNode;
+  };
+
   std::vector<std::string> labels_;
+  /// Open-addressing index (power-of-two size, linear probing). The table
+  /// layout depends only on insertion order, so id assignment stays
+  /// deterministic.
+  std::vector<Slot> slots_;
 };
 
 }  // namespace commsig

@@ -286,6 +286,71 @@ inline uint32_t LtMask(VecU32 a, VecU32 b) {
 #endif
 
 // ---------------------------------------------------------------------------
+// Byte-equality masks for the ingestion chunk scanner. The parse workers
+// locate every field delimiter and newline in a chunk with one structural
+// pass instead of a memchr per line plus a re-scan per field; this primitive
+// turns 64 input bytes into a position bitmask per needle byte. Output is a
+// pure function of the bytes, identical on every backend, so the scanner
+// built on it needs no runtime switch — only the speed differs.
+// ---------------------------------------------------------------------------
+
+#if defined(COMMSIG_SIMD_AVX2)
+
+/// Fills `ma`/`mb`: bit i is set iff p[i] == a (resp. b). All 64 bytes at
+/// `p` must be readable; callers handle buffer tails by copying into a
+/// padded stack block and masking off the bits past the real length.
+inline void ByteEq2Mask64(const char* p, char a, char b, uint64_t& ma,
+                          uint64_t& mb) {
+  const __m256i na = _mm256_set1_epi8(a);
+  const __m256i nb = _mm256_set1_epi8(b);
+  const __m256i lo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m256i hi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32));
+  const uint32_t a_lo = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, na)));
+  const uint32_t a_hi = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, na)));
+  const uint32_t b_lo = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, nb)));
+  const uint32_t b_hi = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, nb)));
+  ma = (static_cast<uint64_t>(a_hi) << 32) | a_lo;
+  mb = (static_cast<uint64_t>(b_hi) << 32) | b_lo;
+}
+
+#else
+
+/// SWAR fallback: an exact zero-byte detector marks matching bytes' high
+/// bits — the high bit of ((x&0x7f)+0x7f) | x is set iff byte x != 0, with
+/// no cross-byte carries, unlike the shorter (x-kLow)&~x form whose borrow
+/// also flags a byte equal to 1 above a true match. The 0x0102040810204080
+/// multiply then gathers one bit per byte into the top byte of the
+/// product. Same output as the AVX2 path, bit for bit.
+inline void ByteEq2Mask64(const char* p, char a, char b, uint64_t& ma,
+                          uint64_t& mb) {
+  constexpr uint64_t kLow = 0x0101010101010101ull;
+  constexpr uint64_t kSeven = 0x7f7f7f7f7f7f7f7full;
+  constexpr uint64_t kGather = 0x0102040810204080ull;
+  const uint64_t pat_a = kLow * static_cast<unsigned char>(a);
+  const uint64_t pat_b = kLow * static_cast<unsigned char>(b);
+  ma = 0;
+  mb = 0;
+  for (int w = 0; w < 8; ++w) {
+    uint64_t word;
+    std::memcpy(&word, p + w * 8, 8);
+    const uint64_t da = word ^ pat_a;
+    const uint64_t db = word ^ pat_b;
+    const uint64_t ha = ~(((da & kSeven) + kSeven) | da | kSeven);
+    const uint64_t hb = ~(((db & kSeven) + kSeven) | db | kSeven);
+    ma |= (((ha >> 7) * kGather) >> 56) << (8 * w);
+    mb |= (((hb >> 7) * kGather) >> 56) << (8 * w);
+  }
+}
+
+#endif
+
+// ---------------------------------------------------------------------------
 // Fused loop kernels for the RWR block power iteration. All are strictly
 // elementwise (independent lanes, one mul and/or one add per element), so
 // the vectorized and scalar paths — and therefore every backend — produce

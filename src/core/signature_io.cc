@@ -1,10 +1,13 @@
 #include "core/signature_io.h"
 
-#include <cmath>
 #include <limits>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "common/csv.h"
+#include "ingest/record_decode.h"
 
 namespace commsig {
 
@@ -45,59 +48,40 @@ Result<SignatureSet> ReadSignatureSetCsv(const std::string& path,
 Result<SignatureSet> ReadSignatureSetCsv(const std::string& path,
                                          Interner& interner,
                                          const IngestOptions& options) {
-  CsvReader reader(path);
-  if (!reader.status().ok()) return reader.status();
+  Result<std::string> data = ReadFileBytes(path);
+  if (!data.ok()) return data.status();
 
   // Collect entries per owner, preserving first-seen owner order.
   std::vector<NodeId> order;
   std::unordered_map<NodeId, std::vector<Signature::Entry>> entries;
-  std::vector<std::string> fields;
+  LineScanner scanner(*data);
+  std::string_view line;
+  std::string_view fields[3];
   uint64_t errors = 0;
-  while (reader.Next(fields)) {
-    const uint64_t line = reader.line_number();
+  while (scanner.Next(line)) {
     // Validate the full row before interning anything, so a quarantined row
-    // neither grows the node universe nor registers its owner.
-    RecordErrorReason reason;
-    std::string detail;
-    double weight = 0.0;
-    bool bad = true;
-    const bool marker_row = fields.size() == 3 && fields[1].empty();
-    if (fields.size() != 3) {
-      reason = RecordErrorReason::kBadField;
-      detail = "signature row needs 3 fields, got " +
-               std::to_string(fields.size());
-    } else if (fields[0].empty()) {
-      reason = RecordErrorReason::kZeroNode;
-      detail = "empty owner label";
-    } else if (marker_row) {
-      bad = false;  // empty-signature marker: owner only
-    } else if (Result<double> w = ParseDouble(fields[2]); !w.ok()) {
-      reason = RecordErrorReason::kBadField;
-      detail = w.status().message();
-    } else if (!std::isfinite(*w)) {
-      reason = RecordErrorReason::kNonFiniteWeight;
-      detail = "weight " + fields[2];
-    } else if (*w <= 0.0) {
-      reason = RecordErrorReason::kNonPositiveWeight;
-      detail = "non-positive weight " + fields[2];
-    } else {
-      bad = false;
-      weight = *w;
-    }
-    if (bad) {
+    // neither grows the node universe nor registers its owner. Row decoding
+    // is shared with the parallel pipeline (ingest/record_decode.h).
+    const size_t count = SplitFields(line, ',', fields, 3);
+    ingest::SignatureRow row;
+    ingest::RowReject reject;
+    const ingest::SignatureRowKind kind =
+        ingest::DecodeSignatureRow(fields, count, row, reject);
+    if (kind == ingest::SignatureRowKind::kReject) {
       Status s = robust_internal::HandleBadRecord(
-          options, &errors, reason, line, std::move(detail),
+          options, &errors, reject.reason, scanner.line_number(),
+          std::move(reject.detail),
           /*invalid_argument_on_fail=*/true);
       if (!s.ok()) return s;
       continue;
     }
-    NodeId owner = interner.Intern(fields[0]);
+    NodeId owner = interner.Intern(row.owner);
     if (!entries.contains(owner)) {
       order.push_back(owner);
       entries.emplace(owner, std::vector<Signature::Entry>{});
     }
-    if (marker_row) continue;
-    entries[owner].push_back({interner.Intern(fields[1]), weight});
+    if (kind == ingest::SignatureRowKind::kMarker) continue;
+    entries[owner].push_back({interner.Intern(row.member), row.weight});
   }
 
   SignatureSet set;

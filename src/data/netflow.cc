@@ -1,10 +1,10 @@
 #include "data/netflow.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iterator>
+
+#include "ingest/record_decode.h"
 
 namespace commsig {
 
@@ -14,15 +14,11 @@ constexpr size_t kHeaderBytes = 24;
 constexpr size_t kRecordBytes = 48;
 constexpr size_t kMaxRecordsPerPacket = 30;
 
-// Big-endian (network order) readers/writers.
-uint16_t ReadU16(const unsigned char* p) {
-  return static_cast<uint16_t>((p[0] << 8) | p[1]);
-}
-uint32_t ReadU32(const unsigned char* p) {
-  return (static_cast<uint32_t>(p[0]) << 24) |
-         (static_cast<uint32_t>(p[1]) << 16) |
-         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
-}
+// Big-endian (network order) readers/writers; the read side is shared with
+// the pipeline framer via ingest/record_decode.h.
+using ingest::ReadU16Be;
+using ingest::ReadU32Be;
+
 void WriteU16(unsigned char* p, uint16_t v) {
   p[0] = static_cast<unsigned char>(v >> 8);
   p[1] = static_cast<unsigned char>(v);
@@ -38,9 +34,7 @@ void WriteU32(unsigned char* p, uint32_t v) {
 
 std::string Ipv4ToString(uint32_t addr) {
   char buf[16];
-  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
-                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
-  return buf;
+  return std::string(buf, ingest::FormatIpv4(addr, buf));
 }
 
 Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
@@ -50,24 +44,21 @@ Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
 
 Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
     const std::string& path, const IngestOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IOError("cannot open " + path);
   // Whole-file buffering keeps byte offsets exact for quarantine reports and
   // makes header resynchronization a plain scan; one export file covers one
   // observation window, so the buffer is bounded by window size.
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (in.bad()) return Status::IOError("read error on " + path);
+  Result<std::string> data = ReadFileBytes(path);
+  if (!data.ok()) return data.status();
 
   const unsigned char* bytes =
-      reinterpret_cast<const unsigned char*>(data.data());
-  const size_t size = data.size();
+      reinterpret_cast<const unsigned char*>(data->data());
+  const size_t size = data->size();
 
   // First offset >= `from` holding a plausible v5 header, or `size`.
   auto resync = [&](size_t from) {
     for (size_t o = from; o + kHeaderBytes <= size; ++o) {
-      if (ReadU16(bytes + o) != 5) continue;
-      const uint16_t count = ReadU16(bytes + o + 2);
+      if (ReadU16Be(bytes + o) != 5) continue;
+      const uint16_t count = ReadU16Be(bytes + o + 2);
       if (count >= 1 && count <= kMaxRecordsPerPacket) return o;
     }
     return size;
@@ -86,9 +77,9 @@ Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
       if (!s.ok()) return s;
       break;
     }
-    const uint16_t version = ReadU16(bytes + offset);
-    const uint16_t count = ReadU16(bytes + offset + 2);
-    const uint32_t unix_secs = ReadU32(bytes + offset + 8);
+    const uint16_t version = ReadU16Be(bytes + offset);
+    const uint16_t count = ReadU16Be(bytes + offset + 2);
+    const uint32_t unix_secs = ReadU32Be(bytes + offset + 8);
     if (version != 5) {
       Status s = robust_internal::HandleBadRecord(
           options, &errors, RecordErrorReason::kBadMagic, offset,
@@ -122,20 +113,8 @@ Result<std::vector<NetflowV5Record>> ReadNetflowV5File(
     const size_t whole =
         std::min<size_t>(count, (size - body) / kRecordBytes);
     for (size_t i = 0; i < whole; ++i) {
-      const unsigned char* rec = bytes + body + i * kRecordBytes;
-      NetflowV5Record r;
-      r.src_addr = ReadU32(rec);
-      r.dst_addr = ReadU32(rec + 4);
-      // rec+8: nexthop; rec+12: input/output ifindex.
-      r.packets = ReadU32(rec + 16);
-      r.octets = ReadU32(rec + 20);
-      // rec+24: first; rec+28: last (sysuptime ms).
-      r.src_port = ReadU16(rec + 32);
-      r.dst_port = ReadU16(rec + 34);
-      // rec+36: pad; rec+37: tcp_flags.
-      r.protocol = rec[38];
-      r.unix_secs = unix_secs;
-      records.push_back(r);
+      records.push_back(ingest::DecodeNetflowRecord(
+          bytes + body + i * kRecordBytes, unix_secs));
     }
     if (whole < count) {
       Status s = robust_internal::HandleBadRecord(
@@ -156,27 +135,17 @@ std::vector<TraceEvent> NetflowToEvents(
     const NetflowReadOptions& options) {
   std::vector<TraceEvent> events;
   events.reserve(records.size());
+  // The label cache formats/hashes/interns each distinct address once; flow
+  // traces revisit a small address set, so the per-record cost drops to two
+  // memo lookups. Addresses still hit the interner in stream order, so id
+  // assignment is identical to the historical per-record Intern calls.
+  ingest::Ipv4LabelCache labels;
   for (const NetflowV5Record& r : records) {
-    if (options.protocol_filter != 0 &&
-        r.protocol != options.protocol_filter) {
-      continue;
-    }
-    double weight = 1.0;
-    switch (options.weighting) {
-      case NetflowWeighting::kFlows:
-        weight = 1.0;
-        break;
-      case NetflowWeighting::kPackets:
-        weight = static_cast<double>(r.packets);
-        break;
-      case NetflowWeighting::kOctets:
-        weight = static_cast<double>(r.octets);
-        break;
-    }
-    if (weight <= 0.0) continue;
-    events.push_back({interner.Intern(Ipv4ToString(r.src_addr)),
-                      interner.Intern(Ipv4ToString(r.dst_addr)),
-                      r.unix_secs, weight});
+    double weight = 0.0;
+    if (!ingest::NetflowEventWeight(r, options, weight)) continue;
+    events.push_back({labels.Intern(r.src_addr, interner),
+                      labels.Intern(r.dst_addr, interner), r.unix_secs,
+                      weight});
   }
   return events;
 }

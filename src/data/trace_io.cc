@@ -1,8 +1,11 @@
 #include "data/trace_io.h"
 
-#include <cmath>
+#include <string>
+#include <string_view>
+#include <utility>
 
 #include "common/csv.h"
+#include "ingest/record_decode.h"
 
 namespace commsig {
 
@@ -26,63 +29,46 @@ Result<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path,
 Result<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path,
                                              Interner& interner,
                                              const IngestOptions& options) {
-  CsvReader reader(path);
-  if (!reader.status().ok()) return reader.status();
+  Result<std::string> data = ReadFileBytes(path);
+  if (!data.ok()) return data.status();
 
   std::vector<TraceEvent> events;
-  std::vector<std::string> fields;
+  LineScanner scanner(*data);
+  std::string_view line;
+  std::string_view fields[4];
   uint64_t errors = 0;
   uint64_t last_time = 0;
   bool have_last_time = false;
-  while (reader.Next(fields)) {
-    const uint64_t line = reader.line_number();
+  while (scanner.Next(line)) {
     // Validation happens fully before interning: a quarantined row must not
-    // grow the node universe.
-    RecordErrorReason reason;
-    std::string detail;
-    uint64_t time = 0;
-    double weight = 0.0;
-    bool bad = true;
-    if (fields.size() != 4) {
-      reason = RecordErrorReason::kBadField;
-      detail = "trace row needs 4 fields, got " +
-               std::to_string(fields.size());
-    } else if (fields[0].empty() || fields[1].empty()) {
-      reason = RecordErrorReason::kZeroNode;
-      detail = "empty node label";
-    } else if (Result<uint64_t> t = ParseUint(fields[2]); !t.ok()) {
-      reason = RecordErrorReason::kBadField;
-      detail = t.status().message();
-    } else if (Result<double> w = ParseDouble(fields[3]); !w.ok()) {
-      reason = RecordErrorReason::kBadField;
-      detail = w.status().message();
-    } else if (!std::isfinite(*w)) {
-      reason = RecordErrorReason::kNonFiniteWeight;
-      detail = "weight " + fields[3];
-    } else if (*w <= 0.0) {
-      reason = RecordErrorReason::kNonPositiveWeight;
-      detail = "non-positive weight " + fields[3];
-    } else if (options.require_monotonic_time && have_last_time &&
-               *t < last_time) {
-      reason = RecordErrorReason::kTimestampRegression;
-      detail = "time " + fields[2] + " precedes " +
-               std::to_string(last_time);
-    } else {
-      bad = false;
-      time = *t;
-      weight = *w;
+    // grow the node universe. Field decoding is shared with the parallel
+    // pipeline (ingest/record_decode.h); only the monotonic-time check lives
+    // here because it needs cross-row state.
+    const size_t count = SplitFields(line, ',', fields, 4);
+    ingest::TraceRow row;
+    ingest::RowReject reject;
+    bool bad = !ingest::DecodeTraceRow(fields, count, row, reject);
+    if (!bad && options.require_monotonic_time && have_last_time &&
+        row.time < last_time) {
+      bad = true;
+      reject.reason = RecordErrorReason::kTimestampRegression;
+      reject.detail = "time ";
+      reject.detail += row.time_text;
+      reject.detail += " precedes ";
+      reject.detail += std::to_string(last_time);
     }
     if (bad) {
       Status s = robust_internal::HandleBadRecord(
-          options, &errors, reason, line, std::move(detail),
+          options, &errors, reject.reason, scanner.line_number(),
+          std::move(reject.detail),
           /*invalid_argument_on_fail=*/true);
       if (!s.ok()) return s;
       continue;
     }
-    last_time = time;
+    last_time = row.time;
     have_last_time = true;
-    events.push_back({interner.Intern(fields[0]), interner.Intern(fields[1]),
-                      time, weight});
+    events.push_back({interner.Intern(row.src), interner.Intern(row.dst),
+                      row.time, row.weight});
   }
   return events;
 }

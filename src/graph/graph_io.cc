@@ -1,11 +1,13 @@
 #include "graph/graph_io.h"
 
-#include <cmath>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/csv.h"
 #include "graph/graph_builder.h"
+#include "ingest/record_decode.h"
 
 namespace commsig {
 
@@ -33,8 +35,8 @@ Result<CommGraph> ReadEdgeListCsv(const std::string& path, Interner& interner,
 Result<CommGraph> ReadEdgeListCsv(const std::string& path, Interner& interner,
                                   NodeId bipartite_left_size,
                                   const IngestOptions& options) {
-  CsvReader reader(path);
-  if (!reader.status().ok()) return reader.status();
+  Result<std::string> data = ReadFileBytes(path);
+  if (!data.ok()) return data.status();
 
   struct Row {
     NodeId src;
@@ -42,43 +44,24 @@ Result<CommGraph> ReadEdgeListCsv(const std::string& path, Interner& interner,
     double weight;
   };
   std::vector<Row> rows;
-  std::vector<std::string> fields;
+  LineScanner scanner(*data);
+  std::string_view line;
+  std::string_view fields[3];
   uint64_t errors = 0;
-  while (reader.Next(fields)) {
-    const uint64_t line = reader.line_number();
-    RecordErrorReason reason;
-    std::string detail;
-    bool bad = true;
-    double weight = 0.0;
-    if (fields.size() != 3) {
-      reason = RecordErrorReason::kBadField;
-      detail =
-          "edge row needs 3 fields, got " + std::to_string(fields.size());
-    } else if (fields[0].empty() || fields[1].empty()) {
-      reason = RecordErrorReason::kZeroNode;
-      detail = "empty node label";
-    } else if (Result<double> w = ParseDouble(fields[2]); !w.ok()) {
-      reason = RecordErrorReason::kBadField;
-      detail = w.status().message();
-    } else if (!std::isfinite(*w)) {
-      reason = RecordErrorReason::kNonFiniteWeight;
-      detail = "weight " + fields[2];
-    } else if (*w <= 0.0) {
-      reason = RecordErrorReason::kNonPositiveWeight;
-      detail = "non-positive weight " + fields[2];
-    } else {
-      bad = false;
-      weight = *w;
-    }
-    if (bad) {
+  while (scanner.Next(line)) {
+    const size_t count = SplitFields(line, ',', fields, 3);
+    ingest::EdgeRow row;
+    ingest::RowReject reject;
+    if (!ingest::DecodeEdgeRow(fields, count, row, reject)) {
       Status s = robust_internal::HandleBadRecord(
-          options, &errors, reason, line, std::move(detail),
+          options, &errors, reject.reason, scanner.line_number(),
+          std::move(reject.detail),
           /*invalid_argument_on_fail=*/true);
       if (!s.ok()) return s;
       continue;
     }
     rows.push_back(
-        {interner.Intern(fields[0]), interner.Intern(fields[1]), weight});
+        {interner.Intern(row.src), interner.Intern(row.dst), row.weight});
   }
 
   GraphBuilder builder(interner.size());

@@ -1,0 +1,116 @@
+#ifndef COMMSIG_INGEST_PIPELINE_H_
+#define COMMSIG_INGEST_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "core/signature_io.h"
+#include "data/netflow.h"
+#include "graph/comm_graph.h"
+#include "graph/windower.h"
+#include "robust/degradation.h"
+#include "robust/record_errors.h"
+
+namespace commsig::ingest {
+
+/// What the framer does when a parse worker's input queue is full.
+enum class BackpressurePolicy {
+  /// Block the IO stage until the worker catches up (lossless; default).
+  kBlock,
+  /// Drop the framed chunk, count it under ingest/chunks_shed and report
+  /// overload to the degradation controller. Sheds whole chunks, so the
+  /// output is NOT equivalent to the serial reader — reserved for live
+  /// sources where falling behind is worse than sampling.
+  kShed,
+};
+
+/// Input format for the event-producing entry points.
+enum class PipelineFormat {
+  kTraceCsv,   // src,dst,time,weight rows (data/trace_io)
+  kNetflowV5,  // concatenated v5 export packets (data/netflow)
+};
+
+struct PipelineOptions {
+  /// Parse worker threads (clamped to >= 1). The framer and the merge run
+  /// on their own serial stages regardless.
+  int parse_workers = 1;
+  /// Target raw bytes per framed chunk.
+  size_t chunk_bytes = 256 * 1024;
+  /// Bounded queue capacity (in chunks/batches) between each stage pair.
+  size_t queue_capacity = 8;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Error policy / budgets / quarantine sink, applied by the merge stage
+  /// in exact stream order (byte-identical to the serial readers).
+  IngestOptions ingest;
+  /// Record filtering/weighting for kNetflowV5.
+  NetflowReadOptions netflow;
+  /// Optional: kShed drops report overload here (not owned; may be null).
+  DegradationController* degradation = nullptr;
+};
+
+/// Counters for one pipeline run, also published to the obs registry under
+/// ingest/*.
+struct PipelineStats {
+  uint64_t chunks_framed = 0;
+  uint64_t chunks_shed = 0;
+  uint64_t batches_merged = 0;
+  uint64_t records_parsed = 0;  // accepted records entering the merge
+  uint64_t producer_stalls = 0;
+  uint64_t consumer_stalls = 0;
+};
+
+/// Parallel counterpart of ReadTraceCsv / (ReadNetflowV5File +
+/// NetflowToEvents): framer -> parse workers -> in-order merge. Under
+/// kBlock back-pressure the result — events, interner contents and id
+/// assignment, error-log entries, budgets, and failure status — is
+/// bit-identical to the serial path at every worker count.
+Result<std::vector<TraceEvent>> ReadTraceEventsPipelined(
+    const std::string& path, PipelineFormat format, Interner& interner,
+    const PipelineOptions& options, PipelineStats* stats = nullptr);
+
+/// Parallel counterpart of ReadEdgeListCsv (same equivalence guarantee).
+Result<CommGraph> ReadEdgeListPipelined(const std::string& path,
+                                        Interner& interner,
+                                        NodeId bipartite_left_size,
+                                        const PipelineOptions& options,
+                                        PipelineStats* stats = nullptr);
+
+/// Parallel counterpart of ReadSignatureSetCsv (same equivalence
+/// guarantee).
+Result<SignatureSet> ReadSignatureSetPipelined(const std::string& path,
+                                               Interner& interner,
+                                               const PipelineOptions& options,
+                                               PipelineStats* stats = nullptr);
+
+/// Windowing configuration for ReadWindowsPipelined, mirroring
+/// TraceWindower's constructor.
+struct WindowedReadOptions {
+  uint64_t window_length = 1;
+  uint64_t start_time = 0;
+  NodeId bipartite_left_size = 0;
+  /// Window shard stages fed by the merge through bounded queues; 0 picks
+  /// parse_workers. Events are sharded by src id, which keeps every
+  /// observation of one (src, dst) pair in a single shard in stream order
+  /// — the property that makes the sharded aggregation bit-identical to
+  /// TraceWindower::Split.
+  size_t shards = 0;
+};
+
+/// Parallel counterpart of reading events then TraceWindower::Split: the
+/// merge stage routes accepted events into per-shard windower stages
+/// through bounded SPSC queues, shards pre-bucket and aggregate while
+/// ingestion is still running, and final per-window graphs are assembled
+/// from the shard aggregates. Window graphs are bit-identical to
+/// `TraceWindower(interner.size(), ...).Split(events)` on the serial
+/// reader's events, at every worker/shard count (kBlock only).
+Result<std::vector<CommGraph>> ReadWindowsPipelined(
+    const std::string& path, PipelineFormat format, Interner& interner,
+    const WindowedReadOptions& window_options, const PipelineOptions& options,
+    PipelineStats* stats = nullptr);
+
+}  // namespace commsig::ingest
+
+#endif  // COMMSIG_INGEST_PIPELINE_H_

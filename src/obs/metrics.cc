@@ -310,7 +310,10 @@ void PreRegisterCoreMetrics() {
         "robust/checkpoint_restores", "robust/degradation_transitions",
         "robust/degradation_bad_signals", "robust/global_budget_exhausted",
         "core/incremental_budget_strikes",
-        "core/incremental_scratch_rebuilds"}) {
+        "core/incremental_scratch_rebuilds",
+        "ingest/chunks_framed", "ingest/chunks_shed",
+        "ingest/batches_merged", "ingest/records_parsed",
+        "ingest/producer_stalls", "ingest/consumer_stalls"}) {
     reg.GetCounter(name);
   }
   reg.GetGauge("threadpool/queue_depth");
@@ -320,6 +323,7 @@ void PreRegisterCoreMetrics() {
   reg.GetGauge("robust/degradation_tier");
   reg.GetGauge("obs/health_worst_level");
   reg.GetGauge("sketch/cm_error_bound");
+  reg.GetGauge("ingest/parse_workers");
   // Histograms surface in /metrics and /varz exactly like counters; a
   // scraper must see the full schema before the first observation lands.
   for (const char* name :
@@ -327,7 +331,8 @@ void PreRegisterCoreMetrics() {
         "pipeline/window_build_us", "pipeline/delta_diff_us",
         "pipeline/dirty_recompute_us", "pipeline/extract_us",
         "robust/checkpoint_bytes", "rwr/residual_at_convergence",
-        "signature/candidates", "windower/window_events"}) {
+        "signature/candidates", "windower/window_events",
+        "ingest/batch_records"}) {
     reg.GetHistogram(name);
   }
 }

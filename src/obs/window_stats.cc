@@ -120,6 +120,22 @@ void WindowStatsAggregator::RecordSetupStage(PipelineStage stage,
       .Observe(static_cast<double>(dur_us));
 }
 
+void WindowStatsAggregator::RecordIngestRun(const IngestRunStats& run) {
+  ingest_runs_.fetch_add(1, std::memory_order_relaxed);
+  ingest_parse_workers_.store(run.parse_workers, std::memory_order_relaxed);
+  ingest_chunks_framed_.fetch_add(run.chunks_framed,
+                                  std::memory_order_relaxed);
+  ingest_chunks_shed_.fetch_add(run.chunks_shed, std::memory_order_relaxed);
+  ingest_batches_merged_.fetch_add(run.batches_merged,
+                                   std::memory_order_relaxed);
+  ingest_records_parsed_.fetch_add(run.records_parsed,
+                                   std::memory_order_relaxed);
+  ingest_producer_stalls_.fetch_add(run.producer_stalls,
+                                    std::memory_order_relaxed);
+  ingest_consumer_stalls_.fetch_add(run.consumer_stalls,
+                                    std::memory_order_relaxed);
+}
+
 std::vector<WindowRecord> WindowStatsAggregator::Recent(
     size_t max_windows) const {
   std::vector<WindowRecord> out;
@@ -165,6 +181,29 @@ std::string WindowStatsAggregator::ToJson(size_t max_windows) const {
     out += "_us\": ";
     out += std::to_string(us);
   }
+  out += "},\n  \"ingest\": {";
+  out += "\"runs\": ";
+  out += std::to_string(ingest_runs_.load(std::memory_order_relaxed));
+  out += ", \"parse_workers\": ";
+  out +=
+      std::to_string(ingest_parse_workers_.load(std::memory_order_relaxed));
+  out += ", \"chunks_framed\": ";
+  out +=
+      std::to_string(ingest_chunks_framed_.load(std::memory_order_relaxed));
+  out += ", \"chunks_shed\": ";
+  out += std::to_string(ingest_chunks_shed_.load(std::memory_order_relaxed));
+  out += ", \"batches_merged\": ";
+  out +=
+      std::to_string(ingest_batches_merged_.load(std::memory_order_relaxed));
+  out += ", \"records_parsed\": ";
+  out +=
+      std::to_string(ingest_records_parsed_.load(std::memory_order_relaxed));
+  out += ", \"producer_stalls\": ";
+  out +=
+      std::to_string(ingest_producer_stalls_.load(std::memory_order_relaxed));
+  out += ", \"consumer_stalls\": ";
+  out +=
+      std::to_string(ingest_consumer_stalls_.load(std::memory_order_relaxed));
   out += "},\n  \"stage_names\": [";
   for (size_t i = 0; i < kNumPipelineStages; ++i) {
     if (i > 0) out += ", ";
@@ -209,6 +248,14 @@ void WindowStatsAggregator::Reset() {
   for (std::atomic<uint64_t>& us : setup_us_) {
     us.store(0, std::memory_order_relaxed);
   }
+  ingest_runs_.store(0, std::memory_order_relaxed);
+  ingest_parse_workers_.store(0, std::memory_order_relaxed);
+  ingest_chunks_framed_.store(0, std::memory_order_relaxed);
+  ingest_chunks_shed_.store(0, std::memory_order_relaxed);
+  ingest_batches_merged_.store(0, std::memory_order_relaxed);
+  ingest_records_parsed_.store(0, std::memory_order_relaxed);
+  ingest_producer_stalls_.store(0, std::memory_order_relaxed);
+  ingest_consumer_stalls_.store(0, std::memory_order_relaxed);
   MutexLock lock(mutex_);
   ring_.clear();
   ring_head_ = 0;

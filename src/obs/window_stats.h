@@ -84,6 +84,23 @@ class WindowStatsAggregator {
   /// Adds one-shot setup latency for `stage` (accumulates across calls).
   void RecordSetupStage(PipelineStage stage, uint64_t dur_us);
 
+  /// One parallel-ingestion run's totals, surfaced as the "ingest" block
+  /// of /pipelinez. obs deliberately knows only the numbers (no dependency
+  /// on src/ingest); the pipeline reports after each run.
+  struct IngestRunStats {
+    uint64_t parse_workers = 0;
+    uint64_t chunks_framed = 0;
+    uint64_t chunks_shed = 0;
+    uint64_t batches_merged = 0;
+    uint64_t records_parsed = 0;
+    uint64_t producer_stalls = 0;
+    uint64_t consumer_stalls = 0;
+  };
+
+  /// Accumulates one ingestion run (counters add; parse_workers is the
+  /// most recent run's value).
+  void RecordIngestRun(const IngestRunStats& run);
+
   /// The most recent `max_windows` records, oldest first; 0 = all retained.
   std::vector<WindowRecord> Recent(size_t max_windows = 0) const
       COMMSIG_EXCLUDES(mutex_);
@@ -113,6 +130,16 @@ class WindowStatsAggregator {
   /// 0 = never.
   std::atomic<uint64_t> last_advance_us_{0};
   std::atomic<uint64_t> setup_us_[kNumPipelineStages] = {};
+
+  // Parallel-ingestion totals (see RecordIngestRun).
+  std::atomic<uint64_t> ingest_runs_{0};
+  std::atomic<uint64_t> ingest_parse_workers_{0};
+  std::atomic<uint64_t> ingest_chunks_framed_{0};
+  std::atomic<uint64_t> ingest_chunks_shed_{0};
+  std::atomic<uint64_t> ingest_batches_merged_{0};
+  std::atomic<uint64_t> ingest_records_parsed_{0};
+  std::atomic<uint64_t> ingest_producer_stalls_{0};
+  std::atomic<uint64_t> ingest_consumer_stalls_{0};
 
   mutable Mutex mutex_;
   /// Fixed-capacity ring, `ring_head_` is the next write slot.

@@ -125,10 +125,34 @@ Status StreamSupervisor::ObserveSlice(const std::vector<TraceEvent>& events,
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.replay_delay_us));
     }
+    if (options_.replay_rate > 0.0) PaceReplay(events[i].time);
   }
   // Evaluated after the observes so a firing epoch fault always exercises
   // the rollback path against genuinely mutated state.
   return failpoints::Inject(site);
+}
+
+void StreamSupervisor::PaceReplay(uint64_t event_time) {
+  const uint64_t now_us = obs::TraceCollector::Global().NowMicros();
+  if (!replay_anchored_) {
+    replay_anchored_ = true;
+    replay_wall_start_us_ = now_us;
+    replay_time_base_ = event_time;
+    return;
+  }
+  if (event_time <= replay_time_base_) return;
+  const double offset_us =
+      static_cast<double>(event_time - replay_time_base_) * 1e6 /
+      options_.replay_rate;
+  const uint64_t due_us =
+      replay_wall_start_us_ + static_cast<uint64_t>(offset_us);
+  if (due_us <= now_us) return;
+  // Cap each sleep so kill-after crashes, epoch faults and test shutdowns
+  // stay responsive even at very slow replay rates; the schedule is
+  // absolute, so successive events resume the wait where this one left it.
+  constexpr uint64_t kMaxSleepUs = 50000;
+  const uint64_t wait_us = std::min<uint64_t>(due_us - now_us, kMaxSleepUs);
+  std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
 }
 
 void StreamSupervisor::RunEpoch(const std::vector<TraceEvent>& events,

@@ -88,6 +88,12 @@ class StreamSupervisor {
     uint64_t kill_after = 0;
     /// Per-event pacing for demos/smoke tests.
     uint64_t replay_delay_us = 0;
+    /// Timestamp-paced replay speed: trace-time seconds elapse
+    /// `replay_rate` times faster than wall-clock (1.0 = real time,
+    /// 100.0 = 100x). Sleeps are scheduled against the stream's first
+    /// timestamp so pacing never drifts with per-event processing cost.
+    /// 0 disables; composes with replay_delay_us (both sleeps apply).
+    double replay_rate = 0.0;
     /// Durable checkpoint directory (empty = no checkpoints).
     std::string checkpoint_dir;
     /// Attempts per epoch before the from-scratch rebuild (minimum 1).
@@ -150,6 +156,10 @@ class StreamSupervisor {
   void Emit(uint64_t position, obs::WindowRecord& epoch);
   /// Applies the current tier's sheds (tracing on/off).
   void ApplyTierEffects();
+  /// Sleeps until `event_time` is due on the replay schedule
+  /// (options_.replay_rate > 0). The first paced event anchors the
+  /// schedule; regressions and re-observed events replay immediately.
+  void PaceReplay(uint64_t event_time);
 
   std::vector<NodeId> focal_;
   Options options_;
@@ -159,6 +169,11 @@ class StreamSupervisor {
   DegradationController degradation_;
   bool tracing_baseline_ = false;
   bool tracing_current_ = false;
+
+  // Replay-schedule anchor (lazily set by the first paced event).
+  bool replay_anchored_ = false;
+  uint64_t replay_wall_start_us_ = 0;
+  uint64_t replay_time_base_ = 0;
 };
 
 }  // namespace commsig

@@ -2,10 +2,15 @@
 
 #include <unistd.h>
 
+#include <bit>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -122,6 +127,120 @@ TEST(ParseUintTest, RejectsGarbage) {
   EXPECT_FALSE(ParseUint("").ok());
   EXPECT_FALSE(ParseUint("12.5").ok());
   EXPECT_FALSE(ParseUint("x1").ok());
+}
+
+// The Try* fast paths must be decision- and bit-identical to the historical
+// strtod/strtoull-based parsers across every input class: plain decimals on
+// the fast path, and strtod's quirkier accepts (signs, leading whitespace,
+// exponents, hex floats) plus its range rejects on the slow path.
+TEST(TryParseDoubleTest, MatchesStrtodSemantics) {
+  const char* cases[] = {
+      "0",      "1",        "2.5",     "3.25",    "123456.789",
+      "1.",     ".5",       "007.25",  "1e3",     "-1e3",
+      "+1.5",   " 1.5",     "0x1.8p1", "1e400",   "1e-400",
+      "inf",    "nan",      "1.5x",    "abc",     ".",
+      "..",     "1.2.3",    "-0",      "9007199254740993",
+      "0.000000000000000000001",       "123456789012345678901234567890.5",
+  };
+  for (const char* text : cases) {
+    std::string buf(text);
+    errno = 0;
+    char* end = nullptr;
+    double expected = std::strtod(buf.c_str(), &end);
+    const bool ok = errno == 0 && end == buf.c_str() + buf.size();
+    double got = 0.0;
+    EXPECT_EQ(TryParseDouble(text, got), ok) << text;
+    if (ok) {
+      // Bit-exact, not just approximately equal: parsed weights feed
+      // checkpoint fingerprints and golden window hashes.
+      EXPECT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(expected))
+          << text;
+    }
+  }
+}
+
+TEST(TryParseUintTest, MatchesStrtoullSemantics) {
+  const char* cases[] = {
+      "0",  "7",   "42",     "123456789012",     "000000000000000000001",
+      "18446744073709551615", "18446744073709551616", "99999999999999999999",
+      "-1", "+1",  " 1",     "12.5",             "x1",
+      "1x", "0x10",
+  };
+  for (const char* text : cases) {
+    std::string buf(text);
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long expected = std::strtoull(buf.c_str(), &end, 10);
+    const bool ok = errno == 0 && end == buf.c_str() + buf.size();
+    uint64_t got = 0;
+    EXPECT_EQ(TryParseUint(text, got), ok) << text;
+    if (ok) {
+      EXPECT_EQ(got, static_cast<uint64_t>(expected)) << text;
+    }
+  }
+}
+
+TEST(SplitFieldsTest, ReportsTotalCountBeyondCapacity) {
+  std::string_view out[4];
+  EXPECT_EQ(SplitFields("a,b,c,d,e,f", ',', out, 4), 6u);
+  EXPECT_EQ(out[0], "a");
+  EXPECT_EQ(out[3], "d");
+  EXPECT_EQ(SplitFields("x", ',', out, 4), 1u);
+  EXPECT_EQ(out[0], "x");
+  EXPECT_EQ(SplitFields("a,,c,", ',', out, 4), 4u);
+  EXPECT_EQ(out[1], "");
+  EXPECT_EQ(out[3], "");
+}
+
+TEST(SplitFieldsTest, DelimiterSuccessorByteIsNotADelimiter) {
+  // Regression: the word-at-a-time zero-byte detector must be exact. The
+  // borrow-based (x-1)&~x form also flags a byte equal to delim^1 when the
+  // byte below it is a real delimiter — for ',' that byte is '-', so
+  // ",-0.5" grew a phantom field boundary at the minus sign.
+  std::string_view out[4];
+  ASSERT_EQ(SplitFields("o2,m3,-0.5", ',', out, 4), 3u);
+  EXPECT_EQ(out[0], "o2");
+  EXPECT_EQ(out[1], "m3");
+  EXPECT_EQ(out[2], "-0.5");
+  // Every adjacent-byte pairing around the delimiter, at every word
+  // offset, against the SplitCsvLine reference.
+  for (int c = 1; c < 256; ++c) {
+    const char next = static_cast<char>(c);
+    if (next == ',' || next == '\0') continue;
+    for (size_t pad = 0; pad < 9; ++pad) {
+      std::string line(pad, 'x');
+      line += ',';
+      line += next;
+      line += ",tail";
+      const std::vector<std::string> expected = SplitCsvLine(line, ',');
+      const size_t total = SplitFields(line, ',', out, 4);
+      ASSERT_EQ(total, expected.size()) << "next=" << c << " pad=" << pad;
+      for (size_t i = 0; i < total && i < 4; ++i) {
+        EXPECT_EQ(out[i], expected[i]) << "next=" << c << " pad=" << pad;
+      }
+    }
+  }
+}
+
+TEST(LineScannerTest, MatchesCsvReaderSkipSemantics) {
+  LineScanner scanner("# header\n\r\nreal,row\r\nlast,line");
+  std::string_view line;
+  ASSERT_TRUE(scanner.Next(line));
+  EXPECT_EQ(line, "real,row");
+  EXPECT_EQ(scanner.line_number(), 1u);
+  ASSERT_TRUE(scanner.Next(line));
+  EXPECT_EQ(line, "last,line");  // final line without trailing newline
+  EXPECT_EQ(scanner.line_number(), 2u);
+  EXPECT_FALSE(scanner.Next(line));
+}
+
+TEST(LineScannerTest, EmptyAndCommentOnlyBuffers) {
+  std::string_view line;
+  LineScanner empty("");
+  EXPECT_FALSE(empty.Next(line));
+  LineScanner comments("# one\n# two\n\n");
+  EXPECT_FALSE(comments.Next(line));
+  EXPECT_EQ(comments.line_number(), 0u);
 }
 
 }  // namespace

@@ -63,5 +63,42 @@ TEST(InternerTest, ManyLabels) {
   EXPECT_EQ(interner.Find("node-9999"), 9999u);
 }
 
+TEST(InternerTest, PrehashedAgreesWithPlainIntern) {
+  Interner plain;
+  Interner prehashed;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string label = "10.0." + std::to_string(i / 250) + "." +
+                              std::to_string(i % 250);
+    const NodeId a = plain.Intern(label);
+    const NodeId b =
+        prehashed.InternPrehashed(label, Interner::HashOf(label));
+    EXPECT_EQ(a, b) << label;
+  }
+  EXPECT_EQ(plain.size(), prehashed.size());
+  EXPECT_EQ(prehashed.FindPrehashed("10.0.0.1", Interner::HashOf("10.0.0.1")),
+            plain.Find("10.0.0.1"));
+  EXPECT_EQ(prehashed.FindPrehashed("absent", Interner::HashOf("absent")),
+            kInvalidNode);
+}
+
+TEST(InternerTest, SurvivesManyGrowthsWithInterleavedLookups) {
+  Interner interner;
+  // Interleave fresh and repeated labels across several table growths; every
+  // id must stay stable and findable.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4096; ++i) {
+      std::string label = "k";
+      label += std::to_string(i);
+      EXPECT_EQ(interner.Intern(label), static_cast<NodeId>(i));
+    }
+  }
+  EXPECT_EQ(interner.size(), 4096u);
+  for (int i = 0; i < 4096; ++i) {
+    std::string label = "k";
+    label += std::to_string(i);
+    EXPECT_EQ(interner.Find(label), static_cast<NodeId>(i));
+  }
+}
+
 }  // namespace
 }  // namespace commsig

@@ -8,6 +8,8 @@
 
 #include <unistd.h>
 
+#include <chrono>
+
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -115,6 +117,26 @@ TEST_F(SupervisorTest, FaultFreeRunProcessesEverything) {
   // 200..1000 in-loop plus the end-of-run save (which rewrites seq 1000).
   EXPECT_EQ(report.checkpoints_saved, 6u);
   EXPECT_EQ(report.final_tier, DegradationTier::kOk);
+  EXPECT_EQ(BuilderBytes(supervisor), ReferenceBytes(events));
+}
+
+TEST_F(SupervisorTest, ReplayRatePacesAgainstTheStreamTimestamps) {
+  // 300 events spanning 300 trace-time units at 3000x => ~100 ms of wall
+  // clock. The schedule is absolute, so total elapsed time is what the
+  // rate implies regardless of per-event processing cost.
+  auto events = MakeEvents(300);
+  StreamSupervisor::Options opts = BaseOptions("");
+  opts.replay_rate = 3000.0;
+  StreamSupervisor supervisor(Focal(), opts);
+  const auto start = std::chrono::steady_clock::now();
+  StreamRunReport report = supervisor.Run(events);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(report.events_processed, events.size());
+  // Generous lower bound (the schedule implies ~100 ms) to stay robust on
+  // loaded CI machines; no upper bound — pacing never blocks completion.
+  EXPECT_GE(elapsed.count(), 60);
+  // Pacing must not change the computed state.
   EXPECT_EQ(BuilderBytes(supervisor), ReferenceBytes(events));
 }
 

@@ -1,24 +1,33 @@
 #!/usr/bin/env python3
-"""Guard benchmark speedup gauges against regressions.
+"""Guard benchmark speedup and throughput gauges against regressions.
 
-Compares every ``*_speedup`` gauge in a freshly produced bench snapshot
-(BENCH_timeline.json and friends) against a checked-in baseline and fails
-when any gauge falls more than ``--tolerance`` below its baseline value.
-Only speedup gauges are compared: absolute nanosecond timings shift with
-the host, but the incremental-vs-scratch *ratio* is what the incremental
-engine owes the repo, and the baselines are set conservatively below
-locally measured values to absorb CI machine noise on top of the
-tolerance.
+Compares gauges in a freshly produced bench snapshot (BENCH_timeline.json
+and friends) against a checked-in baseline and fails when any gauge falls
+below its floor. Two gauge families are guarded, each with its own
+tolerance:
+
+* ``*_speedup`` ratios (default tolerance 20%): absolute nanosecond
+  timings shift with the host, but the optimized-vs-baseline *ratio* is
+  what each engine owes the repo.
+* ``*_events_per_sec`` sustained-throughput floors (default tolerance
+  15%): the ingestion pipeline additionally owes an absolute line rate,
+  so its baseline records conservative events/sec values measured on the
+  CI class of machine and the guard fails if the current run regresses
+  more than ``--throughput-tolerance`` below them.
+
+Baselines are set conservatively below locally measured values so the
+tolerances absorb machine noise rather than real regressions; gauges with
+other suffixes are ignored entirely.
 
 Usage (single pair):
     tools/bench_guard.py --current BENCH_timeline.json \
         --baseline bench/baselines/BENCH_timeline.baseline.json \
-        [--tolerance 0.20]
+        [--tolerance 0.20] [--throughput-tolerance 0.15]
 
 Usage (several snapshots in one invocation):
     tools/bench_guard.py \
         --pair BENCH_timeline.json bench/baselines/BENCH_timeline.baseline.json \
-        --pair BENCH_rwr_batch.json bench/baselines/BENCH_rwr_batch.baseline.json
+        --pair BENCH_ingest.json bench/baselines/BENCH_ingest.baseline.json
 
 Exit status: 0 when every gauge holds, 1 on any regression or missing
 gauge, 2 on malformed input.
@@ -28,9 +37,15 @@ import argparse
 import json
 import sys
 
+# (suffix, tolerance-argument attribute, printed unit) per guarded family.
+FAMILIES = (
+    ("_speedup", "tolerance", "x"),
+    ("_events_per_sec", "throughput_tolerance", " ev/s"),
+)
 
-def load_speedups(path):
-    """Returns {gauge_name: value} for every *_speedup gauge in a snapshot."""
+
+def load_gauges(path, suffix):
+    """Returns {gauge_name: value} for every gauge ending in `suffix`."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             snapshot = json.load(f)
@@ -44,45 +59,68 @@ def load_speedups(path):
     return {
         name: float(value)
         for name, value in gauges.items()
-        if name.endswith("_speedup")
+        if name.endswith(suffix)
     }
 
 
-def check_pair(current_path, baseline_path, tolerance):
-    """Guards one current-vs-baseline snapshot pair.
+def fmt(value, unit):
+    if unit == "x":
+        return f"{value:.2f}x"
+    return f"{value:,.0f}{unit}"
 
-    Returns (failure_messages, guarded_gauge_count); exits with status 2
-    on malformed input, matching the single-pair behaviour.
+
+def check_family(current_path, baseline_path, suffix, tolerance, unit):
+    """Guards one gauge family of one snapshot pair.
+
+    Returns (failure_messages, guarded_gauge_count).
     """
-    current = load_speedups(current_path)
-    baseline = load_speedups(baseline_path)
-    if not baseline:
-        print(f"bench_guard: no *_speedup gauges in {baseline_path}",
-              file=sys.stderr)
-        sys.exit(2)
+    current = load_gauges(current_path, suffix)
+    baseline = load_gauges(baseline_path, suffix)
 
     failures = []
     for name, base_value in sorted(baseline.items()):
         if name not in current:
             failures.append(f"{name}: missing from {current_path} "
-                            f"(baseline {base_value:.2f}x)")
+                            f"(baseline {fmt(base_value, unit)})")
             continue
         floor = base_value * (1.0 - tolerance)
         value = current[name]
         status = "ok" if value >= floor else "REGRESSED"
-        print(f"{name}: {value:.2f}x vs baseline {base_value:.2f}x "
-              f"(floor {floor:.2f}x) {status}")
+        print(f"{name}: {fmt(value, unit)} vs baseline "
+              f"{fmt(base_value, unit)} (floor {fmt(floor, unit)}) {status}")
         if value < floor:
-            failures.append(f"{name}: {value:.2f}x < floor {floor:.2f}x "
-                            f"(baseline {base_value:.2f}x, "
+            failures.append(f"{name}: {fmt(value, unit)} < floor "
+                            f"{fmt(floor, unit)} "
+                            f"(baseline {fmt(base_value, unit)}, "
                             f"tolerance {tolerance:.0%})")
 
     # New gauges absent from the baseline are reported but never fail the
     # run — they become guarded once the baseline is refreshed.
     for name in sorted(set(current) - set(baseline)):
-        print(f"{name}: {current[name]:.2f}x (no baseline, unguarded)")
+        print(f"{name}: {fmt(current[name], unit)} (no baseline, unguarded)")
 
     return failures, len(baseline)
+
+
+def check_pair(current_path, baseline_path, args):
+    """Guards every family of one current-vs-baseline snapshot pair.
+
+    Returns (failure_messages, guarded_gauge_count); exits with status 2
+    on malformed input or a baseline with nothing to guard.
+    """
+    failures = []
+    guarded = 0
+    for suffix, tolerance_attr, unit in FAMILIES:
+        family_failures, count = check_family(
+            current_path, baseline_path, suffix,
+            getattr(args, tolerance_attr), unit)
+        failures.extend(family_failures)
+        guarded += count
+    if guarded == 0:
+        print(f"bench_guard: no guarded gauges in {baseline_path}",
+              file=sys.stderr)
+        sys.exit(2)
+    return failures, guarded
 
 
 def main():
@@ -96,8 +134,11 @@ def main():
                         help="guard CURRENT against BASELINE; repeatable, "
                              "combines with --current/--baseline")
     parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="allowed fractional drop below baseline "
-                             "(default 0.20 = 20%%)")
+                        help="allowed fractional drop below baseline for "
+                             "*_speedup gauges (default 0.20 = 20%%)")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.15,
+                        help="allowed fractional drop below baseline for "
+                             "*_events_per_sec gauges (default 0.15 = 15%%)")
     args = parser.parse_args()
 
     pairs = list(args.pair)
@@ -112,12 +153,12 @@ def main():
     guarded = 0
     for current_path, baseline_path in pairs:
         failure_messages, count = check_pair(current_path, baseline_path,
-                                             args.tolerance)
+                                             args)
         failures.extend(failure_messages)
         guarded += count
 
     if failures:
-        print("\nbench_guard: speedup regressions detected:", file=sys.stderr)
+        print("\nbench_guard: bench regressions detected:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1

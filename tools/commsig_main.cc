@@ -24,6 +24,16 @@
 //                       into one stream, sharing --max-total-errors
 //   --netflow PATH      input NetFlow v5 binary export (TCP flows only
 //                       unless --protocol 0)
+//   --parse-workers N   decode inputs with the staged parallel ingestion
+//                       pipeline using N parse workers (0 = serial
+//                       readers, the default; the decoded stream is
+//                       bit-identical either way)
+//   --io-chunk-kb N     pipeline framing chunk size in KiB (default 256)
+//   --ingest-queue N    bounded queue capacity, in chunks/batches, between
+//                       pipeline stages (default 8)
+//   --backpressure P    block = stall the IO stage when a queue fills
+//                       (lossless, default); shed = drop whole chunks and
+//                       report overload to the degradation ladder
 //   --window-length N   window length in trace time units (default 86400)
 //   --scheme SPEC       tt | ut | ut-tfidf | rwr(c=..,h=..) |
 //                       rwr-push(c=..,eps=..) (default tt)
@@ -109,6 +119,10 @@
 //   --replay-delay-us N   sleep N microseconds after each event — replays
 //                         the trace as a live stream so the introspection
 //                         plane can be watched while windows advance
+//   --replay-rate X       timestamp-paced replay: trace time advances X
+//                         times faster than wall-clock (1.0 = real time),
+//                         scheduled against the stream's first timestamp
+//                         so pacing never drifts (0 = off)
 //   --dead-letter-out P   write poison-epoch dead-letter records (reason,
 //                         position, detail) to this CSV
 //
@@ -167,6 +181,7 @@
 #include "core/scheme.h"
 #include "data/netflow.h"
 #include "data/trace_io.h"
+#include "ingest/pipeline.h"
 #include "eval/properties.h"
 #include "eval/timeline.h"
 #include "graph/decayed_accumulator.h"
@@ -266,6 +281,28 @@ IngestOptions IngestFromArgs(const Args& args, RecordErrorLog* log) {
   return opts;
 }
 
+/// Builds the parallel-ingestion configuration from the --parse-workers /
+/// --io-chunk-kb / --ingest-queue / --backpressure flags. Only consulted
+/// when --parse-workers > 0; the error policy (and its log/budget
+/// pointers) rides along so the pipeline's merge stage applies it in
+/// exact stream order.
+ingest::PipelineOptions PipelineFromArgs(const Args& args,
+                                         const IngestOptions& ingest_opts) {
+  ingest::PipelineOptions opts;
+  opts.parse_workers = static_cast<int>(args.GetInt("parse-workers", 0));
+  opts.chunk_bytes =
+      static_cast<size_t>(args.GetInt("io-chunk-kb", 256)) * 1024;
+  opts.queue_capacity = args.GetInt("ingest-queue", 8);
+  const std::string policy = args.Get("backpressure", "block");
+  if (policy == "shed") {
+    opts.backpressure = ingest::BackpressurePolicy::kShed;
+  } else if (policy != "block") {
+    DieInvalidFlag("backpressure", policy, "block | shed");
+  }
+  opts.ingest = ingest_opts;
+  return opts;
+}
+
 /// Builds the IO retry policy from the --retry-* flags.
 RetryPolicy RetryFromArgs(const Args& args) {
   RetryPolicy policy;
@@ -343,6 +380,14 @@ bool LoadEvents(const Args& args, Interner& interner,
       Status s = retrier.Run("reader_open", [&]() {
         Status fp = failpoints::Inject("reader/open");
         if (!fp.ok()) return fp;
+        if (args.GetInt("parse-workers", 0) > 0) {
+          auto loaded = ingest::ReadTraceEventsPipelined(
+              path, ingest::PipelineFormat::kTraceCsv, interner,
+              PipelineFromArgs(args, ingest));
+          if (!loaded.ok()) return loaded.status();
+          file_events = std::move(*loaded);
+          return Status::OK();
+        }
         auto loaded = ReadTraceCsv(path, interner, ingest);
         if (!loaded.ok()) return loaded.status();
         file_events = std::move(*loaded);
@@ -361,25 +406,46 @@ bool LoadEvents(const Args& args, Interner& interner,
       }
     }
   } else {
-    std::vector<NetflowV5Record> records_out;
-    Status s = retrier.Run("reader_open", [&]() {
-      Status fp = failpoints::Inject("reader/open");
-      if (!fp.ok()) return fp;
-      auto records = ReadNetflowV5File(netflow_path, ingest);
-      if (!records.ok()) return records.status();
-      records_out = std::move(*records);
-      return Status::OK();
-    });
-    if (!s.ok()) {
-      obs::LogError("netflow_load_failed")
-          .Str("path", netflow_path)
-          .Str("error", s.ToString());
-      return false;
-    }
     NetflowReadOptions opts;
     opts.protocol_filter =
         static_cast<uint8_t>(args.GetInt("protocol", 6));
-    events = NetflowToEvents(records_out, interner, opts);
+    if (args.GetInt("parse-workers", 0) > 0) {
+      Status s = retrier.Run("reader_open", [&]() {
+        Status fp = failpoints::Inject("reader/open");
+        if (!fp.ok()) return fp;
+        ingest::PipelineOptions popts = PipelineFromArgs(args, ingest);
+        popts.netflow = opts;
+        auto loaded = ingest::ReadTraceEventsPipelined(
+            netflow_path, ingest::PipelineFormat::kNetflowV5, interner,
+            popts);
+        if (!loaded.ok()) return loaded.status();
+        events = std::move(*loaded);
+        return Status::OK();
+      });
+      if (!s.ok()) {
+        obs::LogError("netflow_load_failed")
+            .Str("path", netflow_path)
+            .Str("error", s.ToString());
+        return false;
+      }
+    } else {
+      std::vector<NetflowV5Record> records_out;
+      Status s = retrier.Run("reader_open", [&]() {
+        Status fp = failpoints::Inject("reader/open");
+        if (!fp.ok()) return fp;
+        auto records = ReadNetflowV5File(netflow_path, ingest);
+        if (!records.ok()) return records.status();
+        records_out = std::move(*records);
+        return Status::OK();
+      });
+      if (!s.ok()) {
+        obs::LogError("netflow_load_failed")
+            .Str("path", netflow_path)
+            .Str("error", s.ToString());
+        return false;
+      }
+      events = NetflowToEvents(records_out, interner, opts);
+    }
   }
   obs::WindowStatsAggregator::Global().RecordSetupStage(
       obs::PipelineStage::kParse, NowMicros() - parse_start_us);
@@ -637,6 +703,7 @@ StreamSupervisor::Options SupervisorFromArgs(const Args& args,
   opts.emit_every = args.GetInt("emit-every", 0);
   opts.kill_after = args.GetInt("kill-after", 0);
   opts.replay_delay_us = args.GetInt("replay-delay-us", 0);
+  opts.replay_rate = args.GetDouble("replay-rate", 0.0);
   opts.checkpoint_dir = ckpt_dir;
   opts.max_epoch_attempts =
       static_cast<uint32_t>(args.GetInt("max-epoch-attempts", 3));
